@@ -1,0 +1,30 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each ``test_figN_*`` benchmark regenerates one of the paper's figures or
+tables, prints the paper-style output, and asserts the qualitative result
+(who wins, by roughly what factor).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks a benchmark as regenerating one "
+        "of the paper's figures")
+
+
+@pytest.fixture(scope="session")
+def itracker_app():
+    from repro.apps import itracker
+
+    return itracker.build_app()
+
+
+@pytest.fixture(scope="session")
+def openmrs_app():
+    from repro.apps import openmrs
+
+    return openmrs.build_app()

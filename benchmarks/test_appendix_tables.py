@@ -1,0 +1,40 @@
+"""Appendix tables: per-benchmark detail (time, round trips, batches).
+
+Regenerates the paper's appendix tables — one row per benchmark page with
+original/Sloth load time, round trips, max batch size and queries issued.
+"""
+
+from repro.bench.experiments import fig5_itracker, fig6_openmrs
+from repro.bench.report import format_table
+
+
+def _rows(result):
+    return [
+        (c.url, round(c.original.time_ms, 1), c.original.round_trips,
+         round(c.sloth.time_ms, 1), c.sloth.round_trips,
+         c.sloth.largest_batch, c.sloth.queries_issued)
+        for c in result["comparisons"]
+    ]
+
+
+HEADERS = ("benchmark", "orig ms", "orig r-trips", "sloth ms",
+           "sloth r-trips", "max batch", "total queries")
+
+
+def test_appendix_itracker_table(benchmark):
+    result = benchmark.pedantic(fig5_itracker.run, rounds=1, iterations=1)
+    print()
+    print(format_table(HEADERS, _rows(result),
+                       title="Appendix — iTracker benchmarks"))
+    # Every benchmark must batch at least two queries somewhere.
+    assert all(c.sloth.largest_batch >= 2 for c in result["comparisons"])
+    assert len(result["comparisons"]) == 38  # the paper's 38 pages
+
+
+def test_appendix_openmrs_table(benchmark):
+    result = benchmark.pedantic(fig6_openmrs.run, rounds=1, iterations=1)
+    print()
+    print(format_table(HEADERS, _rows(result),
+                       title="Appendix — OpenMRS benchmarks"))
+    assert all(c.sloth.largest_batch >= 2 for c in result["comparisons"])
+    assert len(result["comparisons"]) == 112  # the paper's 112 pages

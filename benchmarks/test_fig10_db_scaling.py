@@ -1,0 +1,25 @@
+"""Fig. 10: page load time vs database size (entity-count sweeps)."""
+
+from repro.bench.experiments import fig10_dbscale
+
+
+def test_fig10_db_scaling(benchmark):
+    result = benchmark.pedantic(fig10_dbscale.run, rounds=1, iterations=1)
+    print()
+    print(fig10_dbscale.format_result(result))
+
+    for app in ("itracker", "openmrs"):
+        rows = result[app]
+        # Paper: Sloth wins at every database size.
+        for row in rows:
+            assert row["sloth_ms"] < row["original_ms"]
+        # Paper: the gap widens as entity count grows (Sloth scales
+        # better thanks to batching + parallel execution).
+        first_gap = rows[0]["original_ms"] / rows[0]["sloth_ms"]
+        last_gap = rows[-1]["original_ms"] / rows[-1]["sloth_ms"]
+        assert last_gap > first_gap
+        # Paper: the batch size grows with the entity count
+        # (68 -> 1880 queries in their sweep).
+        batches = [row["sloth_max_batch"] for row in rows]
+        assert batches == sorted(batches)
+        assert batches[-1] > batches[0]

@@ -1,0 +1,22 @@
+"""Fig. 11: persistence analysis method counts (selective compilation)."""
+
+from repro.bench.experiments import fig11_persistence
+
+
+def test_fig11_persistence(benchmark):
+    result = benchmark.pedantic(fig11_persistence.run, rounds=1,
+                                iterations=1)
+    print()
+    print(fig11_persistence.format_result(result))
+
+    # Paper: itracker 2031 persistent / 421 non-persistent (17%);
+    # OpenMRS 7616 / 2097 (22%).  The analysis over the reconstructed
+    # inventories must land close to those proportions.
+    it = result["itracker"]
+    om = result["openmrs"]
+    assert abs(it["persistent"] - 2031) / 2031 < 0.05
+    assert abs(it["non_persistent"] - 421) / 421 < 0.05
+    assert abs(om["persistent"] - 7616) / 7616 < 0.05
+    assert abs(om["non_persistent"] - 2097) / 2097 < 0.05
+    assert 0.10 < it["non_persistent_fraction"] < 0.30
+    assert 0.15 < om["non_persistent_fraction"] < 0.30

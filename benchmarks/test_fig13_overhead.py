@@ -1,0 +1,18 @@
+"""Fig. 13: pure lazy-evaluation overhead on TPC-C / TPC-W."""
+
+from repro.bench.experiments import fig13_overhead
+
+
+def test_fig13_overhead(benchmark):
+    result = benchmark.pedantic(
+        fig13_overhead.run,
+        kwargs={"tpcc_transactions": 60, "tpcw_interactions": 80},
+        rounds=1, iterations=1)
+    print()
+    print(fig13_overhead.format_result(result))
+
+    for name, stats in result.items():
+        # Paper: Sloth is consistently slower with no batching to exploit,
+        # by 5-15% (we allow 2-20% for the miniature substrate).
+        assert stats["sloth_ms"] > stats["original_ms"], name
+        assert 0.02 < stats["overhead"] < 0.20, (name, stats["overhead"])

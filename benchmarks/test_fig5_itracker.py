@@ -1,0 +1,20 @@
+"""Fig. 5: itracker page-load / round-trip / query-count CDFs."""
+
+from repro.bench.experiments import fig5_itracker
+
+
+def test_fig5_itracker(benchmark):
+    result = benchmark.pedantic(fig5_itracker.run, rounds=1, iterations=1)
+    print()
+    print(fig5_itracker.format_result(result))
+
+    # Paper: speedups up to 2.08x, median 1.27x, Sloth never slower.
+    assert result["speedup"]["median"] > 1.1
+    assert result["speedup"]["max"] > 1.8
+    assert result["speedup"]["min"] > 0.9
+    # Paper: round-trip reductions on every benchmark (ratios 1.5-4x).
+    assert result["round_trips"]["min"] > 1.0
+    # Paper: Sloth issues fewer total queries on most pages (5-10% fewer),
+    # and batches multiple queries on all benchmarks.
+    assert result["queries"]["median"] >= 1.0
+    assert result["max_batch"] >= 10

@@ -1,0 +1,22 @@
+"""Fig. 6: OpenMRS page-load / round-trip / query-count CDFs."""
+
+from repro.bench.experiments import fig6_openmrs
+
+
+def test_fig6_openmrs(benchmark):
+    result = benchmark.pedantic(fig6_openmrs.run, rounds=1, iterations=1)
+    print()
+    print(fig6_openmrs.format_result(result))
+
+    # Paper: speedups up to 2.1x (median 1.15x).
+    assert result["speedup"]["median"] > 1.1
+    assert result["speedup"]["max"] > 1.8
+    # Paper: round trips reduced on every benchmark (1-13x).
+    assert result["round_trips"]["min"] > 1.0
+    assert result["round_trips"]["max"] > 5.0
+    # Paper: a few OpenMRS pages issue *more* queries under Sloth
+    # (queries ratio < 1), most issue the same or fewer.
+    assert result["queries"]["min"] < 1.0
+    assert result["queries"]["median"] >= 0.95
+    # Paper: batches up to 68 queries on encounterDisplay.
+    assert result["max_batch"] >= 30

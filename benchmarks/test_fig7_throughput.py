@@ -1,0 +1,23 @@
+"""Fig. 7: closed-loop throughput vs number of clients."""
+
+from repro.bench.experiments import fig7_throughput
+
+
+def test_fig7_throughput(benchmark):
+    result = benchmark.pedantic(
+        fig7_throughput.run,
+        kwargs={"client_counts": list(range(1, 80, 2))},
+        rounds=1, iterations=1)
+    print()
+    print(fig7_throughput.format_result(result))
+
+    # Paper: Sloth's peak throughput exceeds the original's (~1.5x there;
+    # our miniature substrate lands lower but clearly above 1).
+    assert result["peak_ratio"] > 1.1
+    # Paper: Sloth peaks at a lower client count.
+    assert result["peak_sloth"][0] < result["peak_original"][0]
+    # Paper: both curves decline once the app server is CPU-bound.
+    for mode in ("original", "sloth"):
+        curve = result["curves"][mode]
+        peak_value = max(v for _, v in curve)
+        assert curve[-1][1] < peak_value

@@ -1,0 +1,22 @@
+"""Fig. 8: aggregate time breakdown (network / app server / DB)."""
+
+from repro.bench.experiments import fig8_breakdown
+
+
+def test_fig8_breakdown(benchmark):
+    result = benchmark.pedantic(fig8_breakdown.run, rounds=1, iterations=1)
+    print()
+    print(fig8_breakdown.format_result(result))
+
+    for app in ("itracker", "openmrs"):
+        agg = result[app]
+        # Paper: aggregate network time drops sharply (itracker
+        # 226k -> 105k ms, OpenMRS 43k -> 24k ms — roughly halved).
+        assert agg["sloth"]["network"] < 0.6 * agg["original"]["network"]
+        # Paper: database time decreases (fewer queries + parallel batch
+        # execution on the server).
+        assert agg["sloth"]["db"] < agg["original"]["db"]
+        # Paper: the app-server *share* grows under Sloth.
+        orig_share = fig8_breakdown.shares(agg["original"])["app"]
+        sloth_share = fig8_breakdown.shares(agg["sloth"])["app"]
+        assert sloth_share > orig_share

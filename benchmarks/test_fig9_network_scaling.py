@@ -1,0 +1,22 @@
+"""Fig. 9: speedup growth as network round-trip time increases."""
+
+from repro.bench.experiments import fig9_network
+
+
+def test_fig9_network_scaling(benchmark):
+    result = benchmark.pedantic(fig9_network.run, rounds=1, iterations=1)
+    print()
+    print(fig9_network.format_result(result))
+
+    for app in ("itracker", "openmrs"):
+        medians = [result[app][rtt]["speedup"]["median"]
+                   for rtt in fig9_network.LATENCIES_MS]
+        # Paper: speedup increases monotonically with latency...
+        assert medians == sorted(medians)
+        # ...exceeding 3x at 10 ms for both applications.
+        assert result[app][10.0]["speedup"]["max"] > 3.0
+        assert result[app][10.0]["speedup"]["median"] > 2.0
+        # Round-trip ratios are latency-invariant (same query behaviour).
+        ratios = [result[app][rtt]["round_trips"]["median"]
+                  for rtt in fig9_network.LATENCIES_MS]
+        assert max(ratios) - min(ratios) < 1e-9

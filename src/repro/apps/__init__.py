@@ -1,0 +1,15 @@
+"""Benchmark applications.
+
+Miniatures of the four applications the paper evaluates:
+
+- :mod:`repro.apps.itracker` — issue-management system (38 page benchmarks),
+- :mod:`repro.apps.openmrs` — medical record system (112 page benchmarks),
+- :mod:`repro.apps.tpcc` / :mod:`repro.apps.tpcw` — TPC workloads used to
+  measure pure lazy-evaluation overhead (no batching opportunities).
+
+Applications are written once, in "Sloth-compiled style", against the
+request context: the same controller code runs under the original backend
+(one round trip per query, eager templates) and the Sloth backend (query
+store + thunks).  That mirrors the paper's setup where one source tree is
+compiled two ways.
+"""

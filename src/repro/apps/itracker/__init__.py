@@ -1,0 +1,10 @@
+"""itracker: the issue-management benchmark application.
+
+``build_app(scale=...)`` returns a seeded :class:`repro.sqldb.Database` and
+a :class:`repro.web.framework.Dispatcher` with all 38 page benchmarks from
+the paper's appendix table registered under their original names.
+"""
+
+from repro.apps.itracker.pages import BENCHMARK_URLS, build_app
+
+__all__ = ["build_app", "BENCHMARK_URLS"]

@@ -1,0 +1,273 @@
+"""itracker page controllers.
+
+Every page begins with the Struts-framework *prelude* — authentication,
+user preferences, configuration lists, i18n labels — which is where the
+original application's fixed per-page round-trip cost comes from (the
+paper's appendix shows 59+ round trips on even trivial itracker pages).
+
+Controllers are written once and run under both backends; query timing is
+decided by the session backend and the request context (see
+:mod:`repro.apps` package docs).
+"""
+
+from repro.apps.itracker import schema as S
+from repro.core.thunk import force
+from repro.web.framework import ModelAndView
+
+
+def prelude(ctx, model):
+    """Framework work done on every request (login, config, i18n)."""
+    session = ctx.session
+    user = session.query(S.User).where("login = ?", "user1").first()
+    model["current_user"] = user
+    model["preferences"] = user.preferences
+    # Admin-menu guard: evaluating the condition forces the user's
+    # permission collection.  Deferrable — the branch only assembles menu
+    # strings — so branch deferral (§4.2) postpones it past all the
+    # registrations below, keeping them in one batch.
+    model["admin_menu"] = ctx.if_branch(
+        lambda: any(force(p.permission_type) == 0
+                    for p in force(user.permissions)),
+        lambda: "admin | configuration | scheduler",
+        lambda: "",
+    )
+    model["severities"] = session.query(S.Configuration).where(
+        "config_type = ?", "severity").all()
+    model["statuses"] = session.query(S.Configuration).where(
+        "config_type = ?", "status").all()
+    model["resolutions"] = session.query(S.Configuration).where(
+        "config_type = ?", "resolution").all()
+    model["labels"] = session.query(S.Language).where(
+        "locale = ?", "en").limit(8).all()
+    # Framework checkpoints: each query's parameters depend on the previous
+    # result, so they force sequentially in both modes (these are what keep
+    # the original application's fixed per-page round-trip floor from
+    # collapsing into one batch under Sloth).
+    timeout_cfg = session.query(S.Configuration).where(
+        "config_type = ? AND name = ?", "system", "system.1").first()
+    next_key = f"system.{int(timeout_cfg.value) + 2}"
+    session.query(S.Configuration).where(
+        "config_type = ? AND name = ?", "system", next_key).first()
+    # Request parsing / form population / struts action plumbing.
+    ctx.run_ops(40)
+    # Page-formatting helpers: no persistent data (§4.1 selective
+    # compilation leaves these eager).
+    ctx.run_ops(20, persistent=False)
+    return user
+
+
+def portalhome(ctx, request):
+    model = {}
+    user = prelude(ctx, model)
+    session = ctx.session
+    projects = session.query(S.Project).where("status = ?", 1).order_by(
+        "name").all()
+    model["projects"] = projects
+    # The portal shows each project's latest issues — a classic 1+N.
+    rows = []
+    for project in force(projects):
+        rows.append({
+            "project": project,
+            "latest": session.query(S.Issue)
+            .where("project_id = ?", project.id)
+            .order_by("id DESC").limit(3).all(),
+        })
+    model["project_rows"] = rows
+    model["created"] = session.query(S.Issue).where(
+        "creator_id = ?", user.id).order_by("id DESC").limit(5).all()
+    model["owned"] = session.query(S.Issue).where(
+        "owner_id = ?", user.id).order_by("id DESC").limit(5).all()
+    ctx.run_ops(60)
+    return ModelAndView("portalhome", model)
+
+
+def list_projects(ctx, request):
+    model = {}
+    user = prelude(ctx, model)
+    session = ctx.session
+    projects = session.query(S.Project).order_by("name").all()
+    rows = []
+    for project in force(projects):
+        rows.append({
+            "project": project,
+            "open_count": session.query(S.Issue).where(
+                "project_id = ? AND status < ?", project.id, 4).count(),
+            "total_count": session.query(S.Issue).where(
+                "project_id = ?", project.id).count(),
+            # Permission lookup guards the "edit" link per project.
+            "permission": session.query(S.Permission).where(
+                "user_id = ? AND project_id = ?", user.id,
+                project.id).all(),
+        })
+    model["rows"] = rows
+    ctx.run_ops(50)
+    return ModelAndView("list_projects", model)
+
+
+def list_issues(ctx, request):
+    model = {}
+    prelude(ctx, model)
+    session = ctx.session
+    project_id = int(request.get_parameter("project", 1))
+    project = session.find(S.Project, project_id)
+    model["project"] = project
+    issues = session.query(S.Issue).where(
+        "project_id = ?", project_id).order_by("id").limit(25).all()
+    model["issues"] = issues
+    model["components"] = project.components
+    model["versions"] = project.versions
+    ctx.run_ops(80)
+    return ModelAndView("list_issues", model)
+
+
+def view_issue(ctx, request):
+    model = {}
+    user = prelude(ctx, model)
+    session = ctx.session
+    issue_id = int(request.get_parameter("id", 1))
+    issue = session.find(S.Issue, issue_id)
+    model["issue"] = issue
+    # Accessing relations forces the issue (its pk parameterizes the
+    # queries) and registers the follow-on queries — Fig. 2's pattern.
+    model["history"] = issue.history
+    model["activities"] = issue.activities
+    # Attachments are put in the model but the view never renders them
+    # (the benchmark projects have none): the original's lazy fetching
+    # skips the query; Sloth registers it (paper §6.1, "a few more
+    # queries").
+    model["attachments"] = issue.attachments
+    project = issue.project
+    model["components"] = project.components
+    model["versions"] = project.versions
+    # Edit widgets appear only for users with permission on the project —
+    # deferrable: the branch only assembles strings (paper §4.2).
+    model["edit_controls"] = ctx.if_branch(
+        lambda: _has_project_permission(user, force(issue).project_id),
+        lambda: "edit | delete | assign",
+        lambda: "",
+    )
+    ctx.run_ops(90)
+    return ModelAndView("view_issue", model)
+
+
+def edit_issue(ctx, request):
+    model = {}
+    user = prelude(ctx, model)
+    session = ctx.session
+    issue_id = int(request.get_parameter("id", 2))
+    issue = session.find(S.Issue, issue_id)
+    model["issue"] = issue
+    project = issue.project
+    model["components"] = project.components
+    model["versions"] = project.versions
+    model["owners"] = session.query(S.User).where(
+        "status = ?", 1).order_by("login").all()
+    model["history"] = issue.history
+    model["edit_controls"] = ctx.if_branch(
+        lambda: _has_project_permission(user, force(issue).project_id),
+        lambda: "save | cancel",
+        lambda: "",
+    )
+    ctx.run_ops(110)
+    return ModelAndView("edit_issue", model)
+
+
+def create_issue(ctx, request):
+    model = {}
+    prelude(ctx, model)
+    session = ctx.session
+    project_id = int(request.get_parameter("project", 1))
+    project = session.find(S.Project, project_id)
+    model["project"] = project
+    model["components"] = project.components
+    model["versions"] = project.versions
+    model["owners"] = session.query(S.User).where(
+        "status = ?", 1).order_by("login").all()
+    ctx.run_ops(70)
+    return ModelAndView("create_issue", model)
+
+
+def move_issue(ctx, request):
+    model = {}
+    user = prelude(ctx, model)
+    session = ctx.session
+    issue_id = int(request.get_parameter("id", 3))
+    issue = session.find(S.Issue, issue_id)
+    model["issue"] = issue
+    model["projects"] = session.query(S.Project).order_by("name").all()
+    model["permissions"] = user.permissions
+    ctx.run_ops(60)
+    return ModelAndView("move_issue", model)
+
+
+def view_issue_activity(ctx, request):
+    model = {}
+    prelude(ctx, model)
+    session = ctx.session
+    issue_id = int(request.get_parameter("id", 4))
+    issue = session.find(S.Issue, issue_id)
+    model["issue"] = issue
+    model["activities"] = issue.activities
+    model["history"] = issue.history
+    ctx.run_ops(50)
+    return ModelAndView("view_issue_activity", model)
+
+
+def search_issues_form(ctx, request):
+    model = {}
+    prelude(ctx, model)
+    session = ctx.session
+    model["projects"] = session.query(S.Project).order_by("name").all()
+    model["owners"] = session.query(S.User).order_by("login").limit(10).all()
+    ctx.run_ops(45)
+    return ModelAndView("search_issues_form", model)
+
+
+def adminhome(ctx, request):
+    model = {}
+    prelude(ctx, model)
+    session = ctx.session
+    model["user_count"] = session.query(S.User).count()
+    model["project_count"] = session.query(S.Project).count()
+    model["issue_count"] = session.query(S.Issue).count()
+    model["task_count"] = session.query(S.ScheduledTask).count()
+    model["report_count"] = session.query(S.Report).count()
+    ctx.run_ops(40)
+    return ModelAndView("adminhome", model)
+
+
+def list_users(ctx, request):
+    model = {}
+    prelude(ctx, model)
+    session = ctx.session
+    users = session.query(S.User).order_by("login").all()
+    rows = []
+    for user in force(users):
+        rows.append({
+            "user": user,
+            "permission_count": session.query(S.Permission).where(
+                "user_id = ?", user.id).count(),
+        })
+    model["rows"] = rows
+    ctx.run_ops(55)
+    return ModelAndView("list_users", model)
+
+
+def edit_preferences(ctx, request):
+    model = {}
+    user = prelude(ctx, model)
+    model["all_preferences"] = user.preferences
+    ctx.run_ops(35)
+    return ModelAndView("edit_preferences", model)
+
+
+def _has_project_permission(user, project_id):
+    """Whether the user holds any permission on the project.
+
+    Forces the user's permission collection — under basic compilation this
+    is an early batch flush; branch deferral postpones it.
+    """
+    for permission in force(user.permissions):
+        if force(permission.project_id) == force(project_id):
+            return True
+    return False

@@ -1,0 +1,143 @@
+"""itracker dataset seeder.
+
+Defaults match the paper's artificial database: 10 projects, 20 users, 50
+tracked issues per project, no attachments, no custom scripts/components
+beyond a small fixed set.  ``scale`` multiplies the project count for the
+database-scaling experiment (Fig. 10a sweeps the number of projects).
+
+Seeding writes rows directly into the embedded database (it models a
+pre-existing on-disk database, so it bypasses the simulated network).
+"""
+
+from repro.apps.itracker import schema as S
+from repro.orm import schema_ddl
+
+DEFAULT_PROJECTS = 10
+DEFAULT_USERS = 20
+ISSUES_PER_PROJECT = 50
+COMPONENTS_PER_PROJECT = 4
+VERSIONS_PER_PROJECT = 3
+HISTORY_PER_ISSUE = 2
+ACTIVITIES_PER_ISSUE = 3
+PREFERENCES_PER_USER = 5
+CONFIGURATIONS = 30
+LANGUAGE_KEYS = 40
+REPORTS = 10
+TASKS = 5
+WORKFLOW_SCRIPTS = 8
+
+SEVERITIES = (1, 2, 3, 4)
+STATUSES = (1, 2, 3, 4, 5)
+
+
+def seed(db, projects=DEFAULT_PROJECTS, users=DEFAULT_USERS,
+         issues_per_project=ISSUES_PER_PROJECT):
+    """Create the itracker schema and populate it; returns summary counts."""
+    for ddl in schema_ddl(S.ENTITIES):
+        db.execute(ddl)
+    _seed_users(db, users)
+    _seed_projects(db, projects, users, issues_per_project)
+    _seed_static(db, users)
+    return db.snapshot_counts()
+
+
+def _seed_users(db, users):
+    for uid in range(1, users + 1):
+        db.execute(
+            "INSERT INTO it_user (id, login, first_name, last_name, email, "
+            "status, super_user) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (uid, f"user{uid}", f"First{uid}", f"Last{uid}",
+             f"user{uid}@example.org", 1, uid == 1))
+        for p in range(PREFERENCES_PER_USER):
+            db.execute(
+                "INSERT INTO it_preference (id, user_id, name, value) "
+                "VALUES (?, ?, ?, ?)",
+                (uid * 100 + p, uid, f"pref{p}", f"value{p}"))
+
+
+def _seed_projects(db, projects, users, issues_per_project):
+    issue_id = 1
+    aux_id = 1
+    for pid in range(1, projects + 1):
+        db.execute(
+            "INSERT INTO it_project (id, name, description, status, options)"
+            " VALUES (?, ?, ?, ?, ?)",
+            (pid, f"Project {pid}", f"Description of project {pid}", 1, 0))
+        for c in range(COMPONENTS_PER_PROJECT):
+            db.execute(
+                "INSERT INTO it_component (id, project_id, name, "
+                "description) VALUES (?, ?, ?, ?)",
+                (pid * 100 + c, pid, f"component-{pid}-{c}", "core module"))
+        for v in range(VERSIONS_PER_PROJECT):
+            db.execute(
+                "INSERT INTO it_version (id, project_id, number, "
+                "description) VALUES (?, ?, ?, ?)",
+                (pid * 100 + v, pid, f"{v + 1}.0", "release"))
+        for permission_user in range(1, users + 1):
+            db.execute(
+                "INSERT INTO it_permission (id, user_id, project_id, "
+                "permission_type) VALUES (?, ?, ?, ?)",
+                (pid * 1000 + permission_user, permission_user, pid,
+                 permission_user % 4))
+        for i in range(issues_per_project):
+            creator = (issue_id % db.table_size("it_user")) + 1
+            owner = ((issue_id + 3) % db.table_size("it_user")) + 1
+            db.execute(
+                "INSERT INTO it_issue (id, project_id, creator_id, owner_id,"
+                " severity, status, resolution, description, last_modified)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (issue_id, pid, creator, owner,
+                 SEVERITIES[issue_id % len(SEVERITIES)],
+                 STATUSES[issue_id % len(STATUSES)],
+                 "open" if issue_id % 3 else "fixed",
+                 f"Issue {issue_id} of project {pid}",
+                 f"2014-0{(issue_id % 9) + 1}-01"))
+            for h in range(HISTORY_PER_ISSUE):
+                db.execute(
+                    "INSERT INTO it_history (id, issue_id, user_id, action,"
+                    " description) VALUES (?, ?, ?, ?, ?)",
+                    (aux_id, issue_id, creator, "edit", f"edit #{h}"))
+                aux_id += 1
+            for a in range(ACTIVITIES_PER_ISSUE):
+                db.execute(
+                    "INSERT INTO it_activity (id, issue_id, user_id, "
+                    "activity_type, description) VALUES (?, ?, ?, ?, ?)",
+                    (aux_id, issue_id, owner, "status-change",
+                     f"activity #{a}"))
+                aux_id += 1
+            issue_id += 1
+
+
+def _seed_static(db, users):
+    config_id = 1
+    for config_type, count in (("severity", 4), ("status", 5),
+                               ("resolution", 3),
+                               ("system", CONFIGURATIONS)):
+        for i in range(count):
+            db.execute(
+                "INSERT INTO it_configuration (id, config_type, name, value)"
+                " VALUES (?, ?, ?, ?)",
+                (config_id, config_type, f"{config_type}.{i}", str(i)))
+            config_id += 1
+    for locale_index, locale in enumerate(("en", "de", "fr")):
+        for k in range(LANGUAGE_KEYS):
+            db.execute(
+                "INSERT INTO it_language (id, locale, msg_key, value) "
+                "VALUES (?, ?, ?, ?)",
+                (locale_index * 1000 + k, locale, f"label.{k}",
+                 f"[{locale}] label {k}"))
+    for r in range(1, REPORTS + 1):
+        db.execute(
+            "INSERT INTO it_report (id, owner_id, name, report_type) "
+            "VALUES (?, ?, ?, ?)",
+            (r, (r % users) + 1, f"Report {r}", "summary"))
+    for t in range(1, TASKS + 1):
+        db.execute(
+            "INSERT INTO it_task (id, name, schedule, last_run) "
+            "VALUES (?, ?, ?, ?)",
+            (t, f"task-{t}", "0 * * * *", "2014-04-01"))
+    for w in range(1, WORKFLOW_SCRIPTS + 1):
+        db.execute(
+            "INSERT INTO it_workflow (id, name, event, script) "
+            "VALUES (?, ?, ?, ?)",
+            (w, f"script-{w}", "on-create", "return issue;"))

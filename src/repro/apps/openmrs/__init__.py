@@ -1,0 +1,10 @@
+"""OpenMRS: the medical-record benchmark application.
+
+``build_app(scale=...)`` returns a seeded database and a dispatcher with the
+112 page benchmarks from the paper's appendix registered under their
+original JSP names.
+"""
+
+from repro.apps.openmrs.pages import BENCHMARK_URLS, build_app
+
+__all__ = ["build_app", "BENCHMARK_URLS"]

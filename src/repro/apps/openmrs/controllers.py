@@ -1,0 +1,253 @@
+"""OpenMRS page controllers.
+
+``encounter_display`` is a direct transcription of the paper's §6.1 code
+fragment: iterate the encounter's top-level observations, fetch the form
+field / concept for each one, and stash everything into the model — the
+original incurs one round trip per concept during view generation; Sloth
+registers all of them and ships one batch.
+"""
+
+from repro.apps.openmrs import schema as S
+from repro.core.thunk import force
+from repro.web.framework import ModelAndView
+
+
+def prelude(ctx, model):
+    """Per-request framework work: authentication, privileges, globals."""
+    session = ctx.session
+    user = session.query(S.OmrsUser).where("username = ?", "user1").first()
+    model["current_user"] = user
+    model["user_person"] = user.person
+    role = user.role
+    model["role"] = role
+    model["privileges"] = role.privileges
+    # Admin-menu guard (forces the privilege collection when evaluated;
+    # deferrable, so §4.2 postpones it past the registrations below).
+    model["admin_menu"] = ctx.if_branch(
+        lambda: any("privilege-1" == force(rp.privilege.name)
+                    for rp in force(role.privileges)),
+        lambda: "administration | reports",
+        lambda: "",
+    )
+    model["global_properties"] = session.query(S.GlobalProperty).order_by(
+        "id").limit(12).all()
+    # Locale/theme resolution chains on a global property (a dependent
+    # query that must be forced before the next one is built).
+    locale_prop = session.query(S.GlobalProperty).where(
+        "prop = ?", "gp.key1").first()
+    model["locale"] = locale_prop.value if locale_prop else "en"
+    # Theme lookup depends on the resolved locale — a second forced
+    # checkpoint, like the session/timeout chain in the real framework.
+    theme_key = f"gp.key{2 + len(model['locale']) % 3}"
+    session.query(S.GlobalProperty).where("prop = ?", theme_key).first()
+    ctx.run_ops(60)
+    ctx.run_ops(25, persistent=False)
+    return user
+
+
+def patient_dashboard(ctx, request):
+    model = {}
+    prelude(ctx, model)
+    session = ctx.session
+    patient_id = int(request.get_parameter("patientId", 1))
+    if ctx.has_privilege("VIEW_PATIENTS"):
+        patient = session.find(S.Patient, patient_id)
+        model["patient"] = patient
+        # Fig. 1's exact shape: encounters, visits (filtered), active
+        # visits — stored in the model, only consumed by the view.
+        model["patientEncounters"] = patient.encounters
+        visits = patient.visits
+        model["patientVisits"] = ctx.defer(
+            lambda: [v for v in force(visits) if force(v.start_date)])
+        model["activeVisits"] = session.query(S.Visit).where(
+            "patient_id = ? AND active = ?", patient_id, True).all()
+        model["patientOrders"] = patient.orders
+    ctx.run_ops(120)
+    return ModelAndView("patientDashboard", model)
+
+
+def encounter_display(ctx, request):
+    model = {}
+    prelude(ctx, model)
+    session = ctx.session
+    encounter_id = int(request.get_parameter("encounterId", 1))
+    encounter = session.find(S.Encounter, encounter_id)
+    model["encounter"] = encounter
+    form = session.find(S.Form, int(request.get_parameter("formId", 1)))
+    # §6.1: for each top-level observation fetch its form field/concept;
+    # the fetched concepts are not used until the view renders.
+    obs_rows = []
+    for obs in force(encounter.observations):
+        obs_rows.append({
+            "obs": obs,
+            "concept": obs.concept,
+            "form_field": session.query(S.FormField).where(
+                "form_id = ? AND concept_id = ?",
+                force(form).id, obs.concept_id).all(),
+        })
+    model["obsMap"] = obs_rows
+    ctx.run_ops(150)
+    return ModelAndView("encounterDisplay", model)
+
+
+def person_obs_form(ctx, request):
+    model = {}
+    prelude(ctx, model)
+    session = ctx.session
+    # Persons 1-22 are staff/providers; patients' person rows start at 23.
+    person_id = int(request.get_parameter("personId", 23))
+    person = session.find(S.Person, person_id)
+    model["person"] = person
+    patient = session.query(S.Patient).where(
+        "person_id = ?", person_id).first()
+    rows = []
+    if patient is not None:
+        model["patient"] = patient
+        for encounter in force(patient.encounters):
+            for obs in force(encounter.observations)[:10]:
+                rows.append({"obs": obs, "concept": obs.concept})
+    model["obs_rows"] = rows
+    ctx.run_ops(140)
+    return ModelAndView("personObsForm", model)
+
+
+def alert_list(ctx, request):
+    """admin/users/alertList: the paper's heaviest page (1705 queries)."""
+    model = {}
+    user = prelude(ctx, model)
+    session = ctx.session
+    alerts = session.query(S.Alert).order_by("id").all()
+    rows = []
+    for alert in force(alerts):
+        rows.append({"alert": alert, "user": alert.user})
+    model["rows"] = rows
+    model["unsatisfied"] = session.query(S.Alert).where(
+        "satisfied = ?", False).count()
+    ctx.run_ops(130)
+    return ModelAndView("alertList", model)
+
+
+def concept_form(ctx, request):
+    model = {}
+    prelude(ctx, model)
+    session = ctx.session
+    concept_id = int(request.get_parameter("conceptId", 7))
+    concept = session.find(S.Concept, concept_id)
+    model["concept"] = concept
+    model["answers"] = concept.answers
+    model["classes"] = session.query(S.ConceptClass).order_by("name").all()
+    model["datatypes"] = session.query(S.ConceptDatatype).order_by(
+        "name").all()
+    ctx.run_ops(90)
+    return ModelAndView("conceptForm", model)
+
+
+def concept_stats(ctx, request):
+    model = {}
+    prelude(ctx, model)
+    session = ctx.session
+    concept_id = int(request.get_parameter("conceptId", 3))
+    concept = session.find(S.Concept, concept_id)
+    model["concept"] = concept
+    model["obs_count"] = session.query(S.Obs).where(
+        "concept_id = ?", concept_id).count()
+    recent = session.query(S.Obs).where(
+        "concept_id = ?", concept_id).order_by("id DESC").limit(20).all()
+    rows = []
+    for obs in force(recent):
+        rows.append({"obs": obs, "encounter": obs.encounter})
+    model["recent"] = rows
+    ctx.run_ops(110)
+    return ModelAndView("conceptStats", model)
+
+
+def concept_dictionary(ctx, request):
+    model = {}
+    prelude(ctx, model)
+    session = ctx.session
+    concept_id = int(request.get_parameter("conceptId", 11))
+    concept = session.find(S.Concept, concept_id)
+    model["concept"] = concept
+    model["similar"] = session.query(S.Concept).where(
+        "class_id = ?", force(concept).class_id).limit(8).all()
+    ctx.run_ops(70)
+    return ModelAndView("concept", model)
+
+
+def merge_patients(ctx, request):
+    model = {}
+    prelude(ctx, model)
+    session = ctx.session
+    left = session.find(S.Patient, int(request.get_parameter("id1", 1)))
+    right = session.find(S.Patient, int(request.get_parameter("id2", 2)))
+    model["left"] = left
+    model["right"] = right
+    model["left_encounters"] = left.encounters
+    model["right_encounters"] = right.encounters
+    model["left_visits"] = left.visits
+    model["right_visits"] = right.visits
+    ctx.run_ops(120)
+    return ModelAndView("mergePatients", model)
+
+
+def patient_form(ctx, request):
+    model = {}
+    prelude(ctx, model)
+    session = ctx.session
+    patient_id = int(request.get_parameter("patientId", 2))
+    patient = session.find(S.Patient, patient_id)
+    model["patient"] = patient
+    model["identifier_types"] = session.query(
+        S.PatientIdentifierType).order_by("name").all()
+    model["attribute_types"] = session.query(
+        S.PersonAttributeType).order_by("name").all()
+    model["encounters"] = patient.encounters
+    # Unused in the view: original lazy fetching skips it, Sloth registers
+    # it (the §6.1 "extra queries" case).
+    model["orders"] = patient.orders
+    ctx.run_ops(130)
+    return ModelAndView("patientForm", model)
+
+
+def location_hierarchy(ctx, request):
+    model = {}
+    prelude(ctx, model)
+    session = ctx.session
+    roots = session.query(S.Location).where("parent_id IS NULL").order_by(
+        "id").all()
+    rows = []
+    for root in force(roots):
+        rows.append({"location": root, "children": root.children})
+    model["rows"] = rows
+    ctx.run_ops(90)
+    return ModelAndView("hierarchy", model)
+
+
+def form_edit(ctx, request):
+    model = {}
+    prelude(ctx, model)
+    session = ctx.session
+    form_id = int(request.get_parameter("formId", 2))
+    form = session.find(S.Form, form_id)
+    model["form"] = form
+    rows = []
+    for field in force(form.fields):
+        rows.append({"field": field, "concept": field.concept})
+    model["field_rows"] = rows
+    model["field_types"] = session.query(S.FieldType).order_by("name").all()
+    ctx.run_ops(110)
+    return ModelAndView("formEdit", model)
+
+
+def users_list(ctx, request):
+    model = {}
+    prelude(ctx, model)
+    session = ctx.session
+    users = session.query(S.OmrsUser).order_by("username").all()
+    rows = []
+    for user in force(users):
+        rows.append({"user": user, "person": user.person,
+                     "role": user.role})
+    model["rows"] = rows
+    ctx.run_ops(100)
+    return ModelAndView("users", model)

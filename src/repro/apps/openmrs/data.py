@@ -1,0 +1,223 @@
+"""OpenMRS dataset seeder (the analog of the 2 GB sample database).
+
+Defaults: 50 patients, ~8 encounters each, ~50 observations per dashboard
+encounter (the paper's encounterDisplay page fetches ~50 observations and
+their concepts).  ``obs_per_encounter`` scales for the Fig. 10(b) sweep.
+"""
+
+from repro.apps.openmrs import schema as S
+from repro.orm import schema_ddl
+
+PATIENTS = 50
+ENCOUNTERS_PER_PATIENT = 8
+OBS_PER_ENCOUNTER = 50
+CONCEPTS = 120
+CONCEPT_CLASSES = 8
+CONCEPT_DATATYPES = 6
+VISITS_PER_PATIENT = 4
+PROVIDERS = 12
+FORMS = 10
+FIELDS_PER_FORM = 12
+LOCATIONS = 25
+USERS = 10
+ROLES = 5
+PRIVILEGES = 20
+GLOBAL_PROPERTIES = 30
+ALERTS_PER_USER = 40
+ORDERS_PER_PATIENT = 3
+
+
+def seed(db, patients=PATIENTS, obs_per_encounter=OBS_PER_ENCOUNTER):
+    """Create the OpenMRS schema and populate it; returns summary counts."""
+    for ddl in schema_ddl(S.ENTITIES):
+        db.execute(ddl)
+    _seed_dictionary(db)
+    _seed_admin(db)
+    _seed_clinical(db, patients, obs_per_encounter)
+    return db.snapshot_counts()
+
+
+def _seed_dictionary(db):
+    for i in range(1, CONCEPT_CLASSES + 1):
+        db.execute("INSERT INTO concept_class (id, name, description) "
+                   "VALUES (?, ?, ?)", (i, f"class-{i}", "concept class"))
+    for i in range(1, CONCEPT_DATATYPES + 1):
+        db.execute("INSERT INTO concept_datatype (id, name, "
+                   "hl7_abbreviation) VALUES (?, ?, ?)",
+                   (i, f"datatype-{i}", f"DT{i}"))
+    for i in range(1, CONCEPTS + 1):
+        db.execute(
+            "INSERT INTO concept (id, name, description, class_id, "
+            "datatype_id, retired) VALUES (?, ?, ?, ?, ?, ?)",
+            (i, f"Concept {i}", f"meaning of observation {i}",
+             (i % CONCEPT_CLASSES) + 1, (i % CONCEPT_DATATYPES) + 1,
+             False))
+        if i % 4 == 0:
+            for a in range(2):
+                db.execute(
+                    "INSERT INTO concept_answer (id, concept_id, "
+                    "answer_text) VALUES (?, ?, ?)",
+                    (i * 10 + a, i, f"answer {a}"))
+    for i in range(1, 6):
+        db.execute("INSERT INTO concept_source (id, name, hl7_code) "
+                   "VALUES (?, ?, ?)", (i, f"source-{i}", f"S{i}"))
+        db.execute("INSERT INTO concept_map_type (id, name) VALUES (?, ?)",
+                   (i, f"map-type-{i}"))
+    for i in range(1, 16):
+        db.execute(
+            "INSERT INTO concept_reference_term (id, source_id, code) "
+            "VALUES (?, ?, ?)", (i, (i % 5) + 1, f"CODE-{i}"))
+    for i in range(1, 9):
+        db.execute("INSERT INTO concept_proposal (id, original_text, state)"
+                   " VALUES (?, ?, ?)", (i, f"proposal {i}", "UNMAPPED"))
+        db.execute("INSERT INTO concept_stop_word (id, word, locale) "
+                   "VALUES (?, ?, ?)", (i, f"word{i}", "en"))
+    for i in range(1, 21):
+        db.execute(
+            "INSERT INTO drug (id, concept_id, name, dosage_form) "
+            "VALUES (?, ?, ?, ?)",
+            (i, (i % CONCEPTS) + 1, f"Drug {i}", "tablet"))
+
+
+def _seed_admin(db):
+    for i in range(1, PRIVILEGES + 1):
+        db.execute("INSERT INTO privilege (id, name, description) "
+                   "VALUES (?, ?, ?)",
+                   (i, f"privilege-{i}", "grants access"))
+    for i in range(1, ROLES + 1):
+        db.execute("INSERT INTO role (id, name) VALUES (?, ?)",
+                   (i, f"role-{i}"))
+        for p in range(4):
+            db.execute(
+                "INSERT INTO role_privilege (id, role_id, privilege_id) "
+                "VALUES (?, ?, ?)",
+                (i * 100 + p, i, ((i + p) % PRIVILEGES) + 1))
+    for i in range(1, GLOBAL_PROPERTIES + 1):
+        db.execute("INSERT INTO global_property (id, prop, value) "
+                   "VALUES (?, ?, ?)", (i, f"gp.key{i}", f"value-{i}"))
+    for i in range(1, LOCATIONS + 1):
+        parent = None if i <= 5 else ((i - 1) % 5) + 1
+        db.execute("INSERT INTO location (id, name, parent_id) "
+                   "VALUES (?, ?, ?)", (i, f"Location {i}", parent))
+    for i in range(1, 7):
+        db.execute("INSERT INTO location_tag (id, name, description) "
+                   "VALUES (?, ?, ?)", (i, f"tag-{i}", "location tag"))
+        db.execute("INSERT INTO location_attribute_type (id, name, "
+                   "datatype) VALUES (?, ?, ?)", (i, f"loc-attr-{i}",
+                                                  "string"))
+        db.execute("INSERT INTO visit_attribute_type (id, name, datatype) "
+                   "VALUES (?, ?, ?)", (i, f"visit-attr-{i}", "string"))
+        db.execute("INSERT INTO provider_attribute_type (id, name, "
+                   "datatype) VALUES (?, ?, ?)", (i, f"prov-attr-{i}",
+                                                  "string"))
+        db.execute("INSERT INTO person_attribute_type (id, name, format) "
+                   "VALUES (?, ?, ?)", (i, f"person-attr-{i}", "string"))
+        db.execute("INSERT INTO patient_identifier_type (id, name, "
+                   "required) VALUES (?, ?, ?)", (i, f"id-type-{i}",
+                                                  i == 1))
+        db.execute("INSERT INTO relationship_type (id, a_is_to_b, "
+                   "b_is_to_a) VALUES (?, ?, ?)", (i, "parent", "child"))
+        db.execute("INSERT INTO field_type (id, name) VALUES (?, ?)",
+                   (i, f"field-type-{i}"))
+        db.execute("INSERT INTO encounter_type (id, name, description) "
+                   "VALUES (?, ?, ?)", (i, f"enc-type-{i}", "visit kind"))
+        db.execute("INSERT INTO encounter_role (id, name, description) "
+                   "VALUES (?, ?, ?)", (i, f"enc-role-{i}", "role"))
+        db.execute("INSERT INTO visit_type (id, name, description) "
+                   "VALUES (?, ?, ?)", (i, f"visit-type-{i}", "visit kind"))
+        db.execute("INSERT INTO order_type (id, name) VALUES (?, ?)",
+                   (i, f"order-type-{i}"))
+        db.execute("INSERT INTO hl7_source (id, name, description) "
+                   "VALUES (?, ?, ?)", (i, f"hl7-source-{i}", "interface"))
+        db.execute("INSERT INTO module (id, name, started) "
+                   "VALUES (?, ?, ?)", (i, f"module-{i}", i % 2 == 0))
+        db.execute("INSERT INTO scheduler_task (id, name, schedule, "
+                   "started) VALUES (?, ?, ?, ?)",
+                   (i, f"task-{i}", "0 2 * * *", i % 2 == 0))
+    for i in range(1, 31):
+        db.execute(
+            "INSERT INTO hl7_message (id, source_id, status, payload) "
+            "VALUES (?, ?, ?, ?)",
+            (i, (i % 6) + 1,
+             ("queued", "on_hold", "archived", "error")[i % 4],
+             f"MSH|{i}"))
+
+
+def _seed_clinical(db, patients, obs_per_encounter):
+    person_id = 1
+    # Staff persons + users.
+    for u in range(1, USERS + 1):
+        db.execute("INSERT INTO person (id, name, gender, birthdate) "
+                   "VALUES (?, ?, ?, ?)",
+                   (person_id, f"Staff {u}", "F" if u % 2 else "M",
+                    "1980-01-01"))
+        db.execute(
+            "INSERT INTO users (id, person_id, username, role_id) "
+            "VALUES (?, ?, ?, ?)",
+            (u, person_id, f"user{u}", (u % ROLES) + 1))
+        for a in range(ALERTS_PER_USER if u == 1 else 2):
+            db.execute(
+                "INSERT INTO alert (id, user_id, text, satisfied) "
+                "VALUES (?, ?, ?, ?)",
+                (u * 1000 + a, u, f"alert {a} for user {u}", a % 3 == 0))
+        person_id += 1
+    for p in range(1, PROVIDERS + 1):
+        db.execute("INSERT INTO person (id, name, gender, birthdate) "
+                   "VALUES (?, ?, ?, ?)",
+                   (person_id, f"Provider {p}", "M" if p % 2 else "F",
+                    "1975-05-05"))
+        db.execute("INSERT INTO provider (id, person_id, identifier) "
+                   "VALUES (?, ?, ?)", (p, person_id, f"PRV-{p}"))
+        person_id += 1
+    for f in range(1, FORMS + 1):
+        db.execute("INSERT INTO form (id, name, version) VALUES (?, ?, ?)",
+                   (f, f"Form {f}", "1.0"))
+        for ff in range(FIELDS_PER_FORM):
+            db.execute(
+                "INSERT INTO form_field (id, form_id, concept_id, "
+                "field_type_id, field_number) VALUES (?, ?, ?, ?, ?)",
+                (f * 100 + ff, f, ((f * 7 + ff) % CONCEPTS) + 1,
+                 (ff % 6) + 1, ff))
+
+    encounter_id = 1
+    obs_id = 1
+    visit_id = 1
+    order_id = 1
+    for pid in range(1, patients + 1):
+        db.execute("INSERT INTO person (id, name, gender, birthdate) "
+                   "VALUES (?, ?, ?, ?)",
+                   (person_id, f"Patient {pid}", "F" if pid % 2 else "M",
+                    f"19{50 + pid % 50}-03-15"))
+        db.execute("INSERT INTO patient (id, person_id, identifier) "
+                   "VALUES (?, ?, ?)", (pid, person_id, f"PAT-{pid:05d}"))
+        person_id += 1
+        for e in range(ENCOUNTERS_PER_PATIENT):
+            db.execute(
+                "INSERT INTO encounter (id, patient_id, type_id, "
+                "encounter_date) VALUES (?, ?, ?, ?)",
+                (encounter_id, pid, (e % 6) + 1, f"2013-0{(e % 9) + 1}-10"))
+            # The dashboard encounter (first per patient) carries the full
+            # observation set; later ones a handful each.
+            obs_count = obs_per_encounter if e == 0 else 5
+            for o in range(obs_count):
+                db.execute(
+                    "INSERT INTO obs (id, encounter_id, concept_id, "
+                    "value_text, value_numeric) VALUES (?, ?, ?, ?, ?)",
+                    (obs_id, encounter_id, ((obs_id * 13) % CONCEPTS) + 1,
+                     f"value {obs_id}", obs_id % 200))
+                obs_id += 1
+            encounter_id += 1
+        for v in range(VISITS_PER_PATIENT):
+            db.execute(
+                "INSERT INTO visit (id, patient_id, type_id, active, "
+                "start_date) VALUES (?, ?, ?, ?, ?)",
+                (visit_id, pid, (v % 6) + 1, v == 0,
+                 f"2013-1{v % 2}-01"))
+            visit_id += 1
+        for o in range(ORDERS_PER_PATIENT):
+            db.execute(
+                "INSERT INTO orders (id, patient_id, concept_id, type_id, "
+                "instructions) VALUES (?, ?, ?, ?, ?)",
+                (order_id, pid, ((order_id * 7) % CONCEPTS) + 1,
+                 (o % 6) + 1, "take daily"))
+            order_id += 1

@@ -1,0 +1,13 @@
+"""TPC-C workload (used for the paper's overhead experiment, Fig. 13).
+
+The implementation uses the driver directly (no ORM/web layer) and consumes
+every query result immediately — by construction there is nothing for Sloth
+to batch, so comparing original vs Sloth-compiled execution isolates the
+cost of lazy evaluation.
+"""
+
+from repro.apps.tpcc.schema import create_schema
+from repro.apps.tpcc.data import seed
+from repro.apps.tpcc.transactions import TRANSACTION_TYPES, TpccRunner
+
+__all__ = ["create_schema", "seed", "TpccRunner", "TRANSACTION_TYPES"]

@@ -1,0 +1,95 @@
+"""TPC-C data population (deterministic, scaled-down counts).
+
+The paper seeds 20 warehouses; the shapes it measures (per-transaction
+overhead) do not depend on warehouse count, so the defaults here are sized
+for fast in-process runs while keeping realistic cardinality ratios
+(10 districts/warehouse, customers/district, items, stock rows).
+"""
+
+from repro.apps.tpcc.schema import create_schema
+
+WAREHOUSES = 2
+DISTRICTS_PER_WAREHOUSE = 10
+CUSTOMERS_PER_DISTRICT = 30
+ITEMS = 200
+INITIAL_ORDERS_PER_DISTRICT = 10
+
+_LAST_NAMES = ("BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI",
+               "CALLY", "ATION", "EING")
+
+
+def customer_last_name(number):
+    """TPC-C's syllable-composed last name for a customer number."""
+    return (_LAST_NAMES[(number // 100) % 10]
+            + _LAST_NAMES[(number // 10) % 10]
+            + _LAST_NAMES[number % 10])
+
+
+def seed(db, warehouses=WAREHOUSES):
+    create_schema(db)
+    for i in range(1, ITEMS + 1):
+        db.execute(
+            "INSERT INTO item (i_id, i_name, i_price, i_data) "
+            "VALUES (?, ?, ?, ?)",
+            (i, f"item-{i}", round(1.0 + (i % 100) * 0.5, 2), f"data-{i}"))
+    customer_id = 1
+    order_id = 1
+    order_line_id = 1
+    stock_id = 1
+    history_id = 1
+    for w in range(1, warehouses + 1):
+        db.execute(
+            "INSERT INTO warehouse (w_id, w_name, w_tax, w_ytd) "
+            "VALUES (?, ?, ?, ?)", (w, f"wh-{w}", 0.05, 300000.0))
+        for i in range(1, ITEMS + 1):
+            db.execute(
+                "INSERT INTO stock (s_id, s_i_id, s_w_id, s_quantity, "
+                "s_ytd, s_order_cnt) VALUES (?, ?, ?, ?, ?, ?)",
+                (stock_id, i, w, 50 + (i % 50), 0, 0))
+            stock_id += 1
+        for d in range(1, DISTRICTS_PER_WAREHOUSE + 1):
+            district_id = (w - 1) * DISTRICTS_PER_WAREHOUSE + d
+            db.execute(
+                "INSERT INTO district (d_id, d_w_id, d_name, d_tax, d_ytd,"
+                " d_next_o_id) VALUES (?, ?, ?, ?, ?, ?)",
+                (district_id, w, f"district-{district_id}", 0.02, 30000.0,
+                 INITIAL_ORDERS_PER_DISTRICT + 1))
+            for c in range(CUSTOMERS_PER_DISTRICT):
+                db.execute(
+                    "INSERT INTO customer (c_id, c_d_id, c_w_id, c_last, "
+                    "c_credit, c_balance, c_ytd_payment, c_payment_cnt, "
+                    "c_delivery_cnt) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (customer_id, district_id, w, customer_last_name(c),
+                     "GC" if c % 10 else "BC", -10.0, 10.0, 1, 0))
+                customer_id += 1
+            first_customer = customer_id - CUSTOMERS_PER_DISTRICT
+            for o in range(1, INITIAL_ORDERS_PER_DISTRICT + 1):
+                db.execute(
+                    "INSERT INTO orders (o_id, o_d_id, o_w_id, o_c_id, "
+                    "o_carrier_id, o_ol_cnt, o_entry_d) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (order_id, district_id, w,
+                     first_customer + (o % CUSTOMERS_PER_DISTRICT),
+                     None if o > INITIAL_ORDERS_PER_DISTRICT - 3 else o % 10,
+                     3, "2014-01-01"))
+                if o > INITIAL_ORDERS_PER_DISTRICT - 3:
+                    db.execute(
+                        "INSERT INTO new_order (no_o_id, no_d_id, no_w_id)"
+                        " VALUES (?, ?, ?)", (order_id, district_id, w))
+                for line in range(3):
+                    db.execute(
+                        "INSERT INTO order_line (ol_id, ol_o_id, ol_d_id,"
+                        " ol_w_id, ol_i_id, ol_quantity, ol_amount, "
+                        "ol_delivery_d) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                        (order_line_id, order_id, district_id, w,
+                         ((order_id * 3 + line) % ITEMS) + 1, 5,
+                         25.0, None))
+                    order_line_id += 1
+                order_id += 1
+            db.execute(
+                "INSERT INTO history (h_id, h_c_id, h_d_id, h_w_id, "
+                "h_amount, h_date) VALUES (?, ?, ?, ?, ?, ?)",
+                (history_id, first_customer, district_id, w, 10.0,
+                 "2014-01-01"))
+            history_id += 1
+    return db.snapshot_counts()

@@ -1,0 +1,5 @@
+"""TPC-W workload (browsing/shopping/ordering mixes) for Fig. 13."""
+
+from repro.apps.tpcw.workload import MIXES, TpcwRunner, seed
+
+__all__ = ["seed", "TpcwRunner", "MIXES"]

@@ -1,0 +1,204 @@
+"""TPC-W: schema, data and the web-interaction mixes.
+
+A standalone storefront (hosted on the plain app stack, like the paper's
+Tomcat-hosted reference implementation): books, customers, shopping carts
+and orders.  Interactions emit HTML immediately from each query's results,
+so Sloth finds no batching — the comparison measures lazy overhead only.
+
+``MIXES`` follows the standard's weighting: the browsing mix is read-heavy,
+the ordering mix cart/buy-heavy.
+"""
+
+from repro.core.thunk import force
+
+BOOKS = 300
+CUSTOMERS = 60
+SUBJECTS = ("ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS",
+            "COOKING")
+
+DDL = [
+    """CREATE TABLE book (
+        b_id INT PRIMARY KEY, b_title TEXT, b_subject TEXT,
+        b_price FLOAT, b_stock INT, b_author TEXT)""",
+    """CREATE TABLE tw_customer (
+        c_id INT PRIMARY KEY, c_uname TEXT, c_name TEXT,
+        c_discount FLOAT)""",
+    """CREATE TABLE cart (
+        sc_id INT PRIMARY KEY, sc_c_id INT NOT NULL, sc_time TEXT)""",
+    """CREATE TABLE cart_line (
+        scl_id INT PRIMARY KEY, scl_sc_id INT NOT NULL,
+        scl_b_id INT NOT NULL, scl_qty INT)""",
+    """CREATE TABLE tw_order (
+        o_id INT PRIMARY KEY, o_c_id INT NOT NULL, o_date TEXT,
+        o_total FLOAT, o_status TEXT)""",
+    """CREATE TABLE tw_order_line (
+        ol_id INT PRIMARY KEY, ol_o_id INT NOT NULL, ol_b_id INT,
+        ol_qty INT)""",
+    "CREATE INDEX idx_book_subject ON book (b_subject)",
+    "CREATE INDEX idx_cart_customer ON cart (sc_c_id)",
+    "CREATE INDEX idx_cart_line ON cart_line (scl_sc_id)",
+    "CREATE INDEX idx_order_customer ON tw_order (o_c_id)",
+    "CREATE INDEX idx_order_line_o ON tw_order_line (ol_o_id)",
+]
+
+MIXES = {
+    # interaction weights: (home, product_detail, search, add_to_cart,
+    #                       buy_confirm, order_inquiry)
+    "browsing": (30, 30, 25, 8, 2, 5),
+    "shopping": (20, 25, 20, 20, 8, 7),
+    "ordering": (10, 15, 10, 30, 25, 10),
+}
+
+
+def seed(db):
+    for ddl in DDL:
+        db.execute(ddl)
+    for b in range(1, BOOKS + 1):
+        db.execute(
+            "INSERT INTO book (b_id, b_title, b_subject, b_price, b_stock,"
+            " b_author) VALUES (?, ?, ?, ?, ?, ?)",
+            (b, f"Book {b}", SUBJECTS[b % len(SUBJECTS)],
+             5.0 + (b % 40), 100, f"Author {b % 37}"))
+    for c in range(1, CUSTOMERS + 1):
+        db.execute(
+            "INSERT INTO tw_customer (c_id, c_uname, c_name, c_discount) "
+            "VALUES (?, ?, ?, ?)",
+            (c, f"cust{c}", f"Customer {c}", (c % 5) * 0.01))
+    return db.snapshot_counts()
+
+
+class TpcwRunner:
+    """Runs web interactions through a TPC-C-style client (see
+    :mod:`repro.apps.tpcc.transactions` for the client protocol)."""
+
+    def __init__(self, client):
+        self.client = client
+        self._next_cart = 1_000_000
+        self._next_cart_line = 2_000_000
+        self._next_order = 3_000_000
+        self._next_order_line = 4_000_000
+        self.interactions = 0
+
+    def run(self, mix, index):
+        """Run the ``index``-th interaction of a mix (harness protocol)."""
+        self.run_mix(mix, 1, start=index)
+
+    def run_mix(self, mix, count, start=0):
+        weights = MIXES[mix]
+        handlers = (self.home, self.product_detail, self.search,
+                    self.add_to_cart, self.buy_confirm, self.order_inquiry)
+        total_weight = sum(weights)
+        for i in range(start, start + count):
+            pick = (i * 37) % total_weight
+            acc = 0
+            for weight, handler in zip(weights, handlers):
+                acc += weight
+                if pick < acc:
+                    handler(i)
+                    break
+            self.interactions += 1
+
+    # -- interactions (results rendered immediately) ---------------------------
+
+    def home(self, index):
+        client = self.client
+        customer_id = (index % CUSTOMERS) + 1
+        client.read("SELECT c_name FROM tw_customer WHERE c_id = ?",
+                    (customer_id,))
+        client.read(
+            "SELECT b_id, b_title FROM book ORDER BY b_stock DESC LIMIT 5")
+        client.read(
+            "SELECT b_id, b_title FROM book ORDER BY b_id DESC LIMIT 5")
+        client.ops(40)
+
+    def product_detail(self, index):
+        book_id = (index % BOOKS) + 1
+        result = self.client.read(
+            "SELECT b_title, b_author, b_price, b_stock FROM book "
+            "WHERE b_id = ?", (book_id,))
+        _ = result.rows[0][2] * 1.05  # displayed price with tax
+        self.client.ops(25)
+
+    def search(self, index):
+        subject = SUBJECTS[index % len(SUBJECTS)]
+        self.client.read(
+            "SELECT b_id, b_title, b_price FROM book WHERE b_subject = ? "
+            "ORDER BY b_title LIMIT 20", (subject,))
+        self.client.ops(35)
+
+    def add_to_cart(self, index):
+        client = self.client
+        customer_id = (index % CUSTOMERS) + 1
+        book_id = (index % BOOKS) + 1
+        client.write("BEGIN")
+        carts = client.read(
+            "SELECT sc_id FROM cart WHERE sc_c_id = ? LIMIT 1",
+            (customer_id,))
+        if carts.rows:
+            cart_id = carts.rows[0][0]
+        else:
+            self._next_cart += 1
+            cart_id = self._next_cart
+            client.write(
+                "INSERT INTO cart (sc_id, sc_c_id, sc_time) "
+                "VALUES (?, ?, ?)", (cart_id, customer_id, "2014-04-01"))
+        self._next_cart_line += 1
+        client.write(
+            "INSERT INTO cart_line (scl_id, scl_sc_id, scl_b_id, scl_qty)"
+            " VALUES (?, ?, ?, ?)",
+            (self._next_cart_line, cart_id, book_id, 1))
+        client.read(
+            "SELECT COUNT(*) AS n FROM cart_line WHERE scl_sc_id = ?",
+            (cart_id,))
+        client.ops(30)
+        client.write("COMMIT")
+
+    def buy_confirm(self, index):
+        client = self.client
+        customer_id = (index % CUSTOMERS) + 1
+        client.write("BEGIN")
+        carts = client.read(
+            "SELECT sc_id FROM cart WHERE sc_c_id = ? LIMIT 1",
+            (customer_id,))
+        if not carts.rows:
+            client.write("COMMIT")
+            return
+        cart_id = carts.rows[0][0]
+        lines = client.read(
+            "SELECT scl_b_id, scl_qty FROM cart_line "
+            "WHERE scl_sc_id = ?", (cart_id,))
+        total = 0.0
+        self._next_order += 1
+        order_id = self._next_order
+        for book_id, qty in lines.rows:
+            price = client.read(
+                "SELECT b_price FROM book WHERE b_id = ?",
+                (book_id,)).rows[0][0]
+            total += price * qty
+            self._next_order_line += 1
+            client.write(
+                "INSERT INTO tw_order_line (ol_id, ol_o_id, ol_b_id, "
+                "ol_qty) VALUES (?, ?, ?, ?)",
+                (self._next_order_line, order_id, book_id, qty))
+            client.write(
+                "UPDATE book SET b_stock = b_stock - ? WHERE b_id = ?",
+                (qty, book_id))
+        client.write(
+            "INSERT INTO tw_order (o_id, o_c_id, o_date, o_total, "
+            "o_status) VALUES (?, ?, ?, ?, ?)",
+            (order_id, customer_id, "2014-04-01", total, "PENDING"))
+        client.write("DELETE FROM cart_line WHERE scl_sc_id = ?", (cart_id,))
+        client.ops(50)
+        client.write("COMMIT")
+
+    def order_inquiry(self, index):
+        client = self.client
+        customer_id = (index % CUSTOMERS) + 1
+        orders = client.read(
+            "SELECT o_id, o_total, o_status FROM tw_order "
+            "WHERE o_c_id = ? ORDER BY o_id DESC LIMIT 1", (customer_id,))
+        if orders.rows:
+            client.read(
+                "SELECT ol_b_id, ol_qty FROM tw_order_line "
+                "WHERE ol_o_id = ?", (orders.rows[0][0],))
+        client.ops(20)

@@ -1,0 +1,20 @@
+"""Experiment harness: everything needed to regenerate the paper's
+figures and tables.  See ``repro.bench.experiments`` for one module per
+figure, and ``benchmarks/`` at the repository root for the pytest-benchmark
+entry points.
+"""
+
+from repro.bench.harness import (
+    PageComparison, compare_pages, load_page, measure_tpc_overhead,
+)
+from repro.bench.report import cdf, format_table, ratio_stats
+
+__all__ = [
+    "PageComparison",
+    "compare_pages",
+    "load_page",
+    "measure_tpc_overhead",
+    "cdf",
+    "format_table",
+    "ratio_stats",
+]

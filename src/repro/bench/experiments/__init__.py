@@ -1,0 +1,7 @@
+"""One module per paper figure/table.
+
+Every module exposes ``run(...)`` returning a plain-dict result and
+``format_result(result)`` producing the paper-style text output.  The
+pytest-benchmark entry points in ``benchmarks/`` call these and assert the
+paper's qualitative claims (who wins, by roughly what factor).
+"""

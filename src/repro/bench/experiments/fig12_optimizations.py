@@ -1,0 +1,48 @@
+"""Fig. 12: optimization ablation (noopt -> SC -> SC+TC -> SC+TC+BD).
+
+Paper result: total load time over all benchmarks drops monotonically as
+optimizations are enabled, with branch deferral (BD) the largest win and a
+>2x gap between no optimizations and all three.
+"""
+
+from repro.apps import itracker, openmrs
+from repro.bench.harness import load_page
+from repro.bench.report import format_table
+from repro.core.runtime import OptimizationFlags
+from repro.net.clock import CostModel
+from repro.web.appserver import MODE_SLOTH
+
+CONFIGS = (
+    ("noopt", OptimizationFlags(False, False, False)),
+    ("SC", OptimizationFlags(True, False, False)),
+    ("SC+TC", OptimizationFlags(True, True, False)),
+    ("SC+TC+BD", OptimizationFlags(True, True, True)),
+)
+
+
+def run(apps=None):
+    apps = apps or (("itracker", itracker), ("openmrs", openmrs))
+    cost_model = CostModel()
+    result = {}
+    for name, mod in apps:
+        db, dispatcher = mod.build_app()
+        per_config = {}
+        for label, flags in CONFIGS:
+            total = 0.0
+            for url in mod.BENCHMARK_URLS:
+                total += load_page(db, dispatcher, url, cost_model,
+                                   MODE_SLOTH, optimizations=flags).time_ms
+            per_config[label] = total
+        result[name] = per_config
+    return result
+
+
+def format_result(result):
+    labels = [label for label, _ in CONFIGS]
+    rows = []
+    for app, per_config in result.items():
+        rows.append(tuple([app] + [round(per_config[label], 1)
+                                   for label in labels]))
+    return format_table(
+        tuple(["app"] + [f"{label} ms" for label in labels]), rows,
+        title="Fig. 12 — optimization ablation (total load time)")

@@ -1,0 +1,48 @@
+"""Fig. 13: lazy-evaluation overhead on TPC-C and TPC-W.
+
+Paper result: with no batching opportunities (every result is consumed
+immediately), the Sloth-compiled TPC implementations run 5-15% slower than
+the originals.
+"""
+
+from repro.apps import tpcc, tpcw
+from repro.bench.harness import measure_tpc_overhead
+from repro.bench.report import format_table
+
+TPCC_TRANSACTIONS = 120
+TPCW_INTERACTIONS = 150
+
+
+def run(tpcc_transactions=TPCC_TRANSACTIONS,
+        tpcw_interactions=TPCW_INTERACTIONS):
+    result = {}
+    for kind in tpcc.TRANSACTION_TYPES:
+        schedule = [(kind, i) for i in range(tpcc_transactions)]
+        orig_ms, sloth_ms = measure_tpc_overhead(
+            tpcc.seed, lambda client: tpcc.TpccRunner(client), schedule)
+        result[f"tpcc/{kind}"] = {
+            "original_ms": orig_ms,
+            "sloth_ms": sloth_ms,
+            "overhead": sloth_ms / orig_ms - 1.0,
+        }
+    for mix in tpcw.MIXES:
+        schedule = [(mix, i) for i in range(tpcw_interactions)]
+        orig_ms, sloth_ms = measure_tpc_overhead(
+            tpcw.seed, lambda client: tpcw.TpcwRunner(client), schedule)
+        result[f"tpcw/{mix} mix"] = {
+            "original_ms": orig_ms,
+            "sloth_ms": sloth_ms,
+            "overhead": sloth_ms / orig_ms - 1.0,
+        }
+    return result
+
+
+def format_result(result):
+    rows = [
+        (name, round(stats["original_ms"], 1), round(stats["sloth_ms"], 1),
+         f"{stats['overhead']:.1%}")
+        for name, stats in result.items()
+    ]
+    return format_table(
+        ("transaction type", "original ms", "sloth ms", "overhead"), rows,
+        title="Fig. 13 — lazy-evaluation overhead (TPC-C / TPC-W)")

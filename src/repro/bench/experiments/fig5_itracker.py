@@ -1,0 +1,17 @@
+"""Fig. 5: itracker page-load CDFs (speedup, round trips, queries).
+
+Paper result: speedups up to 2.08x (median 1.27x); round-trip ratios
+1.5-4x; Sloth issues no more queries than the original on most pages.
+"""
+
+from repro.apps import itracker
+from repro.bench.experiments import pagecdf
+
+
+def run(round_trip_ms=0.5):
+    return pagecdf.run(itracker.build_app, itracker.BENCHMARK_URLS,
+                       round_trip_ms)
+
+
+def format_result(result):
+    return pagecdf.format_result(result, "Fig. 5 — itracker benchmarks")

@@ -1,0 +1,17 @@
+"""Fig. 6: OpenMRS page-load CDFs (speedup, round trips, queries).
+
+Paper result: speedups up to 2.1x (median 1.15x); round-trip ratios 1-13x;
+a few pages issue *more* queries under Sloth (ratio below 1).
+"""
+
+from repro.apps import openmrs
+from repro.bench.experiments import pagecdf
+
+
+def run(round_trip_ms=0.5):
+    return pagecdf.run(openmrs.build_app, openmrs.BENCHMARK_URLS,
+                       round_trip_ms)
+
+
+def format_result(result):
+    return pagecdf.format_result(result, "Fig. 6 — OpenMRS benchmarks")

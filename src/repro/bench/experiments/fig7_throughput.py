@@ -1,0 +1,41 @@
+"""Fig. 7: throughput vs number of clients (OpenMRS pages).
+
+Paper result: the Sloth-compiled application reaches ~1.5x the original's
+peak throughput, peaks at a *lower* client count, and declines once the app
+server becomes CPU-bound; the original saturates later (each request spends
+longer waiting on the network) with a lower peak.
+"""
+
+from repro.apps import openmrs
+from repro.bench.report import format_table
+from repro.bench.throughput import compare_throughput, peak
+
+CLIENT_COUNTS = (1, 5, 10, 25, 50, 100, 200, 300, 400, 500, 600)
+
+
+def run(client_counts=CLIENT_COUNTS, page_sample=24):
+    db, dispatcher = openmrs.build_app()
+    urls = openmrs.BENCHMARK_URLS[:page_sample]
+    curves = compare_throughput(db, dispatcher, urls, list(client_counts))
+    peak_orig = peak(curves["original"])
+    peak_sloth = peak(curves["sloth"])
+    return {
+        "curves": curves,
+        "peak_original": peak_orig,
+        "peak_sloth": peak_sloth,
+        "peak_ratio": peak_sloth[1] / peak_orig[1],
+    }
+
+
+def format_result(result):
+    rows = [
+        (clients, round(orig, 1), round(sloth, 1))
+        for (clients, orig), (_, sloth) in zip(
+            result["curves"]["original"], result["curves"]["sloth"])
+    ]
+    table = format_table(("clients", "original pages/s", "sloth pages/s"),
+                         rows, title="Fig. 7 — throughput")
+    po, ps = result["peak_original"], result["peak_sloth"]
+    return (f"{table}\npeak: original {po[1]:.1f} pages/s @ {po[0]} "
+            f"clients; sloth {ps[1]:.1f} pages/s @ {ps[0]} clients "
+            f"(ratio {result['peak_ratio']:.2f}x)")

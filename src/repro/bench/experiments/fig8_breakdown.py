@@ -1,0 +1,49 @@
+"""Fig. 8: time-breakdown comparison (network / app server / DB).
+
+Paper result: aggregate network time drops sharply under Sloth (itracker
+226k -> 105k ms; OpenMRS 43k -> 24k ms), database time drops (fewer queries
+plus parallel batch execution), while the app-server *share* grows due to
+lazy-evaluation overhead.
+"""
+
+from repro.apps import itracker, openmrs
+from repro.bench.harness import compare_pages
+from repro.bench.report import format_table
+from repro.net.clock import CostModel
+
+
+def run(round_trip_ms=0.5):
+    result = {}
+    for name, mod in (("itracker", itracker), ("openmrs", openmrs)):
+        db, dispatcher = mod.build_app()
+        comparisons = compare_pages(db, dispatcher, mod.BENCHMARK_URLS,
+                                    CostModel(round_trip_ms=round_trip_ms))
+        agg = {"original": {"network": 0.0, "app": 0.0, "db": 0.0},
+               "sloth": {"network": 0.0, "app": 0.0, "db": 0.0}}
+        for c in comparisons:
+            for phase in ("network", "app", "db"):
+                agg["original"][phase] += c.original.phases[phase]
+                agg["sloth"][phase] += c.sloth.phases[phase]
+        result[name] = agg
+    return result
+
+
+def shares(breakdown):
+    total = sum(breakdown.values())
+    return {phase: value / total for phase, value in breakdown.items()}
+
+
+def format_result(result):
+    rows = []
+    for app, agg in result.items():
+        for mode in ("original", "sloth"):
+            br = agg[mode]
+            sh = shares(br)
+            rows.append((app, mode, round(br["network"]), round(br["app"]),
+                         round(br["db"]),
+                         f"{sh['network']:.0%}/{sh['app']:.0%}"
+                         f"/{sh['db']:.0%}"))
+    return format_table(
+        ("app", "mode", "network ms", "app ms", "db ms",
+         "net/app/db share"), rows,
+        title="Fig. 8 — aggregate time breakdown")

@@ -1,0 +1,42 @@
+"""Fig. 9: speedup vs network round-trip time (0.5 / 1 / 10 ms).
+
+Paper result: round trips and query counts are latency-invariant, but the
+speedup grows dramatically with RTT — beyond 3x for both applications at
+10 ms (WAN/cloud latency).
+"""
+
+from repro.apps import itracker, openmrs
+from repro.bench.harness import compare_pages
+from repro.bench.report import format_table, ratio_stats
+from repro.net.clock import CostModel
+
+LATENCIES_MS = (0.5, 1.0, 10.0)
+
+
+def run(latencies=LATENCIES_MS, apps=None):
+    apps = apps or (("itracker", itracker), ("openmrs", openmrs))
+    result = {}
+    for name, mod in apps:
+        db, dispatcher = mod.build_app()
+        per_latency = {}
+        for rtt in latencies:
+            comparisons = compare_pages(db, dispatcher, mod.BENCHMARK_URLS,
+                                        CostModel(round_trip_ms=rtt))
+            per_latency[rtt] = {
+                "speedup": ratio_stats([c.speedup for c in comparisons]),
+                "round_trips": ratio_stats(
+                    [c.round_trip_ratio for c in comparisons]),
+            }
+        result[name] = per_latency
+    return result
+
+
+def format_result(result):
+    rows = []
+    for app, per_latency in result.items():
+        for rtt, stats in per_latency.items():
+            sp = stats["speedup"]
+            rows.append((app, rtt, sp["min"], sp["median"], sp["max"]))
+    return format_table(
+        ("app", "RTT ms", "min speedup", "median", "max"), rows,
+        title="Fig. 9 — network scaling")

@@ -1,0 +1,45 @@
+"""Shared implementation of Fig. 5 (itracker) and Fig. 6 (OpenMRS):
+per-page CDFs of speedup, round-trip ratio and issued-queries ratio."""
+
+from repro.bench.harness import compare_pages
+from repro.bench.report import cdf, format_table, ratio_stats
+from repro.net.clock import CostModel
+
+
+def run(build_app, urls, round_trip_ms=0.5):
+    db, dispatcher = build_app()
+    cost_model = CostModel(round_trip_ms=round_trip_ms)
+    comparisons = compare_pages(db, dispatcher, urls, cost_model)
+    speedups = [c.speedup for c in comparisons]
+    rt_ratios = [c.round_trip_ratio for c in comparisons]
+    q_ratios = [c.queries_ratio for c in comparisons]
+    return {
+        "comparisons": comparisons,
+        "speedup_cdf": cdf(speedups),
+        "round_trip_cdf": cdf(rt_ratios),
+        "queries_cdf": cdf(q_ratios),
+        "speedup": ratio_stats(speedups),
+        "round_trips": ratio_stats(rt_ratios),
+        "queries": ratio_stats(q_ratios),
+        "max_batch": max(c.sloth.largest_batch for c in comparisons),
+    }
+
+
+def format_result(result, title):
+    lines = [f"== {title} =="]
+    for key in ("speedup", "round_trips", "queries"):
+        stats = result[key]
+        lines.append(
+            f"{key:12s}: min {stats['min']:.2f}  median "
+            f"{stats['median']:.2f}  max {stats['max']:.2f}")
+    lines.append(f"largest batch observed: {result['max_batch']}")
+    rows = [
+        (c.url, round(c.original.time_ms, 1), c.original.round_trips,
+         round(c.sloth.time_ms, 1), c.sloth.round_trips,
+         c.sloth.largest_batch, c.sloth.queries_issued)
+        for c in result["comparisons"]
+    ]
+    lines.append(format_table(
+        ("benchmark", "orig ms", "orig rt", "sloth ms", "sloth rt",
+         "max batch", "sloth q"), rows))
+    return "\n".join(lines)

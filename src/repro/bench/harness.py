@@ -1,0 +1,103 @@
+"""Page-load measurement harness.
+
+``compare_pages`` loads every benchmark URL under both modes — the paper's
+§6.1 methodology: servers restarted between measurements (we build a fresh
+app server per page so no cross-page cache effects), forms pre-filled with
+valid ids (controllers default their parameters to valid rows).
+"""
+
+from repro.core.runtime import OptimizationFlags
+from repro.net.clock import CostModel, SimClock
+from repro.net.driver import BatchDriver, Driver
+from repro.net.server import DatabaseServer
+from repro.web.appserver import AppServer, MODE_ORIGINAL, MODE_SLOTH
+from repro.web.framework import Request
+
+
+class PageComparison:
+    """Original-vs-Sloth measurements for one benchmark page."""
+
+    def __init__(self, url, original, sloth):
+        self.url = url
+        self.original = original
+        self.sloth = sloth
+
+    @property
+    def speedup(self):
+        return self.original.time_ms / self.sloth.time_ms
+
+    @property
+    def round_trip_ratio(self):
+        return self.original.round_trips / max(1, self.sloth.round_trips)
+
+    @property
+    def queries_ratio(self):
+        return (self.original.queries_issued
+                / max(1, self.sloth.queries_issued))
+
+    def __repr__(self):
+        return (f"PageComparison({self.url!r}, speedup={self.speedup:.2f}, "
+                f"rt_ratio={self.round_trip_ratio:.2f})")
+
+
+def load_page(db, dispatcher, url, cost_model=None, mode=MODE_SLOTH,
+              optimizations=None, params=None):
+    """Load one page on a fresh app server; returns PageLoadResult."""
+    cost_model = cost_model or CostModel()
+    server = AppServer(db, dispatcher, cost_model, mode=mode,
+                       optimizations=optimizations)
+    return server.load_page(Request(url, params or {}))
+
+
+def compare_pages(db, dispatcher, urls, cost_model=None, optimizations=None):
+    """Measure every URL under both modes; returns PageComparison list."""
+    cost_model = cost_model or CostModel()
+    results = []
+    for url in urls:
+        original = load_page(db, dispatcher, url, cost_model, MODE_ORIGINAL)
+        sloth = load_page(db, dispatcher, url, cost_model, MODE_SLOTH,
+                          optimizations)
+        results.append(PageComparison(url, original, sloth))
+    return results
+
+
+def measure_tpc_overhead(seed_fn, runner_factory, schedule, cost_model=None):
+    """Run a TPC schedule under both modes; returns (orig_ms, sloth_ms).
+
+    ``schedule`` is a list of (kind, index) pairs; ``runner_factory(client)``
+    builds the workload runner.  Each mode gets a freshly seeded database
+    (transactions mutate state).
+    """
+    from repro.apps.tpcc.transactions import OriginalClient, SlothClient
+    from repro.core.runtime import SlothRuntime
+    from repro.sqldb import Database
+
+    cost_model = cost_model or CostModel()
+
+    def run_original():
+        db = Database()
+        seed_fn(db)
+        clock = SimClock()
+        driver = Driver(DatabaseServer(db, cost_model), clock, cost_model)
+        runner = runner_factory(OriginalClient(driver, clock, cost_model))
+        _run_schedule(runner, schedule)
+        return clock.now
+
+    def run_sloth():
+        db = Database()
+        seed_fn(db)
+        clock = SimClock()
+        driver = BatchDriver(DatabaseServer(db, cost_model), clock,
+                             cost_model)
+        runtime = SlothRuntime(driver, clock, cost_model,
+                               optimizations=OptimizationFlags.all())
+        runner = runner_factory(SlothClient(runtime))
+        _run_schedule(runner, schedule)
+        return clock.now
+
+    return run_original(), run_sloth()
+
+
+def _run_schedule(runner, schedule):
+    for kind, index in schedule:
+        runner.run(kind, index)

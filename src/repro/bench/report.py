@@ -1,0 +1,45 @@
+"""Result formatting: CDFs, ratio summaries and fixed-width tables."""
+
+
+def cdf(values):
+    """Sorted (value, cumulative fraction) pairs — the paper's CDF plots."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def ratio_stats(values):
+    """min / median / max summary of a ratio distribution."""
+    ordered = sorted(values)
+    if not ordered:
+        return {"min": None, "median": None, "max": None}
+    return {
+        "min": ordered[0],
+        "median": ordered[len(ordered) // 2],
+        "max": ordered[-1],
+    }
+
+
+def format_table(headers, rows, title=None):
+    """Fixed-width ASCII table matching the paper's result tables."""
+    columns = [
+        max(len(str(headers[i])),
+            max((len(_fmt(row[i])) for row in rows), default=0))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(
+        str(h).ljust(columns[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * c for c in columns))
+    for row in rows:
+        lines.append("  ".join(
+            _fmt(cell).ljust(columns[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

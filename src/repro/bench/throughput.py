@@ -1,0 +1,92 @@
+"""Closed-loop throughput model (Fig. 7).
+
+The paper fixes a number of browser clients, each repeatedly loading random
+benchmark pages, and measures total pages/second.  We model the same closed
+queueing network with Mean Value Analysis:
+
+- a *network* delay center (round trips don't consume server resources),
+- the *app server*: a queueing station whose per-request service time grows
+  with the client population (thread/context-switch overhead — this is why
+  throughput *decreases* past the peak in the paper's figure),
+- the *database*: a multi-server station (``db_workers``).
+
+Per-page demands come from real measurements of the benchmark pages in the
+requested mode, so the original-vs-Sloth comparison inherits exactly the
+measured shift from network delay (original) to app-server CPU (Sloth).
+"""
+
+from repro.bench.harness import load_page
+from repro.net.clock import CostModel
+from repro.web.appserver import MODE_ORIGINAL, MODE_SLOTH
+
+# Service-time inflation per concurrent client (thread/context-switch
+# overhead).  This is what makes throughput *decline* past the peak and
+# penalizes the original application, which needs several times more
+# in-flight requests (each stalled on network) to saturate the CPU.
+THREAD_OVERHEAD = 0.3
+
+
+class PageDemands:
+    """Average per-page resource demands for one mode."""
+
+    def __init__(self, network_ms, app_ms, db_ms):
+        self.network_ms = network_ms
+        self.app_ms = app_ms
+        self.db_ms = db_ms
+
+    @classmethod
+    def measure(cls, db, dispatcher, urls, mode, cost_model=None):
+        cost_model = cost_model or CostModel()
+        network = app = dbt = 0.0
+        for url in urls:
+            result = load_page(db, dispatcher, url, cost_model, mode)
+            network += result.phases["network"]
+            app += result.phases["app"]
+            dbt += result.phases["db"]
+        n = len(urls)
+        return cls(network / n, app / n, dbt / n)
+
+
+def throughput_curve(demands, client_counts, app_workers=8, db_workers=12,
+                     thread_overhead=THREAD_OVERHEAD):
+    """MVA sweep: ``[(clients, pages_per_second), ...]``.
+
+    Exact MVA for the two queueing stations (approximating multi-server
+    stations by dividing service time by the worker count), with the app
+    service time inflated by the client population.
+    """
+    results = []
+    for clients in client_counts:
+        app_service = (demands.app_ms / app_workers) * (
+            1.0 + thread_overhead * clients)
+        db_service = demands.db_ms / db_workers
+        queue_app = 0.0
+        queue_db = 0.0
+        throughput = 0.0
+        for n in range(1, clients + 1):
+            r_app = app_service * (1.0 + queue_app)
+            r_db = db_service * (1.0 + queue_db)
+            response = demands.network_ms + r_app + r_db
+            throughput = n / response  # pages per ms
+            queue_app = throughput * r_app
+            queue_db = throughput * r_db
+        results.append((clients, throughput * 1000.0))
+    return results
+
+
+def peak(curve):
+    """(clients, pages_per_second) at the curve's maximum."""
+    return max(curve, key=lambda pair: pair[1])
+
+
+def compare_throughput(db, dispatcher, urls, client_counts,
+                       cost_model=None):
+    """Original vs Sloth throughput curves over the same pages."""
+    demands_orig = PageDemands.measure(db, dispatcher, urls, MODE_ORIGINAL,
+                                       cost_model)
+    demands_sloth = PageDemands.measure(db, dispatcher, urls, MODE_SLOTH,
+                                        cost_model)
+    return {
+        "original": throughput_curve(demands_orig, client_counts),
+        "sloth": throughput_curve(demands_sloth, client_counts),
+    }

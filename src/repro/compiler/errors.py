@@ -1,0 +1,9 @@
+"""Compiler/interpreter errors."""
+
+
+class KernelError(Exception):
+    """Raised for invalid kernel programs or runtime faults."""
+
+
+class KernelParseError(KernelError):
+    """Raised when kernel-language concrete syntax cannot be parsed."""

@@ -1,0 +1,274 @@
+"""Kernel-language AST (paper Fig. 4, plus the appendix's program model).
+
+Expressions::
+
+    Const(value)            True | False | literal
+    Var(name)               x
+    Field(obj, name)        e.f
+    Record({f: e})          {fi = ei}
+    BinOp(op, l, r)         e1 op e2      op in ^ v > < = + - * /
+    UnOp(op, e)             not e, -e
+    Call(fn, args)          f(e, ...)
+    Index(arr, idx)         ea[ei]
+    Read(e)                 R(e) — a database read query
+
+Statements::
+
+    Skip()
+    Assign(target, expr)    x := e  |  e.f := e
+    If(cond, then, orelse)
+    While(cond, body)       (sugar for the paper's while(True) + flags)
+    WriteQuery(e)           W(e) — a database write query
+    Output(e)               externally visible output (console/page)
+    Seq([s, ...])
+
+Functions are declared with a *kind*: ``pure`` internal functions may be
+deferred whole; ``impure`` internal functions run eagerly with thunk
+parameters; ``external`` functions force their arguments (paper §3.4).
+
+The database is modelled exactly like the appendix: a map from query values
+to result values.  ``R(v)`` returns ``db.get(v, 0)``; ``W(v)`` applies the
+deterministic ``update`` (increments the count stored under ``v``), so
+writes are observable by later reads under both semantics.
+"""
+
+from repro.compiler.errors import KernelError
+
+PURE = "pure"
+IMPURE = "impure"
+EXTERNAL = "external"
+
+
+class Node:
+    _fields = ()
+
+    def __eq__(self, other):
+        if type(self) is not type(other):
+            return NotImplemented
+        return all(getattr(self, f) == getattr(other, f)
+                   for f in self._fields)
+
+    def __hash__(self):
+        return hash((type(self).__name__,) + tuple(
+            tuple(v) if isinstance(v, (list, dict)) else v
+            for v in (getattr(self, f) for f in self._fields)))
+
+    def __repr__(self):
+        args = ", ".join(f"{getattr(self, f)!r}" for f in self._fields)
+        return f"{type(self).__name__}({args})"
+
+
+# -- expressions --------------------------------------------------------------
+
+class Const(Node):
+    _fields = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class Var(Node):
+    _fields = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+
+class Field(Node):
+    _fields = ("obj", "name")
+
+    def __init__(self, obj, name):
+        self.obj = obj
+        self.name = name
+
+
+class Record(Node):
+    _fields = ("fields",)
+
+    def __init__(self, fields):
+        self.fields = dict(fields)
+
+    def __hash__(self):
+        return hash(("Record", tuple(sorted(self.fields))))
+
+
+class BinOp(Node):
+    _fields = ("op", "left", "right")
+    OPS = ("and", "or", ">", "<", "=", "+", "-", "*")
+
+    def __init__(self, op, left, right):
+        if op not in self.OPS:
+            raise KernelError(f"unknown operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class UnOp(Node):
+    _fields = ("op", "operand")
+    OPS = ("not", "-")
+
+    def __init__(self, op, operand):
+        if op not in self.OPS:
+            raise KernelError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = operand
+
+
+class Call(Node):
+    _fields = ("fn", "args")
+
+    def __init__(self, fn, args):
+        self.fn = fn
+        self.args = list(args)
+
+    def __hash__(self):
+        return hash(("Call", self.fn, len(self.args)))
+
+
+class Index(Node):
+    _fields = ("arr", "idx")
+
+    def __init__(self, arr, idx):
+        self.arr = arr
+        self.idx = idx
+
+
+class Read(Node):
+    """R(e): a read query whose query value is ``e``."""
+
+    _fields = ("query",)
+
+    def __init__(self, query):
+        self.query = query
+
+
+# -- statements -----------------------------------------------------------------
+
+class Skip(Node):
+    _fields = ()
+
+
+class Assign(Node):
+    """``target := expr`` where target is Var or Field."""
+
+    _fields = ("target", "expr")
+
+    def __init__(self, target, expr):
+        if not isinstance(target, (Var, Field)):
+            raise KernelError(f"invalid assignment target {target!r}")
+        self.target = target
+        self.expr = expr
+
+
+class If(Node):
+    _fields = ("cond", "then", "orelse")
+
+    def __init__(self, cond, then, orelse=None):
+        self.cond = cond
+        self.then = then
+        self.orelse = orelse if orelse is not None else Skip()
+
+
+class While(Node):
+    _fields = ("cond", "body")
+
+    def __init__(self, cond, body):
+        self.cond = cond
+        self.body = body
+
+
+class WriteQuery(Node):
+    """W(e): a write query with query value ``e``."""
+
+    _fields = ("query",)
+
+    def __init__(self, query):
+        self.query = query
+
+
+class Output(Node):
+    """Externally visible output — forces its value eagerly."""
+
+    _fields = ("expr",)
+
+    def __init__(self, expr):
+        self.expr = expr
+
+
+class Seq(Node):
+    _fields = ("stmts",)
+
+    def __init__(self, stmts):
+        self.stmts = list(stmts)
+
+    def __hash__(self):
+        return hash(("Seq", len(self.stmts)))
+
+
+# -- program model ------------------------------------------------------------------
+
+class FuncDef:
+    """A function: named parameters, a body, and a return expression.
+
+    ``kind`` is PURE, IMPURE or EXTERNAL (paper §3.4).
+    """
+
+    def __init__(self, name, params, body, ret, kind=PURE):
+        if kind not in (PURE, IMPURE, EXTERNAL):
+            raise KernelError(f"unknown function kind {kind!r}")
+        self.name = name
+        self.params = list(params)
+        self.body = body
+        self.ret = ret
+        self.kind = kind
+
+    def __repr__(self):
+        return f"FuncDef({self.name!r}, kind={self.kind})"
+
+
+class Program:
+    """Functions plus a main statement."""
+
+    def __init__(self, main, functions=()):
+        self.main = main
+        self.functions = {f.name: f for f in functions}
+
+    def function(self, name):
+        fn = self.functions.get(name)
+        if fn is None:
+            raise KernelError(f"undefined function {name!r}")
+        return fn
+
+
+def update_db(db, query_value):
+    """The appendix's deterministic ``update`` function.
+
+    Returns a *new* database where the value stored under ``query_value``
+    is incremented — write queries change what later reads observe.
+    """
+    key = _db_key(query_value)
+    new_db = dict(db)
+    new_db[key] = new_db.get(key, 0) + 1
+    return new_db
+
+
+def read_db(db, query_value):
+    """Consult the database with a read query (missing keys read as 0)."""
+    return db.get(_db_key(query_value), 0)
+
+
+def _db_key(value):
+    if isinstance(value, (bool, int, str)):
+        return value
+    raise KernelError(f"query value must be scalar, got {value!r}")
+
+
+def statements_of(stmt):
+    """Flatten a statement into a list (Seq transparency)."""
+    if isinstance(stmt, Seq):
+        result = []
+        for child in stmt.stmts:
+            result.extend(statements_of(child))
+        return result
+    return [stmt]

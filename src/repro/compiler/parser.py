@@ -1,0 +1,318 @@
+"""Concrete syntax for kernel programs.
+
+A small, line-oriented syntax used by tests and examples::
+
+    fn getSum(a, b) {          # internal function (kind inferred)
+      s := a + b;
+      return s;
+    }
+
+    external log(x) { return x; }
+
+    x := R(1);                 # read query
+    y := R(x + 1);
+    if (x > 0) { a := y; } else { a := 0; }
+    W(x);                      # write query
+    output a;
+
+Expressions support ``and or not < > = + - *``, integer/bool literals,
+variables, field access (``p.f``), record literals (``{f: e, g: e}``),
+indexing (``a[i]``), calls (``f(e)``), and queries ``R(e)``.
+
+:func:`parse_program` returns a :class:`repro.compiler.kernel.Program`.
+"""
+
+import re
+
+from repro.compiler import kernel as K
+from repro.compiler.errors import KernelParseError
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+|\#[^\n]*)
+  | (?P<num>\d+)
+  | (?P<name>[A-Za-z_]\w*)
+  | (?P<op>:=|[{}()\[\],;:.=<>+\-*])
+""", re.VERBOSE)
+
+_KEYWORDS = frozenset([
+    "if", "else", "while", "fn", "external", "return", "output", "skip",
+    "true", "false", "and", "or", "not", "R", "W",
+])
+
+
+def _tokenize(text):
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise KernelParseError(
+                f"unexpected character {text[pos]!r} at {pos}")
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        tokens.append((match.lastgroup, match.group()))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+def parse_program(text):
+    """Parse a full program (function definitions followed by main)."""
+    return _Parser(_tokenize(text)).program()
+
+
+def parse_statement(text):
+    """Parse a single statement/sequence (no function definitions)."""
+    parser = _Parser(_tokenize(text))
+    stmt = parser.statement_list(("eof",))
+    parser.expect("eof")
+    return stmt
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self):
+        return self.tokens[self.pos]
+
+    def advance(self):
+        token = self.tokens[self.pos]
+        if token[0] != "eof":
+            self.pos += 1
+        return token
+
+    def accept(self, value):
+        kind, text = self.peek()
+        if text == value and (kind in ("op", "name") or value == ""):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, value):
+        kind, text = self.peek()
+        if value == "eof":
+            if kind != "eof":
+                raise KernelParseError(f"expected end of input, got {text!r}")
+            return
+        if text != value:
+            raise KernelParseError(f"expected {value!r}, got {text!r}")
+        self.advance()
+
+    def expect_name(self):
+        kind, text = self.peek()
+        if kind != "name" or text in _KEYWORDS:
+            raise KernelParseError(f"expected identifier, got {text!r}")
+        self.advance()
+        return text
+
+    # -- program ------------------------------------------------------------
+
+    def program(self):
+        functions = []
+        while self.peek()[1] in ("fn", "external"):
+            functions.append(self.function())
+        main = self.statement_list(("eof",))
+        self.expect("eof")
+        return K.Program(main, functions)
+
+    def function(self):
+        kind = K.EXTERNAL if self.accept("external") else K.IMPURE
+        if kind is K.IMPURE:
+            self.expect("fn")
+        name = self.expect_name()
+        self.expect("(")
+        params = []
+        if not self.accept(")"):
+            params.append(self.expect_name())
+            while self.accept(","):
+                params.append(self.expect_name())
+            self.expect(")")
+        self.expect("{")
+        body_stmts = []
+        ret = K.Const(0)
+        while not self.accept("}"):
+            if self.peek()[1] == "return":
+                self.advance()
+                ret = self.expression()
+                self.expect(";")
+                self.expect("}")
+                break
+            body_stmts.append(self.statement())
+        return K.FuncDef(name, params, K.Seq(body_stmts), ret, kind)
+
+    # -- statements -----------------------------------------------------------
+
+    def statement_list(self, stop_values):
+        stmts = []
+        while self.peek()[1] not in stop_values and self.peek()[0] != "eof":
+            stmts.append(self.statement())
+        return K.Seq(stmts)
+
+    def statement(self):
+        kind, text = self.peek()
+        if text == "skip":
+            self.advance()
+            self.expect(";")
+            return K.Skip()
+        if text == "output":
+            self.advance()
+            expr = self.expression()
+            self.expect(";")
+            return K.Output(expr)
+        if text == "W":
+            self.advance()
+            self.expect("(")
+            expr = self.expression()
+            self.expect(")")
+            self.expect(";")
+            return K.WriteQuery(expr)
+        if text == "if":
+            self.advance()
+            self.expect("(")
+            cond = self.expression()
+            self.expect(")")
+            then = self.block()
+            orelse = K.Skip()
+            if self.accept("else"):
+                orelse = self.block()
+            return K.If(cond, then, orelse)
+        if text == "while":
+            self.advance()
+            self.expect("(")
+            cond = self.expression()
+            self.expect(")")
+            return K.While(cond, self.block())
+        # assignment: name [(.field)*] := expr ;
+        target = self.postfix_target()
+        self.expect(":=")
+        expr = self.expression()
+        self.expect(";")
+        return K.Assign(target, expr)
+
+    def block(self):
+        self.expect("{")
+        stmts = []
+        while not self.accept("}"):
+            stmts.append(self.statement())
+        return K.Seq(stmts)
+
+    def postfix_target(self):
+        name = self.expect_name()
+        node = K.Var(name)
+        while self.accept("."):
+            node = K.Field(node, self.expect_name())
+        return node
+
+    # -- expressions -------------------------------------------------------------
+
+    def expression(self):
+        return self.or_expr()
+
+    def or_expr(self):
+        left = self.and_expr()
+        while self.peek()[1] == "or":
+            self.advance()
+            left = K.BinOp("or", left, self.and_expr())
+        return left
+
+    def and_expr(self):
+        left = self.not_expr()
+        while self.peek()[1] == "and":
+            self.advance()
+            left = K.BinOp("and", left, self.not_expr())
+        return left
+
+    def not_expr(self):
+        if self.peek()[1] == "not":
+            self.advance()
+            return K.UnOp("not", self.not_expr())
+        return self.comparison()
+
+    def comparison(self):
+        left = self.additive()
+        op = self.peek()[1]
+        if op in ("<", ">", "="):
+            self.advance()
+            return K.BinOp(op, left, self.additive())
+        return left
+
+    def additive(self):
+        left = self.multiplicative()
+        while self.peek()[1] in ("+", "-"):
+            op = self.advance()[1]
+            left = K.BinOp(op, left, self.multiplicative())
+        return left
+
+    def multiplicative(self):
+        left = self.unary()
+        while self.peek()[1] == "*":
+            self.advance()
+            left = K.BinOp("*", left, self.unary())
+        return left
+
+    def unary(self):
+        if self.peek()[1] == "-":
+            self.advance()
+            return K.UnOp("-", self.unary())
+        return self.postfix()
+
+    def postfix(self):
+        node = self.primary()
+        while True:
+            if self.accept("."):
+                node = K.Field(node, self.expect_name())
+            elif self.accept("["):
+                idx = self.expression()
+                self.expect("]")
+                node = K.Index(node, idx)
+            else:
+                return node
+
+    def primary(self):
+        kind, text = self.peek()
+        if kind == "num":
+            self.advance()
+            return K.Const(int(text))
+        if text == "true":
+            self.advance()
+            return K.Const(True)
+        if text == "false":
+            self.advance()
+            return K.Const(False)
+        if text == "R":
+            self.advance()
+            self.expect("(")
+            expr = self.expression()
+            self.expect(")")
+            return K.Read(expr)
+        if text == "(":
+            self.advance()
+            expr = self.expression()
+            self.expect(")")
+            return expr
+        if text == "{":
+            self.advance()
+            fields = {}
+            if not self.accept("}"):
+                while True:
+                    fname = self.expect_name()
+                    self.expect(":")
+                    fields[fname] = self.expression()
+                    if not self.accept(","):
+                        break
+                self.expect("}")
+            return K.Record(fields)
+        if kind == "name" and text not in _KEYWORDS:
+            name = self.advance()[1]
+            if self.accept("("):
+                args = []
+                if not self.accept(")"):
+                    args.append(self.expression())
+                    while self.accept(","):
+                        args.append(self.expression())
+                    self.expect(")")
+                return K.Call(name, args)
+            return K.Var(name)
+        raise KernelParseError(f"unexpected token {text!r} in expression")

@@ -1,0 +1,232 @@
+"""Standard (eager) semantics for the kernel language.
+
+Follows the appendix's evaluation rules: expression evaluation threads the
+state ``(D, sigma, h)`` — database, environment, heap — and returns a value;
+statements transform the state.  ``R(e)`` consults the database immediately
+(one round trip); ``W(e)`` applies ``update`` immediately (one round trip).
+
+The interpreter additionally records the *observable trace* (Output values)
+and the round-trip count so the equivalence tests can compare against the
+lazy interpreter.
+"""
+
+from repro.compiler import kernel as K
+from repro.compiler.errors import KernelError
+
+_MAX_STEPS = 200_000
+
+
+class HeapObject:
+    """A mutable record on the heap."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, fields):
+        self.fields = dict(fields)
+
+    def __repr__(self):
+        return f"HeapObject({self.fields!r})"
+
+
+class StandardResult:
+    """Final state of a standard-semantics run."""
+
+    def __init__(self, env, heap, db, output, round_trips):
+        self.env = env
+        self.heap = heap
+        self.db = db
+        self.output = output
+        self.round_trips = round_trips
+
+
+class StandardInterpreter:
+    """Evaluates programs under standard semantics."""
+
+    def __init__(self, program, db=None):
+        self.program = program
+        self.db = dict(db or {})
+        self.heap = []
+        self.output = []
+        self.round_trips = 0
+        self._steps = 0
+
+    def run(self, env=None):
+        env = dict(env or {})
+        self.exec_stmt(self.program.main, env)
+        return StandardResult(env, self.heap, self.db, self.output,
+                              self.round_trips)
+
+    # -- statements -------------------------------------------------------------
+
+    def exec_stmt(self, stmt, env):
+        self._tick()
+        kind = type(stmt)
+        if kind is K.Skip:
+            return
+        if kind is K.Seq:
+            for child in stmt.stmts:
+                self.exec_stmt(child, env)
+            return
+        if kind is K.Assign:
+            value = self.eval_expr(stmt.expr, env)
+            target = stmt.target
+            if isinstance(target, K.Var):
+                env[target.name] = value
+            else:
+                obj = self.eval_expr(target.obj, env)
+                self._heap_object(obj).fields[target.name] = value
+            return
+        if kind is K.If:
+            cond = self.eval_expr(stmt.cond, env)
+            if _truthy(cond):
+                self.exec_stmt(stmt.then, env)
+            else:
+                self.exec_stmt(stmt.orelse, env)
+            return
+        if kind is K.While:
+            while _truthy(self.eval_expr(stmt.cond, env)):
+                self._tick()
+                self.exec_stmt(stmt.body, env)
+            return
+        if kind is K.WriteQuery:
+            value = self.eval_expr(stmt.query, env)
+            self.db = K.update_db(self.db, value)
+            self.round_trips += 1
+            return
+        if kind is K.Output:
+            self.output.append(self.eval_expr(stmt.expr, env))
+            return
+        raise KernelError(f"cannot execute {stmt!r}")
+
+    # -- expressions ------------------------------------------------------------
+
+    def eval_expr(self, expr, env):
+        self._tick()
+        kind = type(expr)
+        if kind is K.Const:
+            return expr.value
+        if kind is K.Var:
+            if expr.name not in env:
+                raise KernelError(f"unbound variable {expr.name!r}")
+            return env[expr.name]
+        if kind is K.Field:
+            obj = self.eval_expr(expr.obj, env)
+            fields = self._heap_object(obj).fields
+            if expr.name not in fields:
+                raise KernelError(f"no field {expr.name!r}")
+            return fields[expr.name]
+        if kind is K.Record:
+            address = len(self.heap)
+            self.heap.append(HeapObject({
+                name: self.eval_expr(value, env)
+                for name, value in expr.fields.items()
+            }))
+            return _Address(address)
+        if kind is K.BinOp:
+            left = self.eval_expr(expr.left, env)
+            right = self.eval_expr(expr.right, env)
+            return apply_binop(expr.op, left, right)
+        if kind is K.UnOp:
+            value = self.eval_expr(expr.operand, env)
+            return apply_unop(expr.op, value)
+        if kind is K.Call:
+            return self._call(expr, env)
+        if kind is K.Index:
+            arr = self.eval_expr(expr.arr, env)
+            idx = self.eval_expr(expr.idx, env)
+            fields = self._heap_object(arr).fields
+            if idx not in fields:
+                raise KernelError(f"index {idx!r} out of range")
+            return fields[idx]
+        if kind is K.Read:
+            value = self.eval_expr(expr.query, env)
+            self.round_trips += 1
+            return K.read_db(self.db, value)
+        raise KernelError(f"cannot evaluate {expr!r}")
+
+    def _call(self, expr, env):
+        fn = self.program.function(expr.fn)
+        if len(expr.args) != len(fn.params):
+            raise KernelError(
+                f"{fn.name} expects {len(fn.params)} args, got "
+                f"{len(expr.args)}")
+        # Under standard semantics all function kinds evaluate identically.
+        local = {
+            param: self.eval_expr(arg, env)
+            for param, arg in zip(fn.params, expr.args)
+        }
+        self.exec_stmt(fn.body, local)
+        return self.eval_expr(fn.ret, local)
+
+    def _heap_object(self, value):
+        if not isinstance(value, _Address):
+            raise KernelError(f"{value!r} is not a heap address")
+        return self.heap[value.index]
+
+    def _tick(self):
+        self._steps += 1
+        if self._steps > _MAX_STEPS:
+            raise KernelError("program exceeded step budget (diverging?)")
+
+
+class _Address:
+    """An opaque heap address."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index):
+        self.index = index
+
+    def __eq__(self, other):
+        return isinstance(other, _Address) and other.index == self.index
+
+    def __hash__(self):
+        return hash(("addr", self.index))
+
+    def __repr__(self):
+        return f"@{self.index}"
+
+
+def apply_binop(op, left, right):
+    if op == "and":
+        return _truthy(left) and _truthy(right)
+    if op == "or":
+        return _truthy(left) or _truthy(right)
+    if op in (">", "<", "="):
+        if op == "=":
+            return left == right
+        if not isinstance(left, (int, bool)) or not isinstance(
+                right, (int, bool)):
+            raise KernelError(f"cannot compare {left!r} {op} {right!r}")
+        return left > right if op == ">" else left < right
+    if not isinstance(left, (int, bool)) or not isinstance(
+            right, (int, bool)):
+        raise KernelError(f"arithmetic on non-numbers: {left!r} {op} {right!r}")
+    if op == "+":
+        return int(left) + int(right)
+    if op == "-":
+        return int(left) - int(right)
+    if op == "*":
+        return int(left) * int(right)
+    raise KernelError(f"unknown operator {op!r}")
+
+
+def apply_unop(op, value):
+    if op == "not":
+        return not _truthy(value)
+    if not isinstance(value, (int, bool)):
+        raise KernelError(f"cannot negate {value!r}")
+    return -int(value)
+
+
+def _truthy(value):
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return value != 0
+    raise KernelError(f"expected a boolean, got {value!r}")
+
+
+# Re-exported for the lazy interpreter.
+Address = _Address
+truthy = _truthy

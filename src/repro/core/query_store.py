@@ -1,0 +1,151 @@
+"""The query store (paper §3.3).
+
+The query store is the batching mechanism at the heart of Sloth.  It keeps:
+
+- a *buffer* of registered-but-unissued queries (the current batch), each
+  with a unique :class:`QueryId`, and
+- a *result store* mapping issued query ids to their result sets.
+
+``register_query`` adds a read to the current batch (deduplicating against
+queries already in the buffer: re-registering an identical pending query
+returns the first id).  Registering a **write** (INSERT/UPDATE/DELETE/DDL or
+a transaction statement) immediately flushes the whole batch — writes must
+not linger, and pending reads must execute first to preserve program order
+relative to the write (the appendix's [Write query] rule issues all unissued
+reads before the update).
+
+``get_result_set`` returns a cached result, or flushes the current batch in
+a single round trip and then returns it.
+"""
+
+from repro.sqldb import ast_nodes as A
+from repro.sqldb.parser import parse
+
+
+class QueryId:
+    """Unique identifier for a registered query."""
+
+    __slots__ = ("value",)
+
+    _counter = 0
+
+    def __init__(self):
+        QueryId._counter += 1
+        self.value = QueryId._counter
+
+    def __repr__(self):
+        return f"QueryId({self.value})"
+
+    def __hash__(self):
+        return self.value
+
+    def __eq__(self, other):
+        return isinstance(other, QueryId) and other.value == self.value
+
+
+class QueryStoreStats:
+    """Counters the benchmarks read out of a query store."""
+
+    def __init__(self):
+        self.queries_registered = 0
+        self.dedup_hits = 0
+        self.batches_flushed = 0
+        self.largest_batch = 0
+        self.queries_issued = 0
+
+    def snapshot(self):
+        return {
+            "queries_registered": self.queries_registered,
+            "dedup_hits": self.dedup_hits,
+            "batches_flushed": self.batches_flushed,
+            "largest_batch": self.largest_batch,
+            "queries_issued": self.queries_issued,
+        }
+
+
+class QueryStore:
+    """Accumulates queries into batches issued over a batch driver.
+
+    ``auto_flush_threshold`` implements the execution strategy the paper
+    sketches as future work (§6.7): when set, a batch is shipped as soon
+    as it reaches that size instead of waiting for a force.
+    """
+
+    def __init__(self, batch_driver, auto_flush_threshold=None):
+        self.driver = batch_driver
+        self.auto_flush_threshold = auto_flush_threshold
+        self._buffer = []  # list of (QueryId, sql, params)
+        self._pending_keys = {}  # (sql, params) -> QueryId, for dedup
+        self._results = {}  # QueryId -> ExecResult
+        self.stats = QueryStoreStats()
+
+    # -- public API (paper §3.3) ---------------------------------------------
+
+    def register_query(self, sql, params=()):
+        """Add a query to the current batch; returns its :class:`QueryId`.
+
+        Writes flush the batch immediately (including the write itself);
+        duplicate pending reads return the already-registered id.
+        """
+        params = tuple(params)
+        self.stats.queries_registered += 1
+        if _is_write(sql):
+            query_id = QueryId()
+            self._buffer.append((query_id, sql, params))
+            self._flush()
+            return query_id
+        key = (sql, params)
+        existing = self._pending_keys.get(key)
+        if existing is not None:
+            self.stats.dedup_hits += 1
+            return existing
+        query_id = QueryId()
+        self._buffer.append((query_id, sql, params))
+        self._pending_keys[key] = query_id
+        if (self.auto_flush_threshold is not None
+                and len(self._buffer) >= self.auto_flush_threshold):
+            self._flush()
+        return query_id
+
+    def get_result_set(self, query_id):
+        """Result set for ``query_id``; flushes the current batch if it is
+        not yet available."""
+        result = self._results.get(query_id)
+        if result is not None:
+            return result
+        self._flush()
+        result = self._results.get(query_id)
+        if result is None:
+            raise KeyError(f"unknown query id: {query_id!r}")
+        return result
+
+    @property
+    def pending_count(self):
+        """Number of queries waiting in the current batch."""
+        return len(self._buffer)
+
+    def flush(self):
+        """Issue any pending batch (used at request boundaries)."""
+        if self._buffer:
+            self._flush()
+
+    # -- internals -------------------------------------------------------------
+
+    def _flush(self):
+        batch = self._buffer
+        self._buffer = []
+        self._pending_keys = {}
+        if not batch:
+            return
+        statements = [(sql, params) for _, sql, params in batch]
+        results = self.driver.execute_batch(statements)
+        for (query_id, _, _), result in zip(batch, results):
+            self._results[query_id] = result
+        self.stats.batches_flushed += 1
+        self.stats.queries_issued += len(batch)
+        self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+
+
+def _is_write(sql):
+    """Whether a statement must flush the store (anything but SELECT)."""
+    return not isinstance(parse(sql), A.Select)

@@ -1,0 +1,210 @@
+"""The per-request Sloth runtime.
+
+A :class:`SlothRuntime` bundles what the paper's compiled code reaches at
+execution time: the query store, the batch driver, the virtual clock (for
+lazy-evaluation overhead accounting), and the optimization flags of §4:
+
+- ``selective_compilation`` (SC, §4.1) — methods that provably never touch
+  persistent data are compiled *as is*: their operations cost plain app
+  time instead of thunk allocations.
+- ``thunk_coalescing`` (TC, §4.3) — consecutive deferrable statements share
+  one thunk block instead of allocating a thunk each.
+- ``branch_deferral`` (BD, §4.2) — branches/loops whose bodies have no
+  externally visible effects are deferred whole instead of forcing their
+  condition (which would flush pending query batches early).
+
+The application layer (``repro.apps``) calls :meth:`run_ops`,
+:meth:`maybe_force` and :meth:`lazy_call` so the flags change both the CPU
+charge *and* the real batching behaviour, exactly as in the paper's Fig. 12.
+"""
+
+from repro.core.query_store import QueryStore
+from repro.core.thunk import (
+    LiteralThunk, QueryThunk, Thunk, ThunkBlock, force,
+)
+from repro.net.clock import PHASE_APP
+
+
+class OptimizationFlags:
+    """Which of the paper's §4 optimizations are enabled."""
+
+    __slots__ = ("selective_compilation", "thunk_coalescing",
+                 "branch_deferral")
+
+    def __init__(self, selective_compilation=True, thunk_coalescing=True,
+                 branch_deferral=True):
+        self.selective_compilation = selective_compilation
+        self.thunk_coalescing = thunk_coalescing
+        self.branch_deferral = branch_deferral
+
+    @classmethod
+    def none(cls):
+        return cls(False, False, False)
+
+    @classmethod
+    def all(cls):
+        return cls(True, True, True)
+
+    def label(self):
+        parts = []
+        if self.selective_compilation:
+            parts.append("SC")
+        if self.thunk_coalescing:
+            parts.append("TC")
+        if self.branch_deferral:
+            parts.append("BD")
+        return "+".join(parts) if parts else "noopt"
+
+    def __repr__(self):
+        return f"OptimizationFlags({self.label()})"
+
+
+class RuntimeStats:
+    """Lazy-evaluation bookkeeping for one runtime."""
+
+    def __init__(self):
+        self.thunks_allocated = 0
+        self.forces = 0
+        self.ops_executed = 0
+        self.branches_deferred = 0
+        self.branches_forced = 0
+
+    def snapshot(self):
+        return {
+            "thunks_allocated": self.thunks_allocated,
+            "forces": self.forces,
+            "ops_executed": self.ops_executed,
+            "branches_deferred": self.branches_deferred,
+            "branches_forced": self.branches_forced,
+        }
+
+
+# When thunk coalescing is on, runs of deferrable statements collapse into
+# thunk blocks.  The paper reports the statement-to-thunk ratio after code
+# simplification is large (each Java line expands to several three-address
+# operations, §4.3), so coalescing eliminates the bulk of allocations: one
+# block per ~10 operations.
+_COALESCE_RUN_LENGTH = 10
+
+
+class SlothRuntime:
+    """Execution context for one Sloth-compiled request."""
+
+    def __init__(self, batch_driver, clock, cost_model,
+                 optimizations=None, lazy_mode=True):
+        self.driver = batch_driver
+        self.clock = clock
+        self.cost_model = cost_model
+        self.opts = optimizations or OptimizationFlags.all()
+        self.lazy_mode = lazy_mode
+        self.query_store = QueryStore(batch_driver)
+        self.stats = RuntimeStats()
+
+    # -- overhead accounting hooks (called by Thunk/ThunkBlock) ---------------
+
+    def on_thunk_allocated(self):
+        self.stats.thunks_allocated += 1
+        self.clock.charge(PHASE_APP, self.cost_model.thunk_alloc_ms)
+
+    def on_force(self):
+        self.stats.forces += 1
+        self.clock.charge(PHASE_APP, self.cost_model.force_ms)
+
+    # -- building blocks used by Sloth-compiled application code ---------------
+
+    def literal(self, value):
+        """Wrap an external call's result (§3.4)."""
+        return LiteralThunk(value, runtime=self)
+
+    def defer(self, fn):
+        """Defer a single computation into a thunk."""
+        if not self.lazy_mode:
+            return fn()
+        return Thunk(fn, runtime=self)
+
+    def defer_block(self, fn):
+        """Defer a block with named outputs (dict) into a ThunkBlock."""
+        if not self.lazy_mode:
+            return fn()
+        return ThunkBlock(fn, runtime=self)
+
+    def query(self, sql, params=(), deserialize=None):
+        """Register a read and return its thunk (§3.3).
+
+        In non-lazy (original application) mode the query executes
+        immediately through the same store, costing one round trip.
+        """
+        if not self.lazy_mode:
+            thunk = QueryThunk(self.query_store, sql, params, deserialize)
+            return thunk.force()
+        return QueryThunk(self.query_store, sql, params, deserialize,
+                          runtime=self)
+
+    def execute_write(self, sql, params=()):
+        """Writes are never deferred: register (which flushes) and force."""
+        thunk = QueryThunk(self.query_store, sql, params)
+        return thunk.force()
+
+    def force(self, value):
+        return force(value)
+
+    # -- modelled application work ---------------------------------------------
+
+    def run_ops(self, count, persistent=True):
+        """Charge CPU time for ``count`` simple operations of application
+        code.
+
+        Under lazy compilation each operation allocates a thunk (the paper's
+        "substantial runtime overhead", §3.2).  SC exempts operations in
+        non-persistent methods; TC coalesces runs of operations into thunk
+        blocks.
+        """
+        self.stats.ops_executed += count
+        model = self.cost_model
+        if not self.lazy_mode:
+            self.clock.charge(PHASE_APP, model.app_op_ms * count)
+            return
+        if not persistent and self.opts.selective_compilation:
+            # Compiled as-is: plain execution cost.
+            self.clock.charge(PHASE_APP, model.app_op_ms * count)
+            return
+        # Lazified straight-line code contains branch points whose
+        # conditions the basic compiler forces (§3.6); each force flushes
+        # whatever batch has accumulated.  Branch deferral (§4.2) is what
+        # removes these barriers — without it, batching opportunities
+        # collapse ("we would have lost all the benefits from round trip
+        # reductions", §6.5).
+        if not self.opts.branch_deferral:
+            self.stats.branches_forced += 1
+            self.query_store.flush()
+        if self.opts.thunk_coalescing:
+            blocks, remainder = divmod(count, _COALESCE_RUN_LENGTH)
+            thunk_count = blocks + (1 if remainder else 0)
+        else:
+            thunk_count = count
+        self.stats.thunks_allocated += thunk_count
+        self.clock.charge(
+            PHASE_APP,
+            model.thunk_alloc_ms * thunk_count
+            + model.force_ms * thunk_count
+            + model.app_op_ms * count)
+        self.stats.forces += thunk_count
+
+    def branch(self, condition_thunk, deferrable=True):
+        """Evaluate (or defer) a branch condition (§4.2).
+
+        With BD enabled and a deferrable body, returns ``None`` without
+        forcing anything — the caller defers the whole branch.  Otherwise
+        the condition is forced (possibly flushing a query batch) and its
+        value returned.
+        """
+        if self.lazy_mode and deferrable and self.opts.branch_deferral:
+            self.stats.branches_deferred += 1
+            return None
+        self.stats.branches_forced += 1
+        return force(condition_thunk)
+
+    def finish_request(self):
+        """End-of-request barrier: flush any pending batch (the page is
+        about to be externalized)."""
+        self.query_store.flush()

@@ -1,0 +1,192 @@
+"""Thunks: delayed computations with memoized forcing.
+
+Mirrors the paper's compiled form (§3.2): every delayed statement becomes an
+object with a ``_force`` method that runs the original computation once and
+memoizes the result.  Four flavours:
+
+- :class:`Thunk` — wraps a zero-argument callable.
+- :class:`LiteralThunk` — wraps an already-computed value (used for results
+  of external calls, §3.4).
+- :class:`QueryThunk` — registers a query with the query store on
+  *construction* and fetches/deserializes the result set when forced (§3.3).
+- :class:`ThunkBlock` — a group of statements coalesced into one deferred
+  unit whose named outputs are individual thunks (§4.3); forcing any output
+  runs the whole block once.
+
+:func:`force` forces any value: thunks and lazy proxies are evaluated
+(recursively, so a thunk returning a thunk fully resolves); other values
+pass through.
+"""
+
+_UNEVALUATED = object()
+
+
+class Thunk:
+    """A delayed computation of ``fn()``, forced at most once."""
+
+    __slots__ = ("_fn", "_value", "_runtime")
+
+    def __init__(self, fn, runtime=None):
+        self._fn = fn
+        self._value = _UNEVALUATED
+        self._runtime = runtime
+        if runtime is not None:
+            runtime.on_thunk_allocated()
+
+    @property
+    def is_forced(self):
+        return self._value is not _UNEVALUATED
+
+    def force(self):
+        """Evaluate the delayed computation (memoized)."""
+        if self._value is _UNEVALUATED:
+            if self._runtime is not None:
+                self._runtime.on_force()
+            value = self._fn()
+            # Collapse chained laziness so callers always get a plain value.
+            self._value = force(value)
+            self._fn = None  # release captured state
+        return self._value
+
+    # The paper's concrete syntax calls this method ``_force``.
+    _force = force
+
+    def __repr__(self):
+        if self.is_forced:
+            return f"Thunk(forced={self._value!r})"
+        return "Thunk(<delayed>)"
+
+
+class LiteralThunk(Thunk):
+    """A thunk holding an already-computed value (§3.4, external calls)."""
+
+    __slots__ = ()
+
+    def __init__(self, value, runtime=None):
+        super().__init__(None, runtime=None)
+        self._value = value
+        self._runtime = runtime
+
+    def force(self):
+        return self._value
+
+    _force = force
+
+    def __repr__(self):
+        return f"LiteralThunk({self._value!r})"
+
+
+class QueryThunk(Thunk):
+    """A thunk for a database read (§3.3).
+
+    Construction *eagerly* registers the SQL with the query store — this is
+    the "third kind of computation" of extended lazy evaluation: the query's
+    execution is delayed but its registration is not.  ``deserialize`` maps
+    the raw result set to the value the application expects (e.g., an ORM
+    entity); it runs once, memoized.
+    """
+
+    __slots__ = ("query_id",)
+
+    def __init__(self, query_store, sql, params=(), deserialize=None,
+                 runtime=None):
+        self.query_id = query_store.register_query(sql, params)
+
+        def _fetch():
+            result_set = query_store.get_result_set(self.query_id)
+            if deserialize is None:
+                return result_set
+            return deserialize(result_set)
+
+        super().__init__(_fetch, runtime=runtime)
+
+    def __repr__(self):
+        state = "forced" if self.is_forced else "pending"
+        return f"QueryThunk(id={self.query_id!r}, {state})"
+
+
+class ThunkBlock:
+    """A coalesced group of deferred statements with named outputs (§4.3).
+
+    ``fn`` runs the block's statements and returns a dict of output values.
+    ``output(name)`` returns a :class:`Thunk` for one output; forcing any
+    output executes the block exactly once.
+    """
+
+    __slots__ = ("_fn", "_values", "_runtime")
+
+    def __init__(self, fn, runtime=None):
+        self._fn = fn
+        self._values = None
+        self._runtime = runtime
+        if runtime is not None:
+            runtime.on_thunk_allocated()
+
+    @property
+    def is_forced(self):
+        return self._values is not None
+
+    def force_block(self):
+        if self._values is None:
+            if self._runtime is not None:
+                self._runtime.on_force()
+            values = self._fn()
+            if not isinstance(values, dict):
+                raise TypeError(
+                    "ThunkBlock body must return a dict of outputs, got "
+                    f"{type(values).__name__}")
+            self._values = {key: force(value)
+                            for key, value in values.items()}
+            self._fn = None
+        return self._values
+
+    def output(self, name):
+        """A thunk for the named output of this block.
+
+        Output thunks intentionally bypass per-thunk allocation accounting:
+        avoiding those allocations is the point of coalescing.
+        """
+        return Thunk(lambda: self.force_block()[name])
+
+    def __repr__(self):
+        state = "forced" if self.is_forced else "pending"
+        return f"ThunkBlock({state})"
+
+
+def is_thunk(value):
+    """Whether ``value`` is any flavour of delayed computation."""
+    from repro.core.proxy import LazyProxy
+
+    return isinstance(value, (Thunk, ThunkBlock, LazyProxy))
+
+
+def force(value):
+    """Force thunks/proxies to plain values; pass other values through."""
+    from repro.core.proxy import LazyProxy
+
+    while True:
+        if isinstance(value, Thunk):
+            value = value.force()
+        elif isinstance(value, LazyProxy):
+            value = object.__getattribute__(value, "_thunk").force()
+        else:
+            return value
+
+
+def force_deep(value):
+    """Force a value and, for common containers, its elements too.
+
+    Used at externalization boundaries (e.g., writing a model into an HTML
+    page): lists/tuples/dicts/sets built from thunks are resolved into plain
+    containers of plain values.
+    """
+    value = force(value)
+    if isinstance(value, list):
+        return [force_deep(v) for v in value]
+    if isinstance(value, tuple):
+        return tuple(force_deep(v) for v in value)
+    if isinstance(value, set):
+        return {force_deep(v) for v in value}
+    if isinstance(value, dict):
+        return {force(k): force_deep(v) for k, v in value.items()}
+    return value

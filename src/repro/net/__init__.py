@@ -1,0 +1,28 @@
+"""Simulated client/server substrate: virtual time, network, drivers.
+
+The paper measures page-load time as the sum of application-server CPU time,
+database execution time, and network round trips.  This package reproduces
+those components deterministically:
+
+- :mod:`repro.net.clock` — a virtual clock with per-phase accounting and the
+  :class:`repro.net.clock.CostModel` constants,
+- :mod:`repro.net.server` — the database server; executes a batch of
+  statements in one call, reads in parallel across workers (the paper's
+  extended MySQL driver executes batched reads in parallel),
+- :mod:`repro.net.driver` — the standard one-statement-per-round-trip driver
+  and the Sloth batch driver.
+"""
+
+from repro.net.clock import CostModel, SimClock
+from repro.net.driver import BatchDriver, Driver
+from repro.net.errors import DriverError
+from repro.net.server import DatabaseServer
+
+__all__ = [
+    "SimClock",
+    "CostModel",
+    "DatabaseServer",
+    "Driver",
+    "BatchDriver",
+    "DriverError",
+]

@@ -1,0 +1,119 @@
+"""Virtual time with per-phase accounting.
+
+All latencies in the reproduction are charged to a :class:`SimClock` rather
+than measured on the wall clock, which makes every experiment deterministic
+and lets the benchmarks sweep network latency exactly like the paper's Fig. 9.
+
+Phases mirror the paper's Fig. 8 breakdown: ``network``, ``db`` and ``app``.
+"""
+
+PHASE_NETWORK = "network"
+PHASE_DB = "db"
+PHASE_APP = "app"
+
+_PHASES = (PHASE_NETWORK, PHASE_DB, PHASE_APP)
+
+
+class SimClock:
+    """A virtual clock; times are in milliseconds."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._by_phase = {phase: 0.0 for phase in _PHASES}
+
+    @property
+    def now(self):
+        return self._now
+
+    def charge(self, phase, dt):
+        """Advance the clock by ``dt`` ms, attributed to ``phase``."""
+        if dt < 0:
+            raise ValueError(f"negative time charge: {dt}")
+        if phase not in self._by_phase:
+            raise ValueError(f"unknown phase {phase!r}")
+        self._now += dt
+        self._by_phase[phase] += dt
+
+    def phase_time(self, phase):
+        return self._by_phase[phase]
+
+    def breakdown(self):
+        """Dict of phase -> accumulated ms."""
+        return dict(self._by_phase)
+
+    def checkpoint(self):
+        """Snapshot for measuring a window of activity."""
+        return (self._now, dict(self._by_phase))
+
+    def since(self, checkpoint):
+        """(elapsed, per-phase delta) since a :meth:`checkpoint`."""
+        start_now, start_phases = checkpoint
+        delta = {
+            phase: self._by_phase[phase] - start_phases[phase]
+            for phase in _PHASES
+        }
+        return self._now - start_now, delta
+
+
+class CostModel:
+    """Constants converting work into virtual milliseconds.
+
+    Defaults are calibrated so that the reproduction lands in the same
+    regime as the paper's testbed (0.5 ms RTT in-datacenter; a 12-worker
+    database server; lazy-evaluation overhead in the 5-15 % range on
+    query-dense workloads).  Experiment shapes are robust to ±2× changes
+    in any single constant (see EXPERIMENTS.md).
+    """
+
+    def __init__(
+        self,
+        round_trip_ms=0.5,
+        per_query_overhead_ms=0.12,
+        per_row_ms=0.004,
+        db_workers=12,
+        app_op_ms=0.026,
+        thunk_alloc_ms=0.045,
+        force_ms=0.02,
+        serialization_per_query_ms=0.01,
+        driver_call_app_ms=0.1,
+    ):
+        self.round_trip_ms = round_trip_ms
+        # Fixed cost of dispatching one statement inside the db server
+        # (parsing, planning, buffer setup).
+        self.per_query_overhead_ms = per_query_overhead_ms
+        # Marginal cost per storage row touched by the executor.
+        self.per_row_ms = per_row_ms
+        # Parallelism available to a batch of read statements.
+        self.db_workers = db_workers
+        # CPU cost of one "ordinary statement" on the app server.
+        self.app_op_ms = app_op_ms
+        # CPU cost of allocating one thunk (lazy-evaluation overhead).
+        self.thunk_alloc_ms = thunk_alloc_ms
+        # CPU cost of forcing one thunk (memoized forces are free).
+        self.force_ms = force_ms
+        # Marshalling cost added to a round trip per statement shipped.
+        self.serialization_per_query_ms = serialization_per_query_ms
+        # App-server CPU burned per driver call (JDBC marshalling, socket
+        # syscalls, thread wakeup).  Paid once per round trip, so batching
+        # reduces app-side time as well as network time.
+        self.driver_call_app_ms = driver_call_app_ms
+
+    def copy(self, **overrides):
+        """A copy of this model with some constants replaced."""
+        values = {
+            "round_trip_ms": self.round_trip_ms,
+            "per_query_overhead_ms": self.per_query_overhead_ms,
+            "per_row_ms": self.per_row_ms,
+            "db_workers": self.db_workers,
+            "app_op_ms": self.app_op_ms,
+            "thunk_alloc_ms": self.thunk_alloc_ms,
+            "force_ms": self.force_ms,
+            "serialization_per_query_ms": self.serialization_per_query_ms,
+            "driver_call_app_ms": self.driver_call_app_ms,
+        }
+        values.update(overrides)
+        return CostModel(**values)
+
+    def query_cost_ms(self, rows_touched):
+        """Database execution cost of one statement."""
+        return self.per_query_overhead_ms + self.per_row_ms * rows_touched

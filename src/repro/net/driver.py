@@ -1,0 +1,111 @@
+"""Client-side database drivers.
+
+:class:`Driver` models the standard JDBC behaviour: every ``execute`` call
+costs one network round trip.  :class:`BatchDriver` is the Sloth extension:
+``execute_batch`` ships any number of statements in a *single* round trip and
+the server runs the reads in parallel.
+
+Both drivers charge network and database time to the shared
+:class:`repro.net.clock.SimClock` and count round trips / statements, which
+is what the benchmark harness reads out.
+"""
+
+from repro.net.clock import PHASE_APP, PHASE_DB, PHASE_NETWORK
+from repro.net.errors import DriverError
+
+
+class DriverStats:
+    """Counters shared by both driver flavours."""
+
+    def __init__(self):
+        self.round_trips = 0
+        self.statements = 0
+        self.batches = 0
+        self.largest_batch = 0
+
+    def record(self, batch_size):
+        self.round_trips += 1
+        self.batches += 1
+        self.statements += batch_size
+        self.largest_batch = max(self.largest_batch, batch_size)
+
+    def snapshot(self):
+        return {
+            "round_trips": self.round_trips,
+            "statements": self.statements,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+        }
+
+
+class Driver:
+    """One statement per round trip (the original applications' driver)."""
+
+    def __init__(self, server, clock, cost_model=None):
+        self.server = server
+        self.clock = clock
+        self.cost_model = cost_model or server.cost_model
+        self.stats = DriverStats()
+        self._closed = False
+
+    def close(self):
+        self._closed = True
+
+    def _check_open(self):
+        if self._closed:
+            raise DriverError("connection is closed")
+
+    def execute(self, sql, params=()):
+        """Execute one statement; returns the :class:`ExecResult`."""
+        self._check_open()
+        model = self.cost_model
+        self.clock.charge(PHASE_APP, model.driver_call_app_ms)
+        self.clock.charge(
+            PHASE_NETWORK,
+            model.round_trip_ms + model.serialization_per_query_ms)
+        outcome = self.server.execute_one(sql, params)
+        self.clock.charge(PHASE_DB, outcome.cost_ms)
+        self.stats.record(1)
+        return outcome.result
+
+
+class BatchDriver:
+    """The Sloth batch driver: many statements, one round trip."""
+
+    def __init__(self, server, clock, cost_model=None):
+        self.server = server
+        self.clock = clock
+        self.cost_model = cost_model or server.cost_model
+        self.stats = DriverStats()
+        self._closed = False
+
+    def close(self):
+        self._closed = True
+
+    def _check_open(self):
+        if self._closed:
+            raise DriverError("connection is closed")
+
+    def execute(self, sql, params=()):
+        """Single-statement convenience: a batch of one."""
+        results = self.execute_batch([(sql, params)])
+        return results[0]
+
+    def execute_batch(self, statements):
+        """Execute ``[(sql, params), ...]`` in one round trip.
+
+        Returns the list of :class:`ExecResult` in statement order.
+        """
+        self._check_open()
+        if not statements:
+            return []
+        model = self.cost_model
+        self.clock.charge(PHASE_APP, model.driver_call_app_ms)
+        self.clock.charge(
+            PHASE_NETWORK,
+            model.round_trip_ms
+            + model.serialization_per_query_ms * len(statements))
+        outcomes, elapsed_ms = self.server.execute_batch(statements)
+        self.clock.charge(PHASE_DB, elapsed_ms)
+        self.stats.record(len(statements))
+        return [outcome.result for outcome in outcomes]

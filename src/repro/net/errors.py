@@ -1,0 +1,5 @@
+"""Errors raised by the simulated network/driver layer."""
+
+
+class DriverError(Exception):
+    """Raised for driver misuse (e.g., executing on a closed connection)."""

@@ -1,0 +1,92 @@
+"""The simulated database server.
+
+Wraps one :class:`repro.sqldb.Database` and executes statements shipped over
+the simulated network.  A *batch* call executes read statements in parallel
+across ``db_workers`` virtual workers (the paper extended the MySQL JDBC
+driver so that "once received by the database, our extended driver executes
+all read queries in parallel"); write statements serialize.
+
+Virtual database time for a batch is therefore::
+
+    sum(write costs) + parallel_elapsed(read costs, workers)
+
+where ``parallel_elapsed`` assigns reads to the least-loaded worker
+(longest-processing-time-first greedy makespan).
+"""
+
+from repro.sqldb import ast_nodes as A
+from repro.sqldb.parser import parse
+
+
+class StatementOutcome:
+    """One statement's result plus its virtual execution cost."""
+
+    __slots__ = ("result", "cost_ms", "sql")
+
+    def __init__(self, sql, result, cost_ms):
+        self.sql = sql
+        self.result = result
+        self.cost_ms = cost_ms
+
+
+class DatabaseServer:
+    """Executes statements/batches against the embedded database."""
+
+    def __init__(self, database, cost_model):
+        self.database = database
+        self.cost_model = cost_model
+        self.batches_executed = 0
+        self.statements_executed = 0
+        self.largest_batch = 0
+        self.total_db_time_ms = 0.0
+
+    def execute_one(self, sql, params=()):
+        """Execute a single statement; returns a :class:`StatementOutcome`."""
+        outcome = self._run(sql, params)
+        self.statements_executed += 1
+        self.batches_executed += 1
+        self.largest_batch = max(self.largest_batch, 1)
+        self.total_db_time_ms += outcome.cost_ms
+        return outcome
+
+    def execute_batch(self, statements):
+        """Execute ``[(sql, params), ...]`` as one batch.
+
+        Returns ``(outcomes, elapsed_ms)`` where ``elapsed_ms`` models
+        parallel execution of reads.
+        """
+        outcomes = []
+        read_costs = []
+        serial_ms = 0.0
+        for sql, params in statements:
+            outcome = self._run(sql, params)
+            outcomes.append(outcome)
+            if isinstance(parse(sql), A.Select):
+                read_costs.append(outcome.cost_ms)
+            else:
+                serial_ms += outcome.cost_ms
+        elapsed_ms = serial_ms + _parallel_elapsed(
+            read_costs, self.cost_model.db_workers)
+        self.batches_executed += 1
+        self.statements_executed += len(statements)
+        self.largest_batch = max(self.largest_batch, len(statements))
+        self.total_db_time_ms += elapsed_ms
+        return outcomes, elapsed_ms
+
+    def _run(self, sql, params):
+        result = self.database.execute(sql, params)
+        cost = self.cost_model.query_cost_ms(result.rows_touched)
+        return StatementOutcome(sql, result, cost)
+
+
+def _parallel_elapsed(costs, workers):
+    """Makespan of scheduling ``costs`` on ``workers`` (LPT greedy)."""
+    if not costs:
+        return 0.0
+    if workers <= 1:
+        return sum(costs)
+    loads = [0.0] * min(workers, len(costs))
+    for cost in sorted(costs, reverse=True):
+        lightest = min(range(len(loads)), key=loads.__getitem__)
+        loads[lightest] += cost
+    return max(loads)

@@ -1,0 +1,32 @@
+"""Object-relational mapper with lazy/eager fetch strategies.
+
+A miniature of the Hibernate/JPA stack the paper's applications use,
+including the Sloth extensions (thunk-returning finders).  See
+:mod:`repro.orm.mapping` for entity declaration and
+:mod:`repro.orm.session` for session semantics.
+"""
+
+from repro.orm.errors import EntityNotFound, MappingError, OrmError
+from repro.orm.mapping import (
+    EAGER, LAZY, Column, Entity, ManyToOne, OneToMany, schema_ddl,
+)
+from repro.orm.session import (
+    OriginalBackend, Query, Session, SlothBackend,
+)
+
+__all__ = [
+    "Entity",
+    "Column",
+    "ManyToOne",
+    "OneToMany",
+    "LAZY",
+    "EAGER",
+    "schema_ddl",
+    "Session",
+    "Query",
+    "OriginalBackend",
+    "SlothBackend",
+    "OrmError",
+    "MappingError",
+    "EntityNotFound",
+]

@@ -1,0 +1,13 @@
+"""ORM exception hierarchy."""
+
+
+class OrmError(Exception):
+    """Base class for ORM errors."""
+
+
+class MappingError(OrmError):
+    """Raised for invalid entity definitions or unresolved references."""
+
+
+class EntityNotFound(OrmError):
+    """Raised by ``Session.get`` when no row matches the primary key."""

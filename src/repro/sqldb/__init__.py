@@ -1,0 +1,40 @@
+"""Embedded relational database engine.
+
+This package is a from-scratch substitute for the MySQL instance used in the
+paper's evaluation.  It provides:
+
+- a SQL lexer and recursive-descent parser (:mod:`repro.sqldb.lexer`,
+  :mod:`repro.sqldb.parser`),
+- a catalog of tables, columns and indexes (:mod:`repro.sqldb.catalog`),
+- row storage with secondary hash/ordered indexes (:mod:`repro.sqldb.storage`,
+  :mod:`repro.sqldb.indexes`),
+- an expression evaluator and query executor supporting filters, joins,
+  aggregates, grouping, ordering and limits (:mod:`repro.sqldb.executor`),
+- simple transactions with rollback (:mod:`repro.sqldb.transactions`),
+- the top-level :class:`repro.sqldb.database.Database` facade.
+
+The executor counts rows touched per statement; the simulated network layer
+(:mod:`repro.net`) converts those counters into virtual database time.
+"""
+
+from repro.sqldb.database import Database
+from repro.sqldb.errors import (
+    CatalogError,
+    ConstraintError,
+    SqlError,
+    SqlParseError,
+    SqlTypeError,
+    TransactionError,
+)
+from repro.sqldb.executor import ExecResult
+
+__all__ = [
+    "Database",
+    "ExecResult",
+    "SqlError",
+    "SqlParseError",
+    "SqlTypeError",
+    "CatalogError",
+    "ConstraintError",
+    "TransactionError",
+]

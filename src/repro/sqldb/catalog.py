@@ -1,0 +1,114 @@
+"""Schema catalog: tables, columns and index metadata."""
+
+from repro.sqldb.errors import CatalogError
+from repro.sqldb.types import canonical_type
+
+
+class Column:
+    """A column definition in a table schema."""
+
+    __slots__ = ("name", "type_name", "primary_key", "not_null", "ordinal")
+
+    def __init__(self, name, type_name, primary_key=False, not_null=False,
+                 ordinal=0):
+        self.name = name
+        self.type_name = canonical_type(type_name)
+        self.primary_key = primary_key
+        self.not_null = not_null or primary_key
+        self.ordinal = ordinal
+
+    def __repr__(self):
+        return f"Column({self.name!r}, {self.type_name})"
+
+
+class TableSchema:
+    """Schema for one table: ordered columns plus index metadata."""
+
+    def __init__(self, name, columns):
+        self.name = name
+        self.columns = []
+        self._by_name = {}
+        pk = None
+        for i, col in enumerate(columns):
+            if col.name in self._by_name:
+                raise CatalogError(
+                    f"duplicate column {col.name!r} in table {name!r}")
+            col.ordinal = i
+            self.columns.append(col)
+            self._by_name[col.name] = col
+            if col.primary_key:
+                if pk is not None:
+                    raise CatalogError(
+                        f"multiple primary keys in table {name!r}")
+                pk = col
+        self.primary_key = pk
+        self.indexes = {}  # index name -> IndexInfo
+
+    @property
+    def column_names(self):
+        return [col.name for col in self.columns]
+
+    def has_column(self, name):
+        return name in self._by_name
+
+    def column(self, name):
+        col = self._by_name.get(name)
+        if col is None:
+            raise CatalogError(
+                f"no column {name!r} in table {self.name!r}")
+        return col
+
+    def ordinal_of(self, name):
+        return self.column(name).ordinal
+
+
+class IndexInfo:
+    """Metadata for a secondary index."""
+
+    __slots__ = ("name", "table", "columns", "unique")
+
+    def __init__(self, name, table, columns, unique=False):
+        self.name = name
+        self.table = table
+        self.columns = tuple(columns)
+        self.unique = unique
+
+
+class Catalog:
+    """The set of tables known to one database instance."""
+
+    def __init__(self):
+        self._tables = {}
+        self._index_names = {}
+
+    def create_table(self, schema):
+        if schema.name in self._tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        self._tables[schema.name] = schema
+
+    def drop_table(self, name):
+        schema = self.table(name)
+        for index_name in schema.indexes:
+            self._index_names.pop(index_name, None)
+        del self._tables[name]
+
+    def table(self, name):
+        schema = self._tables.get(name)
+        if schema is None:
+            raise CatalogError(f"no such table: {name!r}")
+        return schema
+
+    def has_table(self, name):
+        return name in self._tables
+
+    def table_names(self):
+        return sorted(self._tables)
+
+    def register_index(self, info):
+        if info.name in self._index_names:
+            raise CatalogError(f"index {info.name!r} already exists")
+        schema = self.table(info.table)
+        for column in info.columns:
+            schema.column(column)  # raises if missing
+        schema.indexes[info.name] = info
+        self._index_names[info.name] = info

@@ -1,0 +1,63 @@
+"""Top-level database facade.
+
+:class:`Database` owns the catalog, table storage, the transaction manager
+and the executor, and exposes ``execute(sql, params)`` plus convenience
+helpers.  It also keeps cumulative counters (statements executed, rows
+touched) that the simulated server reads for its cost model.
+"""
+
+from repro.sqldb.catalog import Catalog
+from repro.sqldb.errors import CatalogError
+from repro.sqldb.executor import Executor
+from repro.sqldb.parser import parse
+from repro.sqldb.transactions import TransactionManager
+
+
+class Database:
+    """An embedded in-memory relational database."""
+
+    def __init__(self, name="main"):
+        self.name = name
+        self.catalog = Catalog()
+        self.tables = {}
+        self.transactions = TransactionManager()
+        self.executor = Executor(self)
+        self.statements_executed = 0
+        self.total_rows_touched = 0
+
+    def tables_get(self, name):
+        table = self.tables.get(name)
+        if table is None:
+            raise CatalogError(f"no such table: {name!r}")
+        return table
+
+    def execute(self, sql, params=()):
+        """Parse and execute one SQL statement; returns :class:`ExecResult`."""
+        stmt = parse(sql)
+        result = self.executor.execute(stmt, tuple(params))
+        self.statements_executed += 1
+        self.total_rows_touched += result.rows_touched
+        return result
+
+    def execute_script(self, script):
+        """Execute a semicolon-separated list of statements (DDL helper)."""
+        results = []
+        for piece in script.split(";"):
+            piece = piece.strip()
+            if piece:
+                results.append(self.execute(piece))
+        return results
+
+    def query(self, sql, params=()):
+        """Execute a SELECT and return rows as a list of dicts."""
+        result = self.execute(sql, params)
+        return [dict(zip(result.columns, row)) for row in result.rows]
+
+    def table_size(self, name):
+        return len(self.tables_get(name))
+
+    def snapshot_counts(self):
+        """Row count per table — used by tests and by database-scaling
+        experiments to confirm dataset sizes."""
+        return {name: len(table) for name, table in sorted(
+            self.tables.items())}

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the embedded SQL engine."""
+
+
+class SqlError(Exception):
+    """Base class for all errors raised by :mod:`repro.sqldb`."""
+
+
+class SqlParseError(SqlError):
+    """Raised when a SQL string cannot be tokenized or parsed.
+
+    Carries the offending position so callers can point at the error.
+    """
+
+    def __init__(self, message, position=None, sql=None):
+        self.position = position
+        self.sql = sql
+        if position is not None and sql is not None:
+            context = sql[max(0, position - 20):position + 20]
+            message = f"{message} (at position {position}: ...{context!r}...)"
+        super().__init__(message)
+
+
+class SqlTypeError(SqlError):
+    """Raised when an expression is applied to values of the wrong type."""
+
+
+class CatalogError(SqlError):
+    """Raised for unknown/duplicate tables, columns, or indexes."""
+
+
+class ConstraintError(SqlError):
+    """Raised when a write violates a primary-key or not-null constraint."""
+
+
+class TransactionError(SqlError):
+    """Raised for invalid transaction state transitions."""

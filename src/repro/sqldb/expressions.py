@@ -1,0 +1,284 @@
+"""Expression evaluation over rows, with SQL three-valued logic.
+
+The evaluator works against a :class:`RowContext` that resolves (possibly
+qualified) column references to values of the current joined row.  NULL
+propagates through arithmetic and comparisons; ``AND``/``OR`` use
+three-valued logic (``None`` stands for UNKNOWN).
+"""
+
+import re
+
+from repro.sqldb import ast_nodes as A
+from repro.sqldb.errors import SqlError, SqlTypeError
+from repro.sqldb.types import is_comparable
+
+
+class RowContext:
+    """Resolves column references against the current row.
+
+    ``columns`` maps ``(alias, column)`` and ``(None, column)`` keys to
+    positions in the flat ``values`` list.  Unqualified names that are
+    ambiguous across tables must be registered as ambiguous by the executor.
+    """
+
+    __slots__ = ("positions", "ambiguous", "values")
+
+    def __init__(self, positions, ambiguous=frozenset()):
+        self.positions = positions
+        self.ambiguous = ambiguous
+        self.values = None
+
+    def bind(self, values):
+        self.values = values
+        return self
+
+    def resolve(self, table, column):
+        if table is None and column in self.ambiguous:
+            raise SqlError(f"ambiguous column reference {column!r}")
+        pos = self.positions.get((table, column))
+        if pos is None:
+            where = f"table {table!r}" if table else "any table"
+            raise SqlError(f"unknown column {column!r} in {where}")
+        return self.values[pos]
+
+
+def like_to_regex(pattern):
+    """Convert a SQL LIKE pattern to an anchored Python regex."""
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+_LIKE_CACHE = {}
+
+
+def _like_match(value, pattern):
+    regex = _LIKE_CACHE.get(pattern)
+    if regex is None:
+        regex = like_to_regex(pattern)
+        if len(_LIKE_CACHE) < 1024:
+            _LIKE_CACHE[pattern] = regex
+    return regex.match(value) is not None
+
+
+def evaluate(expr, ctx, params=()):
+    """Evaluate ``expr`` against a bound :class:`RowContext`.
+
+    ``params`` supplies values for ``?`` placeholders.  Returns a Python
+    value; ``None`` means SQL NULL / UNKNOWN.
+    """
+    kind = type(expr)
+    if kind is A.Literal:
+        return expr.value
+    if kind is A.Param:
+        try:
+            return params[expr.index]
+        except IndexError:
+            raise SqlError(
+                f"missing parameter #{expr.index + 1} "
+                f"(got {len(params)} parameters)") from None
+    if kind is A.ColumnRef:
+        return ctx.resolve(expr.table, expr.column)
+    if kind is A.BinaryOp:
+        return _eval_binary(expr, ctx, params)
+    if kind is A.UnaryOp:
+        value = evaluate(expr.operand, ctx, params)
+        if expr.op == "NOT":
+            return None if value is None else (not _truthy(value))
+        if expr.op == "-":
+            if value is None:
+                return None
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SqlTypeError(f"cannot negate {value!r}")
+            return -value
+        raise SqlError(f"unknown unary operator {expr.op!r}")
+    if kind is A.IsNull:
+        value = evaluate(expr.expr, ctx, params)
+        result = value is None
+        return (not result) if expr.negated else result
+    if kind is A.InList:
+        return _eval_in(expr, ctx, params)
+    if kind is A.Between:
+        value = evaluate(expr.expr, ctx, params)
+        low = evaluate(expr.low, ctx, params)
+        high = evaluate(expr.high, ctx, params)
+        if value is None or low is None or high is None:
+            return None
+        result = _compare(value, low) >= 0 and _compare(value, high) <= 0
+        return (not result) if expr.negated else result
+    if kind is A.Like:
+        value = evaluate(expr.expr, ctx, params)
+        pattern = evaluate(expr.pattern, ctx, params)
+        if value is None or pattern is None:
+            return None
+        if not isinstance(value, str) or not isinstance(pattern, str):
+            raise SqlTypeError("LIKE requires text operands")
+        result = _like_match(value, pattern)
+        return (not result) if expr.negated else result
+    if kind is A.FuncCall:
+        return _eval_scalar_func(expr, ctx, params)
+    if kind is A.Star:
+        raise SqlError("'*' is only valid in a select list or COUNT(*)")
+    raise SqlError(f"cannot evaluate expression node {expr!r}")
+
+
+def _truthy(value):
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    raise SqlTypeError(f"expected a boolean, got {value!r}")
+
+
+def _compare(a, b):
+    if not is_comparable(a, b):
+        raise SqlTypeError(f"cannot compare {a!r} with {b!r}")
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+def _eval_binary(expr, ctx, params):
+    op = expr.op
+    if op == "AND":
+        left = evaluate(expr.left, ctx, params)
+        if left is not None and not _truthy(left):
+            return False
+        right = evaluate(expr.right, ctx, params)
+        if right is not None and not _truthy(right):
+            return False
+        if left is None or right is None:
+            return None
+        return True
+    if op == "OR":
+        left = evaluate(expr.left, ctx, params)
+        if left is not None and _truthy(left):
+            return True
+        right = evaluate(expr.right, ctx, params)
+        if right is not None and _truthy(right):
+            return True
+        if left is None or right is None:
+            return None
+        return False
+    left = evaluate(expr.left, ctx, params)
+    right = evaluate(expr.right, ctx, params)
+    if left is None or right is None:
+        return None
+    if op in ("=", "<>", "<", ">", "<=", ">="):
+        cmp = _compare(left, right)
+        return {
+            "=": cmp == 0, "<>": cmp != 0, "<": cmp < 0,
+            ">": cmp > 0, "<=": cmp <= 0, ">=": cmp >= 0,
+        }[op]
+    if op == "||":
+        if not isinstance(left, str) or not isinstance(right, str):
+            raise SqlTypeError("'||' requires text operands")
+        return left + right
+    if op in ("+", "-", "*", "/", "%"):
+        if (isinstance(left, bool) or isinstance(right, bool)
+                or not isinstance(left, (int, float))
+                or not isinstance(right, (int, float))):
+            raise SqlTypeError(
+                f"arithmetic requires numbers, got {left!r} {op} {right!r}")
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                return None  # SQL semantics: division by zero yields NULL
+            result = left / right
+            if isinstance(left, int) and isinstance(right, int):
+                return int(result) if result == int(result) else result
+            return result
+        if right == 0:
+            return None
+        return left % right
+    raise SqlError(f"unknown binary operator {op!r}")
+
+
+def _eval_in(expr, ctx, params):
+    value = evaluate(expr.expr, ctx, params)
+    if value is None:
+        return None
+    saw_null = False
+    for item in expr.items:
+        candidate = evaluate(item, ctx, params)
+        if candidate is None:
+            saw_null = True
+            continue
+        if is_comparable(value, candidate) and _compare(value, candidate) == 0:
+            return not expr.negated
+    if saw_null:
+        return None
+    return expr.negated
+
+
+def _eval_scalar_func(expr, ctx, params):
+    name = expr.name
+    if name in ("COUNT", "SUM", "AVG", "MIN", "MAX"):
+        raise SqlError(
+            f"aggregate {name} is not allowed in this context")
+    args = [evaluate(arg, ctx, params) for arg in expr.args]
+    if name == "COALESCE":
+        for value in args:
+            if value is not None:
+                return value
+        return None
+    if len(args) != 1:
+        raise SqlError(f"{name} expects exactly one argument")
+    value = args[0]
+    if value is None:
+        return None
+    if name == "UPPER":
+        return value.upper()
+    if name == "LOWER":
+        return value.lower()
+    if name == "LENGTH":
+        return len(value)
+    if name == "ABS":
+        return abs(value)
+    raise SqlError(f"unknown function {name!r}")
+
+
+def expr_columns(expr):
+    """Collect all ColumnRef nodes in an expression (for planning)."""
+    found = []
+    _walk_columns(expr, found)
+    return found
+
+
+def _walk_columns(expr, found):
+    if isinstance(expr, A.ColumnRef):
+        found.append(expr)
+        return
+    if isinstance(expr, A.BinaryOp):
+        _walk_columns(expr.left, found)
+        _walk_columns(expr.right, found)
+    elif isinstance(expr, A.UnaryOp):
+        _walk_columns(expr.operand, found)
+    elif isinstance(expr, A.FuncCall):
+        for arg in expr.args:
+            _walk_columns(arg, found)
+    elif isinstance(expr, A.InList):
+        _walk_columns(expr.expr, found)
+        for item in expr.items:
+            _walk_columns(item, found)
+    elif isinstance(expr, A.Between):
+        _walk_columns(expr.expr, found)
+        _walk_columns(expr.low, found)
+        _walk_columns(expr.high, found)
+    elif isinstance(expr, (A.IsNull, A.Like)):
+        _walk_columns(expr.expr, found)
+        if isinstance(expr, A.Like):
+            _walk_columns(expr.pattern, found)

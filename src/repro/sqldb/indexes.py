@@ -1,0 +1,51 @@
+"""Secondary index structures.
+
+A :class:`HashIndex` maps a tuple of column values to the set of row ids that
+carry those values.  Rows containing NULL in any indexed column are not
+indexed (matching standard SQL lookup semantics where ``col = NULL`` never
+matches).
+"""
+
+from repro.sqldb.errors import ConstraintError
+
+
+class HashIndex:
+    """Equality index over one or more columns of a table."""
+
+    def __init__(self, info, ordinals):
+        self.info = info
+        self.ordinals = tuple(ordinals)
+        self._buckets = {}
+
+    def key_for(self, row):
+        key = tuple(row[i] for i in self.ordinals)
+        if any(part is None for part in key):
+            return None
+        return key
+
+    def insert(self, row_id, row):
+        key = self.key_for(row)
+        if key is None:
+            return
+        bucket = self._buckets.setdefault(key, set())
+        if self.info.unique and bucket:
+            raise ConstraintError(
+                f"unique index {self.info.name!r} violated for key {key!r}")
+        bucket.add(row_id)
+
+    def delete(self, row_id, row):
+        key = self.key_for(row)
+        if key is None:
+            return
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.discard(row_id)
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, key):
+        """Return a set of row ids matching the key tuple (possibly empty)."""
+        return self._buckets.get(tuple(key), set())
+
+    def __len__(self):
+        return sum(len(bucket) for bucket in self._buckets.values())

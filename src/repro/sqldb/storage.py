@@ -1,0 +1,159 @@
+"""Row storage for one table.
+
+Rows are stored as lists indexed by a monotonically increasing row id.  The
+table maintains the primary-key index and any secondary indexes, and exposes
+undo hooks used by :mod:`repro.sqldb.transactions` for rollback.
+"""
+
+from repro.sqldb.errors import ConstraintError
+from repro.sqldb.indexes import HashIndex
+from repro.sqldb.types import coerce_value
+
+
+class Table:
+    """Physical storage for one table."""
+
+    def __init__(self, schema):
+        self.schema = schema
+        self.rows = {}  # row_id -> list of values
+        self._next_row_id = 1
+        self._pk_index = {}  # pk value -> row_id
+        self.indexes = {}  # index name -> HashIndex
+
+    # -- index management ---------------------------------------------------
+
+    def add_index(self, info):
+        ordinals = [self.schema.ordinal_of(c) for c in info.columns]
+        index = HashIndex(info, ordinals)
+        for row_id, row in self.rows.items():
+            index.insert(row_id, row)
+        self.indexes[info.name] = index
+        return index
+
+    def index_on(self, columns):
+        """Find an index whose column list equals ``columns``, or None."""
+        wanted = tuple(columns)
+        for index in self.indexes.values():
+            if index.info.columns == wanted:
+                return index
+        return None
+
+    # -- row operations ------------------------------------------------------
+
+    def _check_row(self, values):
+        checked = []
+        for col, value in zip(self.schema.columns, values):
+            coerced = coerce_value(value, col.type_name)
+            if coerced is None and col.not_null:
+                raise ConstraintError(
+                    f"column {col.name!r} of table {self.schema.name!r} "
+                    f"is NOT NULL")
+            checked.append(coerced)
+        return checked
+
+    def insert_row(self, values, undo_log=None):
+        """Insert a full-width row; returns the new row id."""
+        if len(values) != len(self.schema.columns):
+            raise ConstraintError(
+                f"table {self.schema.name!r} expects "
+                f"{len(self.schema.columns)} values, got {len(values)}")
+        row = self._check_row(values)
+        pk = self.schema.primary_key
+        if pk is not None:
+            key = row[pk.ordinal]
+            if key in self._pk_index:
+                raise ConstraintError(
+                    f"duplicate primary key {key!r} in table "
+                    f"{self.schema.name!r}")
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        self.rows[row_id] = row
+        if pk is not None:
+            self._pk_index[row[pk.ordinal]] = row_id
+        for index in self.indexes.values():
+            index.insert(row_id, row)
+        if undo_log is not None:
+            undo_log.append(("insert", self, row_id))
+        return row_id
+
+    def delete_row(self, row_id, undo_log=None):
+        row = self.rows.pop(row_id)
+        pk = self.schema.primary_key
+        if pk is not None:
+            self._pk_index.pop(row[pk.ordinal], None)
+        for index in self.indexes.values():
+            index.delete(row_id, row)
+        if undo_log is not None:
+            undo_log.append(("delete", self, row_id, row))
+        return row
+
+    def update_row(self, row_id, new_values, undo_log=None):
+        old_row = self.rows[row_id]
+        new_row = self._check_row(new_values)
+        pk = self.schema.primary_key
+        if pk is not None:
+            old_key = old_row[pk.ordinal]
+            new_key = new_row[pk.ordinal]
+            if new_key != old_key and new_key in self._pk_index:
+                raise ConstraintError(
+                    f"duplicate primary key {new_key!r} in table "
+                    f"{self.schema.name!r}")
+        for index in self.indexes.values():
+            index.delete(row_id, old_row)
+        self.rows[row_id] = new_row
+        if pk is not None:
+            old_key = old_row[pk.ordinal]
+            new_key = new_row[pk.ordinal]
+            if new_key != old_key:
+                self._pk_index.pop(old_key, None)
+                self._pk_index[new_key] = row_id
+        for index in self.indexes.values():
+            index.insert(row_id, new_row)
+        if undo_log is not None:
+            undo_log.append(("update", self, row_id, old_row))
+        return new_row
+
+    # -- undo hooks (used by transactions) -----------------------------------
+
+    def undo_insert(self, row_id):
+        if row_id in self.rows:
+            self.delete_row(row_id)
+
+    def undo_delete(self, row_id, row):
+        self.rows[row_id] = row
+        pk = self.schema.primary_key
+        if pk is not None:
+            self._pk_index[row[pk.ordinal]] = row_id
+        for index in self.indexes.values():
+            index.insert(row_id, row)
+
+    def undo_update(self, row_id, old_row):
+        current = self.rows.get(row_id)
+        if current is not None:
+            for index in self.indexes.values():
+                index.delete(row_id, current)
+            pk = self.schema.primary_key
+            if pk is not None:
+                self._pk_index.pop(current[pk.ordinal], None)
+        self.rows[row_id] = old_row
+        pk = self.schema.primary_key
+        if pk is not None:
+            self._pk_index[old_row[pk.ordinal]] = row_id
+        for index in self.indexes.values():
+            index.insert(row_id, old_row)
+
+    # -- lookups --------------------------------------------------------------
+
+    def find_by_pk(self, key):
+        """Return (row_id, row) for a primary-key value, or None."""
+        row_id = self._pk_index.get(key)
+        if row_id is None:
+            return None
+        return row_id, self.rows[row_id]
+
+    def scan(self):
+        """Iterate over (row_id, row) in insertion order."""
+        return iter(sorted(self.rows.items()))
+
+    def __len__(self):
+        return len(self.rows)

@@ -1,0 +1,55 @@
+"""Transaction support: an undo log with BEGIN/COMMIT/ROLLBACK.
+
+The engine runs single-writer (the simulated server serializes writes), so
+transactions only need atomicity, which the undo log provides.  When no
+transaction is open, statements auto-commit (the undo log is discarded after
+each statement).
+"""
+
+from repro.sqldb.errors import TransactionError
+
+
+class TransactionManager:
+    """Tracks the open-transaction state and the undo log for rollback."""
+
+    def __init__(self):
+        self._in_transaction = False
+        self._undo_log = []
+
+    @property
+    def in_transaction(self):
+        return self._in_transaction
+
+    def undo_log(self):
+        """The live undo list that table mutations append to, or None when
+        auto-committing (no undo needed)."""
+        return self._undo_log if self._in_transaction else None
+
+    def begin(self):
+        if self._in_transaction:
+            raise TransactionError("transaction already in progress")
+        self._in_transaction = True
+        self._undo_log = []
+
+    def commit(self):
+        if not self._in_transaction:
+            raise TransactionError("no transaction in progress")
+        self._in_transaction = False
+        self._undo_log = []
+
+    def rollback(self):
+        if not self._in_transaction:
+            raise TransactionError("no transaction in progress")
+        for entry in reversed(self._undo_log):
+            action = entry[0]
+            if action == "insert":
+                _, table, row_id = entry
+                table.undo_insert(row_id)
+            elif action == "delete":
+                _, table, row_id, row = entry
+                table.undo_delete(row_id, row)
+            elif action == "update":
+                _, table, row_id, old_row = entry
+                table.undo_update(row_id, old_row)
+        self._in_transaction = False
+        self._undo_log = []

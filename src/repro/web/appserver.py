@@ -1,0 +1,174 @@
+"""The application server: request lifecycle + measurement hooks.
+
+An :class:`AppServer` hosts one application (a dispatcher full of
+controllers and templates) over one database server, in either of two modes:
+
+- ``original`` — the unmodified application: every query is one round trip
+  through :class:`repro.net.driver.Driver`; templates evaluate eagerly.
+- ``sloth`` — the Sloth-compiled application: a fresh
+  :class:`repro.core.runtime.SlothRuntime` per request batches queries
+  through the :class:`repro.net.driver.BatchDriver`; templates defer.
+
+``load_page`` runs one full request (controller → view render → writer
+flush) and returns a :class:`PageLoadResult` with the virtual-time breakdown
+and the query/round-trip counters the paper's evaluation reports.
+"""
+
+from repro.core.runtime import OptimizationFlags, SlothRuntime
+from repro.net.clock import PHASE_APP, SimClock
+from repro.net.driver import BatchDriver, Driver
+from repro.net.server import DatabaseServer
+from repro.orm.session import OriginalBackend, Session, SlothBackend
+from repro.web.writer import ThunkWriter
+
+MODE_ORIGINAL = "original"
+MODE_SLOTH = "sloth"
+
+
+class RequestContext:
+    """Everything a controller needs for one request."""
+
+    def __init__(self, session, runtime, request, mode):
+        self.session = session
+        self.runtime = runtime
+        self.request = request
+        self.mode = mode
+
+    @property
+    def lazy_mode(self):
+        return self.mode == MODE_SLOTH
+
+    def run_ops(self, count, persistent=True):
+        """Model ``count`` simple statements of controller code."""
+        self.runtime.run_ops(count, persistent=persistent)
+
+    def defer(self, fn):
+        """Defer a computation under Sloth; execute it now otherwise."""
+        return self.runtime.defer(fn)
+
+    def branch(self, condition, deferrable=True):
+        """Paper §4.2: evaluate a branch condition, or defer it (returns
+        None) when branch deferral applies."""
+        return self.runtime.branch(condition, deferrable=deferrable)
+
+    def if_branch(self, cond_fn, then_fn, else_fn=None, deferrable=True):
+        """A branch in Sloth-compiled style (paper §4.2).
+
+        With branch deferral on and a deferrable body, the *whole* branch —
+        condition included — becomes one thunk: evaluating ``cond_fn`` (which
+        typically forces query results) is postponed, keeping pending batches
+        intact.  Otherwise the condition evaluates immediately.
+        """
+        if self.lazy_mode and deferrable \
+                and self.runtime.opts.branch_deferral:
+            self.runtime.stats.branches_deferred += 1
+            return self.runtime.defer(
+                lambda: then_fn() if cond_fn() else (
+                    else_fn() if else_fn is not None else None))
+        self.runtime.stats.branches_forced += 1
+        if cond_fn():
+            return then_fn()
+        return else_fn() if else_fn is not None else None
+
+    def has_privilege(self, name):
+        """Authentication/privilege check (forces nothing; request-local)."""
+        user = self.request.user
+        return user is not None and name in user.get("privileges", ())
+
+
+class PageLoadResult:
+    """Outcome of one page load."""
+
+    def __init__(self, url, html, time_ms, phases, round_trips,
+                 queries_issued, largest_batch, queries_registered):
+        self.url = url
+        self.html = html
+        self.time_ms = time_ms
+        self.phases = phases  # {"network": ms, "db": ms, "app": ms}
+        self.round_trips = round_trips
+        self.queries_issued = queries_issued
+        self.largest_batch = largest_batch
+        self.queries_registered = queries_registered
+
+    def __repr__(self):
+        return (f"PageLoadResult({self.url!r}, {self.time_ms:.2f} ms, "
+                f"{self.round_trips} round trips, "
+                f"{self.queries_issued} queries)")
+
+
+class AppServer:
+    """Hosts an application over a database in one of the two modes."""
+
+    def __init__(self, database, dispatcher, cost_model, mode=MODE_ORIGINAL,
+                 optimizations=None, clock=None):
+        if mode not in (MODE_ORIGINAL, MODE_SLOTH):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.database = database
+        self.dispatcher = dispatcher
+        self.cost_model = cost_model
+        self.mode = mode
+        self.optimizations = optimizations or OptimizationFlags.all()
+        self.clock = clock or SimClock()
+        self.db_server = DatabaseServer(database, cost_model)
+
+    #: privileges granted to the synthetic logged-in user when a request
+    #: carries no explicit user (benchmarks run authenticated, as in the
+    #: paper's setup).
+    DEFAULT_USER = {"name": "user1",
+                    "privileges": ("VIEW_PATIENTS", "EDIT_ISSUES")}
+
+    def load_page(self, request):
+        """Run one request and measure it."""
+        if request.user is None:
+            request.user = dict(self.DEFAULT_USER)
+        controller, template = self.dispatcher.route(request.url)
+        checkpoint = self.clock.checkpoint()
+
+        if self.mode == MODE_SLOTH:
+            driver = BatchDriver(self.db_server, self.clock, self.cost_model)
+            runtime = SlothRuntime(driver, self.clock, self.cost_model,
+                                   optimizations=self.optimizations,
+                                   lazy_mode=True)
+            backend = SlothBackend(runtime)
+        else:
+            driver = Driver(self.db_server, self.clock, self.cost_model)
+            runtime = SlothRuntime(driver, self.clock, self.cost_model,
+                                   lazy_mode=False)
+            backend = OriginalBackend(driver)
+
+        session = Session(backend)
+        ctx = RequestContext(session, runtime, request, self.mode)
+
+        mav = controller(ctx, request)
+        writer = ThunkWriter()
+        # Template thunks come from the extended JSP writer's pre-allocated
+        # buffer (paper §5, writeThunk); their cost is the per-node render
+        # charge below, not a per-thunk allocation.
+        render_runtime = None
+        scope = dict(mav.model)
+        template.render(scope, writer, runtime=render_runtime,
+                        lazy_mode=(self.mode == MODE_SLOTH))
+        # Rendering itself costs CPU proportional to the page size.
+        self.clock.charge(
+            PHASE_APP, self.cost_model.app_op_ms * max(1, len(writer._buffer)))
+        html = writer.flush()
+        # NOTE: no query-store flush here.  Queries registered after the
+        # last force are never issued — this is how Sloth ends up issuing
+        # *fewer* queries than the original on pages with unused eager
+        # fetches (paper §6.1).
+
+        elapsed, phases = self.clock.since(checkpoint)
+        if self.mode == MODE_SLOTH:
+            registered = runtime.query_store.stats.queries_registered
+        else:
+            registered = driver.stats.statements
+        return PageLoadResult(
+            url=request.url,
+            html=html,
+            time_ms=elapsed,
+            phases=phases,
+            round_trips=driver.stats.round_trips,
+            queries_issued=driver.stats.statements,
+            largest_batch=driver.stats.largest_batch,
+            queries_registered=registered,
+        )

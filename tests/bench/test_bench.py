@@ -1,0 +1,59 @@
+from repro.bench.report import cdf, format_table, ratio_stats
+from repro.bench.throughput import PageDemands, peak, throughput_curve
+
+
+class TestReport:
+    def test_cdf_monotone(self):
+        points = cdf([3, 1, 2])
+        assert points == [(1, 1 / 3), (2, 2 / 3), (3, 1.0)]
+
+    def test_ratio_stats(self):
+        stats = ratio_stats([1.0, 2.0, 9.0])
+        assert stats == {"min": 1.0, "median": 2.0, "max": 9.0}
+
+    def test_ratio_stats_empty(self):
+        assert ratio_stats([])["median"] is None
+
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [(1, 2.5), (10, 3.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.50" in text and "3.25" in text
+
+
+class TestThroughputModel:
+    def test_curve_rises_then_falls(self):
+        demands = PageDemands(network_ms=8.0, app_ms=6.0, db_ms=2.0)
+        curve = throughput_curve(demands, list(range(1, 200, 5)))
+        values = [v for _, v in curve]
+        peak_index = values.index(max(values))
+        assert 0 < peak_index < len(values) - 1
+
+    def test_lower_network_raises_early_throughput(self):
+        slow = PageDemands(network_ms=10.0, app_ms=5.0, db_ms=2.0)
+        fast = PageDemands(network_ms=3.0, app_ms=5.0, db_ms=2.0)
+        slow_curve = throughput_curve(slow, [2])
+        fast_curve = throughput_curve(fast, [2])
+        assert fast_curve[0][1] > slow_curve[0][1]
+
+    def test_peak_helper(self):
+        assert peak([(1, 5.0), (2, 9.0), (3, 7.0)]) == (2, 9.0)
+
+
+class TestExperimentShapes:
+    def test_fig9_quick_single_app(self):
+        from repro.apps import itracker
+        from repro.bench.experiments import fig9_network
+
+        result = fig9_network.run(latencies=(0.5, 10.0),
+                                  apps=(("itracker", itracker),))
+        medians = [result["itracker"][rtt]["speedup"]["median"]
+                   for rtt in (0.5, 10.0)]
+        assert medians[1] > medians[0]
+
+    def test_fig11_counts_close_to_paper(self):
+        from repro.bench.experiments import fig11_persistence
+
+        result = fig11_persistence.run()
+        assert abs(result["itracker"]["persistent"] - 2031) < 110
+        assert abs(result["openmrs"]["persistent"] - 7616) < 390

@@ -1,0 +1,56 @@
+from repro.apps import tpcc, tpcw
+from repro.bench.harness import (
+    PageComparison, compare_pages, load_page, measure_tpc_overhead,
+)
+from repro.net.clock import CostModel
+from repro.web.appserver import MODE_ORIGINAL, MODE_SLOTH
+
+
+class TestPageComparison:
+    def test_ratios(self, itracker_app):
+        db, dispatcher = itracker_app
+        comparisons = compare_pages(db, dispatcher, ["error.jsp"])
+        c = comparisons[0]
+        assert isinstance(c, PageComparison)
+        assert c.speedup == c.original.time_ms / c.sloth.time_ms
+        assert c.round_trip_ratio >= 1.0
+
+    def test_load_page_params_forwarded(self, itracker_app):
+        db, dispatcher = itracker_app
+        result = load_page(db, dispatcher, "module-projects/view_issue.jsp",
+                           CostModel(), MODE_ORIGINAL, params={"id": "9"})
+        assert "#9" in result.html
+
+    def test_latency_sensitivity(self, itracker_app):
+        db, dispatcher = itracker_app
+        url = "portalhome.jsp"
+        fast = load_page(db, dispatcher, url, CostModel(round_trip_ms=0.1),
+                         MODE_ORIGINAL)
+        slow = load_page(db, dispatcher, url, CostModel(round_trip_ms=5.0),
+                         MODE_ORIGINAL)
+        assert slow.time_ms > fast.time_ms
+        assert slow.round_trips == fast.round_trips
+
+
+class TestTpcHarness:
+    def test_tpcc_overhead_positive(self):
+        schedule = [("payment", i) for i in range(10)]
+        orig, sloth = measure_tpc_overhead(
+            tpcc.seed, lambda client: tpcc.TpccRunner(client), schedule)
+        assert sloth > orig > 0
+
+    def test_tpcw_overhead_positive(self):
+        schedule = [("shopping", i) for i in range(15)]
+        orig, sloth = measure_tpc_overhead(
+            tpcw.seed, lambda client: tpcw.TpcwRunner(client), schedule)
+        assert sloth > orig > 0
+
+    def test_fresh_databases_per_mode(self):
+        # Running twice gives identical timings: no state leaks between
+        # the original and Sloth runs.
+        schedule = [("new_order", i) for i in range(5)]
+        first = measure_tpc_overhead(
+            tpcc.seed, lambda client: tpcc.TpccRunner(client), schedule)
+        second = measure_tpc_overhead(
+            tpcc.seed, lambda client: tpcc.TpccRunner(client), schedule)
+        assert first == second

@@ -1,0 +1,137 @@
+from repro.compiler import kernel as K
+from repro.compiler.analysis import (
+    classify_functions, deferrable_branches, effective_kind, liveness,
+    persistent_functions, stmt_uses_defs,
+)
+from repro.compiler.optimize import CoalesceGroup, coalesce_plan
+from repro.compiler.parser import parse_program
+
+
+class TestEffects:
+    def test_pure_function(self):
+        prog = parse_program("fn f(x) { y := x + 1; return y; } a := f(1);")
+        effects = classify_functions(prog)["f"]
+        assert not effects.has_external_effects
+        assert not effects.touches_database
+        assert effective_kind(prog.function("f"), effects and
+                              classify_functions(prog)) == K.PURE
+
+    def test_query_function_is_not_deferred_whole(self):
+        prog = parse_program("fn f(x) { y := R(x); return y; } a := f(1);")
+        summaries = classify_functions(prog)
+        assert summaries["f"].reads
+        assert effective_kind(prog.function("f"), summaries) == K.IMPURE
+
+    def test_write_function(self):
+        prog = parse_program("fn f(x) { W(x); return 0; } a := f(1);")
+        summaries = classify_functions(prog)
+        assert summaries["f"].writes
+
+    def test_transitive_propagation(self):
+        prog = parse_program("""
+        fn leaf(x) { y := R(x); return y; }
+        fn mid(x) { y := leaf(x); return y; }
+        fn top(x) { y := mid(x); return y; }
+        a := top(1);
+        """)
+        summaries = classify_functions(prog)
+        assert summaries["top"].reads
+
+    def test_external_assumed_effectful(self):
+        prog = parse_program(
+            "external f(x) { return x; } a := f(1);")
+        summaries = classify_functions(prog)
+        assert summaries["f"].has_external_effects
+
+
+class TestPersistence:
+    def test_leaves_and_closure(self):
+        graph = {
+            "dao": [],
+            "service": ["dao"],
+            "controller": ["service", "fmt"],
+            "fmt": [],
+        }
+        persistent = persistent_functions(graph, {"dao"})
+        assert persistent == {"dao", "service", "controller"}
+
+    def test_cycle_handling(self):
+        graph = {"a": ["b"], "b": ["a"], "c": []}
+        assert persistent_functions(graph, {"a"}) == {"a", "b"}
+
+    def test_no_leaves(self):
+        assert persistent_functions({"a": ["b"], "b": []}, set()) == set()
+
+
+class TestLiveness:
+    def test_backwards_liveness(self):
+        prog = parse_program("a := 1; b := a + 1; c := b + 1; output c;")
+        stmts = K.statements_of(prog.main)
+        live = liveness(stmts)
+        # after `a := 1`, a is live (used by next stmt)
+        assert "a" in live[0]
+        # after `c := b + 1`, only c is live
+        assert live[2] == {"c"}
+        # after output, nothing is live
+        assert live[3] == set()
+
+    def test_uses_defs(self):
+        stmt = K.statements_of(parse_program("x := y + z;").main)[0]
+        uses, defs = stmt_uses_defs(stmt)
+        assert uses == {"y", "z"}
+        assert defs == {"x"}
+
+
+class TestBranchDeferral:
+    def test_pure_branch_is_deferrable(self):
+        prog = parse_program(
+            "a := 1; if (a > 0) { x := 1; } else { x := 2; }")
+        summaries = classify_functions(prog)
+        assert len(deferrable_branches(prog, summaries)) == 1
+
+    def test_branch_with_query_not_deferrable(self):
+        prog = parse_program(
+            "a := 1; if (a > 0) { x := R(1); } else { x := 2; }")
+        summaries = classify_functions(prog)
+        assert len(deferrable_branches(prog, summaries)) == 0
+
+    def test_branch_with_output_not_deferrable(self):
+        prog = parse_program(
+            "a := 1; if (a > 0) { output a; } else { skip; }")
+        summaries = classify_functions(prog)
+        assert len(deferrable_branches(prog, summaries)) == 0
+
+
+class TestCoalescing:
+    def test_consecutive_assigns_grouped_dead_temps_dropped(self):
+        prog = parse_program(
+            "a := 1; b := a + 1; c := b + 1; output c;")
+        summaries = classify_functions(prog)
+        plan = coalesce_plan(prog.main, summaries)
+        groups = [item for item in plan
+                  if isinstance(item, CoalesceGroup)]
+        assert len(groups) == 1
+        assert groups[0].outputs == {"c"}  # a, b are dead after the run
+
+    def test_query_statement_breaks_run(self):
+        prog = parse_program("a := 1; b := R(1); c := 2; d := c + 1;")
+        summaries = classify_functions(prog)
+        plan = coalesce_plan(prog.main, summaries)
+        groups = [item for item in plan if isinstance(item, CoalesceGroup)]
+        # only the trailing c;d pair coalesces
+        assert len(groups) == 1
+        assert len(groups[0].stmts) == 2
+
+    def test_singletons_not_grouped(self):
+        prog = parse_program("a := 1; output a; b := 2; output b;")
+        summaries = classify_functions(prog)
+        plan = coalesce_plan(prog.main, summaries)
+        assert not any(isinstance(item, CoalesceGroup) for item in plan)
+
+    def test_live_out_respected(self):
+        prog = parse_program("a := 1; b := 2;")
+        summaries = classify_functions(prog)
+        plan = coalesce_plan(prog.main, summaries, live_out={"a", "b"})
+        group = plan[0]
+        assert isinstance(group, CoalesceGroup)
+        assert group.outputs == {"a", "b"}

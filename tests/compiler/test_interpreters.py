@@ -1,0 +1,187 @@
+import pytest
+
+from repro.compiler import kernel as K
+from repro.compiler.errors import KernelError, KernelParseError
+from repro.compiler.lazy_interp import LazyInterpreter
+from repro.compiler.optimize import OptimizationPlan
+from repro.compiler.parser import parse_program
+from repro.compiler.standard_interp import StandardInterpreter
+
+
+def run_both(src, db=None, plan_flags=None):
+    program = parse_program(src)
+    std = StandardInterpreter(program, db).run()
+    plan = None
+    if plan_flags is not None:
+        plan = OptimizationPlan(program, *plan_flags)
+    lazy = LazyInterpreter(program, db, plan).run()
+    return std, lazy
+
+
+class TestStandardSemantics:
+    def test_arithmetic_and_vars(self):
+        std, _ = run_both("x := 2 + 3 * 4; y := x - 1;")
+        assert std.env == {"x": 14, "y": 13}
+
+    def test_while_loop(self):
+        std, _ = run_both(
+            "i := 0; s := 0; while (i < 5) { s := s + i; i := i + 1; }")
+        assert std.env["s"] == 10
+
+    def test_records_and_fields(self):
+        std, _ = run_both("p := {x: 1, y: 2}; p.x := 5; v := p.x + p.y;")
+        assert std.env["v"] == 7
+
+    def test_reads_and_writes(self):
+        std, _ = run_both("a := R(1); W(1); b := R(1); output a + b;",
+                          db={1: 10})
+        assert std.output == [21]
+        assert std.round_trips == 3
+
+    def test_function_call(self):
+        std, _ = run_both(
+            "fn double(v) { r := v * 2; return r; } x := double(21);")
+        assert std.env["x"] == 42
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(KernelError):
+            run_both("x := y;")
+
+    def test_step_budget_stops_divergence(self):
+        with pytest.raises(KernelError):
+            run_both("while (true) { x := 1; }")
+
+    def test_parse_error(self):
+        with pytest.raises(KernelParseError):
+            parse_program("x := ;")
+
+
+class TestLazySemantics:
+    def test_batching_reduces_round_trips(self):
+        src = """
+        a := R(1);
+        b := R(2);
+        c := R(3);
+        output a + b + c;
+        """
+        std, lazy = run_both(src, db={1: 1, 2: 2, 3: 3})
+        assert std.output == lazy.output == [6]
+        assert std.round_trips == 3
+        assert lazy.round_trips == 1
+        assert lazy.store.largest_batch == 3
+
+    def test_dependent_queries_force_sequentially(self):
+        src = "a := R(1); b := R(a); output b;"
+        std, lazy = run_both(src, db={1: 7, 7: 70})
+        assert lazy.output == [70]
+        assert lazy.round_trips == 2
+
+    def test_unused_query_never_issued(self):
+        from repro.compiler.parser import parse_program
+
+        program = parse_program("a := R(1); b := 2; output b;")
+        lazy = LazyInterpreter(program, {1: 5}).run(force_final=False)
+        # The program never needed a's value: the query stayed pending.
+        assert lazy.round_trips == 0
+        assert lazy.store.queries_issued == 0
+        assert lazy.output == [2]
+
+    def test_write_ships_with_pending_reads(self):
+        src = "a := R(1); W(5); output a;"
+        std, lazy = run_both(src, db={1: 9})
+        assert std.output == lazy.output == [9]
+        assert std.round_trips == 2
+        assert lazy.round_trips == 1  # read + write in one batch
+        assert lazy.store.batches == [2]
+
+    def test_reads_before_write_see_old_db(self):
+        src = "a := R(1); W(1); b := R(1); output a; output b;"
+        std, lazy = run_both(src, db={1: 3})
+        assert std.output == lazy.output == [3, 4]
+
+    def test_dedup_identical_reads(self):
+        src = "a := R(1); b := R(1); output a + b;"
+        _, lazy = run_both(src, db={1: 4})
+        assert lazy.output == [8]
+        assert lazy.store.dedup_hits == 1
+        assert lazy.round_trips == 1
+
+    def test_heap_writes_not_deferred(self):
+        src = "p := {v: 0}; p.v := R(1); q := p.v; output q;"
+        std, lazy = run_both(src, db={1: 6})
+        assert std.output == lazy.output == [6]
+
+    def test_branch_condition_forces_in_basic_mode(self):
+        src = """
+        a := R(1);
+        if (a > 0) { x := 1; } else { x := 2; }
+        b := R(2);
+        output x; output b;
+        """
+        std, lazy = run_both(src, db={1: 1, 2: 9})
+        # basic: condition forces a before b registers -> two batches
+        assert lazy.round_trips == 2
+        assert std.output == lazy.output
+
+
+class TestOptimizations:
+    def test_branch_deferral_merges_batches(self):
+        src = """
+        a := R(1);
+        if (a > 0) { x := 1; } else { x := 2; }
+        b := R(2);
+        output x; output b;
+        """
+        _, basic = run_both(src, db={1: 1, 2: 9})
+        _, optimized = run_both(src, db={1: 1, 2: 9},
+                                plan_flags=(False, False, True))
+        assert optimized.output == basic.output
+        assert optimized.round_trips < basic.round_trips
+        assert optimized.store.largest_batch == 2
+
+    def test_coalescing_reduces_allocations(self):
+        # Seed the chain with a query result so the arithmetic is genuinely
+        # delayed (constants fold away without ever allocating a thunk).
+        src = """
+        a := R(1);
+        b := a + 1;
+        c := b + 1;
+        d := c + 1;
+        e := d * 2;
+        output e;
+        """
+        _, basic = run_both(src, db={1: 1})
+        _, coalesced = run_both(src, db={1: 1},
+                                plan_flags=(False, True, False))
+        assert coalesced.output == basic.output == [8]
+        assert coalesced.thunks_allocated < basic.thunks_allocated
+
+    def test_selective_compilation_skips_nonpersistent_fn(self):
+        src = """
+        fn fmt(v) { t := v + 1; u := t * 2; return u; }
+        x := R(1);
+        y := fmt(x);
+        output y;
+        """
+        _, basic = run_both(src, db={1: 10})
+        _, selective = run_both(src, db={1: 10},
+                                plan_flags=(True, False, False))
+        assert basic.output == selective.output == [22]
+
+    def test_all_optimizations_preserve_results(self):
+        src = """
+        fn helper(v) { r := v + 100; return r; }
+        a := R(1);
+        b := R(2);
+        if (a > b) { m := a; } else { m := b; }
+        c := helper(m);
+        W(c);
+        d := R(c);
+        output d;
+        """
+        db = {1: 5, 2: 7}
+        std, lazy_all = run_both(src, db=db,
+                                 plan_flags=(True, True, True))
+        assert std.output == lazy_all.output
+        assert std.db == lazy_all.db
+        assert lazy_all.round_trips <= std.round_trips

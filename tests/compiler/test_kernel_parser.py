@@ -1,0 +1,110 @@
+import pytest
+
+from repro.compiler import kernel as K
+from repro.compiler.errors import KernelParseError
+from repro.compiler.parser import parse_program, parse_statement
+
+
+class TestStatements:
+    def test_assignment(self):
+        stmt = K.statements_of(parse_statement("x := 1 + 2;"))[0]
+        assert isinstance(stmt, K.Assign)
+        assert stmt.expr == K.BinOp("+", K.Const(1), K.Const(2))
+
+    def test_field_assignment(self):
+        stmt = K.statements_of(parse_statement("p.f := 1;"))[0]
+        assert isinstance(stmt.target, K.Field)
+
+    def test_if_else_and_skip(self):
+        stmt = K.statements_of(
+            parse_statement("if (x > 0) { skip; } else { y := 1; }"))[0]
+        assert isinstance(stmt, K.If)
+        assert isinstance(K.statements_of(stmt.then)[0], K.Skip)
+
+    def test_if_without_else(self):
+        stmt = K.statements_of(parse_statement("if (x = 1) { y := 2; }"))[0]
+        assert isinstance(stmt.orelse, K.Skip)
+
+    def test_while(self):
+        stmt = K.statements_of(
+            parse_statement("while (i < 3) { i := i + 1; }"))[0]
+        assert isinstance(stmt, K.While)
+
+    def test_write_and_output(self):
+        stmts = K.statements_of(parse_statement("W(1); output x;"))
+        assert isinstance(stmts[0], K.WriteQuery)
+        assert isinstance(stmts[1], K.Output)
+
+    def test_comments_ignored(self):
+        stmt = parse_statement("# a comment\nx := 1; # trailing\n")
+        assert len(K.statements_of(stmt)) == 1
+
+
+class TestExpressions:
+    def test_precedence(self):
+        stmt = K.statements_of(parse_statement("x := 1 + 2 * 3;"))[0]
+        assert stmt.expr.op == "+"
+        assert stmt.expr.right.op == "*"
+
+    def test_boolean_operators(self):
+        stmt = K.statements_of(
+            parse_statement("x := a and b or not c;"))[0]
+        assert stmt.expr.op == "or"
+        assert stmt.expr.left.op == "and"
+        assert stmt.expr.right.op == "not"
+
+    def test_record_and_index(self):
+        stmt = K.statements_of(
+            parse_statement("x := {a: 1, b: 2}; y := x[0];"))
+        assert isinstance(stmt[0].expr, K.Record)
+        assert isinstance(stmt[1].expr, K.Index)
+
+    def test_read_query(self):
+        stmt = K.statements_of(parse_statement("x := R(1 + 2);"))[0]
+        assert isinstance(stmt.expr, K.Read)
+
+    def test_unary_minus(self):
+        stmt = K.statements_of(parse_statement("x := -5;"))[0]
+        assert stmt.expr == K.UnOp("-", K.Const(5))
+
+    def test_parenthesized(self):
+        stmt = K.statements_of(parse_statement("x := (1 + 2) * 3;"))[0]
+        assert stmt.expr.op == "*"
+
+
+class TestFunctions:
+    def test_function_definition(self):
+        prog = parse_program(
+            "fn add(a, b) { s := a + b; return s; } x := add(1, 2);")
+        fn = prog.function("add")
+        assert fn.params == ["a", "b"]
+        assert fn.kind == K.IMPURE  # declared internal; analysis refines
+
+    def test_external_function(self):
+        prog = parse_program("external log(x) { return x; } y := log(1);")
+        assert prog.function("log").kind == K.EXTERNAL
+
+    def test_zero_arg_function(self):
+        prog = parse_program("fn zero() { return 0; } x := zero();")
+        assert prog.function("zero").params == []
+
+    def test_undefined_function_raises_at_runtime(self):
+        from repro.compiler.errors import KernelError
+        from repro.compiler.standard_interp import StandardInterpreter
+
+        prog = parse_program("x := nope(1);")
+        with pytest.raises(KernelError):
+            StandardInterpreter(prog).run()
+
+
+class TestErrors:
+    @pytest.mark.parametrize("src", [
+        "x := ;",
+        "if x > 0 { y := 1; }",  # missing parens
+        "x := 1",  # missing semicolon
+        "output",
+        "fn f( { return 1; }",
+    ])
+    def test_malformed_raises(self, src):
+        with pytest.raises(KernelParseError):
+            parse_program(src)

@@ -1,0 +1,114 @@
+"""Property-based test of the paper's soundness theorem.
+
+For randomly generated kernel programs, running under standard semantics
+and extended lazy semantics (with and without §4 optimizations) must yield
+identical final environments, databases and output traces once every thunk
+is forced — and the lazy run must never use *more* database round trips.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import kernel as K
+from repro.compiler.lazy_interp import LazyInterpreter
+from repro.compiler.optimize import OptimizationPlan
+from repro.compiler.standard_interp import StandardInterpreter
+
+VARS = ("a", "b", "c", "d")
+
+
+def exprs(depth):
+    """Expressions over pre-bound variables a-d (always defined)."""
+    leaf = st.one_of(
+        st.integers(min_value=0, max_value=9).map(K.Const),
+        st.sampled_from(VARS).map(K.Var),
+    )
+    if depth == 0:
+        return leaf
+    sub = exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(("+", "-", "*")), sub, sub).map(
+            lambda t: K.BinOp(t[0], t[1], t[2])),
+        sub.map(lambda e: K.Read(e)),
+    )
+
+
+def conditions():
+    return st.tuples(
+        st.sampled_from(("<", ">", "=")),
+        st.sampled_from(VARS).map(K.Var),
+        st.integers(min_value=0, max_value=9).map(K.Const),
+    ).map(lambda t: K.BinOp(t[0], t[1], t[2]))
+
+
+def statements(depth):
+    assign = st.tuples(st.sampled_from(VARS), exprs(2)).map(
+        lambda t: K.Assign(K.Var(t[0]), t[1]))
+    write = exprs(1).map(K.WriteQuery)
+    output = exprs(1).map(K.Output)
+    base = st.one_of(assign, assign, assign, write, output)
+    if depth == 0:
+        return base
+    sub = statements(depth - 1)
+    branch = st.tuples(conditions(),
+                       st.lists(sub, min_size=1, max_size=3),
+                       st.lists(sub, min_size=0, max_size=2)).map(
+        lambda t: K.If(t[0], K.Seq(t[1]), K.Seq(t[2])))
+    return st.one_of(base, base, branch)
+
+
+programs = st.lists(statements(2), min_size=1, max_size=12).map(
+    lambda stmts: K.Program(K.Seq(stmts)))
+
+initial_dbs = st.dictionaries(
+    st.integers(min_value=0, max_value=9),
+    st.integers(min_value=0, max_value=9),
+    max_size=6)
+
+ENV0 = {"a": 1, "b": 2, "c": 3, "d": 4}
+
+
+def check_equivalent(program, db, plan):
+    std = StandardInterpreter(program, db).run(dict(ENV0))
+    lazy = LazyInterpreter(program, db, plan).run(dict(ENV0))
+    assert lazy.env == std.env
+    assert lazy.db == std.db
+    assert lazy.output == std.output
+    assert lazy.round_trips <= std.round_trips
+    return std, lazy
+
+
+@given(programs, initial_dbs)
+@settings(max_examples=120, deadline=None)
+def test_basic_lazy_equals_standard(program, db):
+    check_equivalent(program, db, None)
+
+
+@given(programs, initial_dbs)
+@settings(max_examples=120, deadline=None)
+def test_optimized_lazy_equals_standard(program, db):
+    plan = OptimizationPlan(program, selective_compilation=True,
+                            thunk_coalescing=True, branch_deferral=True)
+    check_equivalent(program, db, plan)
+
+
+@given(programs, initial_dbs)
+@settings(max_examples=60, deadline=None)
+def test_optimizations_never_increase_round_trips_vs_basic(program, db):
+    basic = LazyInterpreter(program, db, None).run(dict(ENV0))
+    plan = OptimizationPlan(program, True, True, True)
+    optimized = LazyInterpreter(program, db, plan).run(dict(ENV0))
+    assert optimized.env == basic.env
+    assert optimized.db == basic.db
+    assert optimized.round_trips <= basic.round_trips
+
+
+@given(programs, initial_dbs)
+@settings(max_examples=60, deadline=None)
+def test_coalescing_never_increases_allocations(program, db):
+    basic = LazyInterpreter(program, db, None).run(dict(ENV0))
+    plan = OptimizationPlan(program, thunk_coalescing=True)
+    coalesced = LazyInterpreter(program, db, plan).run(dict(ENV0))
+    assert coalesced.env == basic.env
+    assert coalesced.thunks_allocated <= basic.thunks_allocated

@@ -1,0 +1,117 @@
+import pytest
+
+from repro.core.query_store import QueryStore
+
+
+@pytest.fixture
+def store(sim_stack):
+    db, clock, server, driver, batch_driver = sim_stack
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    for i in range(5):
+        db.execute("INSERT INTO t (id, v) VALUES (?, ?)", (i, i * 10))
+    return QueryStore(batch_driver), batch_driver
+
+
+def test_register_does_not_execute(store):
+    qs, driver = store
+    qs.register_query("SELECT v FROM t WHERE id = ?", (1,))
+    assert driver.stats.round_trips == 0
+    assert qs.pending_count == 1
+
+
+def test_get_result_flushes_whole_batch(store):
+    qs, driver = store
+    id1 = qs.register_query("SELECT v FROM t WHERE id = ?", (1,))
+    id2 = qs.register_query("SELECT v FROM t WHERE id = ?", (2,))
+    result = qs.get_result_set(id1)
+    assert result.scalar() == 10
+    assert driver.stats.round_trips == 1
+    # Second result is already cached: no extra round trip.
+    assert qs.get_result_set(id2).scalar() == 20
+    assert driver.stats.round_trips == 1
+
+
+def test_duplicate_pending_query_dedups(store):
+    qs, _ = store
+    id1 = qs.register_query("SELECT v FROM t WHERE id = ?", (3,))
+    id2 = qs.register_query("SELECT v FROM t WHERE id = ?", (3,))
+    assert id1 == id2
+    assert qs.stats.dedup_hits == 1
+    assert qs.pending_count == 1
+
+
+def test_different_params_are_not_duplicates(store):
+    qs, _ = store
+    id1 = qs.register_query("SELECT v FROM t WHERE id = ?", (3,))
+    id2 = qs.register_query("SELECT v FROM t WHERE id = ?", (4,))
+    assert id1 != id2
+
+
+def test_write_flushes_immediately_preserving_order(store):
+    qs, driver = store
+    read_id = qs.register_query("SELECT v FROM t WHERE id = ?", (1,))
+    qs.register_query("UPDATE t SET v = 999 WHERE id = 1")
+    # One batch carried the read and the write together.
+    assert driver.stats.round_trips == 1
+    assert driver.stats.largest_batch == 2
+    # The read observed the pre-write value.
+    assert qs.get_result_set(read_id).scalar() == 10
+
+
+def test_unknown_id_raises(store):
+    qs, _ = store
+    from repro.core.query_store import QueryId
+
+    with pytest.raises(KeyError):
+        qs.get_result_set(QueryId())
+
+
+def test_flush_noop_when_empty(store):
+    qs, driver = store
+    qs.flush()
+    assert driver.stats.round_trips == 0
+
+
+def test_batch_size_tracking(store):
+    qs, _ = store
+    ids = [qs.register_query("SELECT v FROM t WHERE id = ?", (i,))
+           for i in range(4)]
+    qs.get_result_set(ids[0])
+    assert qs.stats.largest_batch == 4
+    assert qs.stats.batches_flushed == 1
+    assert qs.stats.queries_issued == 4
+
+
+class TestAutoFlushStrategy:
+    """§6.7's alternative execution strategy: flush at a size threshold."""
+
+    def test_flushes_when_threshold_reached(self, sim_stack):
+        from repro.core.query_store import QueryStore
+
+        db, clock, server, driver, batch_driver = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        for i in range(6):
+            db.execute("INSERT INTO t (id, v) VALUES (?, ?)", (i, i))
+        qs = QueryStore(batch_driver, auto_flush_threshold=3)
+        ids = [qs.register_query("SELECT v FROM t WHERE id = ?", (i,))
+               for i in range(5)]
+        # The first three shipped automatically; two still pend.
+        assert batch_driver.stats.round_trips == 1
+        assert qs.pending_count == 2
+        # Already-flushed results are served from the cache.
+        assert qs.get_result_set(ids[0]).scalar() == 0
+        assert batch_driver.stats.round_trips == 1
+        # Forcing a pending one flushes the remainder.
+        assert qs.get_result_set(ids[4]).scalar() == 4
+        assert batch_driver.stats.round_trips == 2
+
+    def test_threshold_none_keeps_default_behaviour(self, sim_stack):
+        from repro.core.query_store import QueryStore
+
+        db, clock, server, driver, batch_driver = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        qs = QueryStore(batch_driver)
+        for i in range(10):
+            qs.register_query("SELECT v FROM t WHERE id = ?", (i,))
+        assert batch_driver.stats.round_trips == 0
+        assert qs.pending_count == 10

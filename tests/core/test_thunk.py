@@ -1,0 +1,83 @@
+import pytest
+
+from repro.core.thunk import (
+    LiteralThunk, Thunk, ThunkBlock, force, force_deep, is_thunk,
+)
+
+
+def test_thunk_defers_and_memoizes():
+    calls = []
+    t = Thunk(lambda: calls.append(1) or 42)
+    assert not t.is_forced
+    assert not calls
+    assert t.force() == 42
+    assert t.force() == 42
+    assert calls == [1]
+
+
+def test_underscore_force_alias():
+    t = Thunk(lambda: 7)
+    assert t._force() == 7
+
+
+def test_chained_thunks_collapse():
+    inner = Thunk(lambda: 5)
+    outer = Thunk(lambda: inner)
+    assert outer.force() == 5
+
+
+def test_literal_thunk():
+    t = LiteralThunk("x")
+    assert t.is_forced
+    assert t.force() == "x"
+
+
+def test_force_passthrough_for_plain_values():
+    assert force(3) == 3
+    assert force(None) is None
+
+
+def test_is_thunk():
+    assert is_thunk(Thunk(lambda: 1))
+    assert is_thunk(LiteralThunk(1))
+    assert not is_thunk(42)
+
+
+def test_thunk_block_runs_once_for_all_outputs():
+    calls = []
+
+    def body():
+        calls.append(1)
+        return {"a": 1, "b": Thunk(lambda: 2)}
+
+    block = ThunkBlock(body)
+    a = block.output("a")
+    b = block.output("b")
+    assert b.force() == 2  # nested thunk output is collapsed
+    assert a.force() == 1
+    assert calls == [1]
+
+
+def test_thunk_block_requires_dict():
+    block = ThunkBlock(lambda: [1, 2])
+    with pytest.raises(TypeError):
+        block.force_block()
+
+
+def test_force_deep_containers():
+    value = [Thunk(lambda: 1), (Thunk(lambda: 2),),
+             {"k": Thunk(lambda: 3)}, {4}]
+    assert force_deep(value) == [1, (2,), {"k": 3}, {4}]
+
+
+def test_runtime_accounting(sim_stack):
+    from repro.core.runtime import SlothRuntime
+
+    db, clock, server, driver, batch_driver = sim_stack
+    runtime = SlothRuntime(batch_driver, clock, server.cost_model)
+    before = clock.phase_time("app")
+    t = runtime.defer(lambda: 1)
+    assert clock.phase_time("app") > before
+    assert runtime.stats.thunks_allocated == 1
+    t.force()
+    assert runtime.stats.forces == 1

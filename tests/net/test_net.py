@@ -1,0 +1,138 @@
+import pytest
+
+from repro.net.clock import CostModel, SimClock
+from repro.net.driver import BatchDriver, Driver
+from repro.net.errors import DriverError
+from repro.net.server import DatabaseServer, _parallel_elapsed
+
+
+class TestSimClock:
+    def test_charges_accumulate_by_phase(self):
+        clock = SimClock()
+        clock.charge("network", 1.0)
+        clock.charge("db", 2.0)
+        clock.charge("network", 0.5)
+        assert clock.now == pytest.approx(3.5)
+        assert clock.phase_time("network") == pytest.approx(1.5)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().charge("db", -1)
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().charge("disk", 1)
+
+    def test_checkpoint_window(self):
+        clock = SimClock()
+        clock.charge("app", 1.0)
+        cp = clock.checkpoint()
+        clock.charge("db", 2.0)
+        elapsed, phases = clock.since(cp)
+        assert elapsed == pytest.approx(2.0)
+        assert phases["db"] == pytest.approx(2.0)
+        assert phases["app"] == pytest.approx(0.0)
+
+
+class TestCostModel:
+    def test_query_cost_scales_with_rows(self):
+        cm = CostModel(per_query_overhead_ms=0.1, per_row_ms=0.01)
+        assert cm.query_cost_ms(0) == pytest.approx(0.1)
+        assert cm.query_cost_ms(10) == pytest.approx(0.2)
+
+    def test_copy_with_overrides(self):
+        cm = CostModel().copy(round_trip_ms=10.0)
+        assert cm.round_trip_ms == 10.0
+        assert cm.db_workers == CostModel().db_workers
+
+
+class TestParallelElapsed:
+    def test_empty(self):
+        assert _parallel_elapsed([], 4) == 0.0
+
+    def test_single_worker_is_serial(self):
+        assert _parallel_elapsed([1, 2, 3], 1) == 6
+
+    def test_perfect_parallelism(self):
+        assert _parallel_elapsed([1.0, 1.0, 1.0], 3) == pytest.approx(1.0)
+
+    def test_makespan_bounds(self):
+        costs = [5.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        elapsed = _parallel_elapsed(costs, 2)
+        assert max(costs) <= elapsed <= sum(costs)
+
+
+class TestDrivers:
+    def test_driver_one_round_trip_per_statement(self, sim_stack):
+        db, clock, server, driver, _ = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        driver.execute("INSERT INTO t (id) VALUES (1)")
+        driver.execute("SELECT * FROM t")
+        assert driver.stats.round_trips == 2
+        assert clock.phase_time("network") > 0
+
+    def test_batch_driver_single_round_trip(self, sim_stack):
+        db, clock, server, _, batch = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        for i in range(6):
+            db.execute("INSERT INTO t (id, v) VALUES (?, ?)", (i, i))
+        results = batch.execute_batch([
+            ("SELECT v FROM t WHERE id = ?", (i,)) for i in range(6)
+        ])
+        assert [r.scalar() for r in results] == list(range(6))
+        assert batch.stats.round_trips == 1
+        assert batch.stats.largest_batch == 6
+
+    def test_batch_reads_execute_in_parallel(self, sim_stack):
+        db, clock, server, driver, batch = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        for i in range(60):
+            db.execute("INSERT INTO t (id, v) VALUES (?, ?)", (i, i))
+        cp = clock.checkpoint()
+        batch.execute_batch([("SELECT * FROM t", ())] * 6)
+        _, batched_phases = clock.since(cp)
+        cp = clock.checkpoint()
+        for _ in range(6):
+            driver.execute("SELECT * FROM t")
+        _, serial_phases = clock.since(cp)
+        assert batched_phases["db"] < serial_phases["db"]
+
+    def test_writes_in_batch_serialize(self, sim_stack):
+        db, clock, server, _, batch = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        outcomes = batch.execute_batch([
+            ("INSERT INTO t (id) VALUES (1)", ()),
+            ("INSERT INTO t (id) VALUES (2)", ()),
+        ])
+        assert len(outcomes) == 2
+        assert db.table_size("t") == 2
+
+    def test_closed_driver_raises(self, sim_stack):
+        _, _, _, driver, batch = sim_stack
+        driver.close()
+        batch.close()
+        with pytest.raises(DriverError):
+            driver.execute("SELECT 1 FROM t")
+        with pytest.raises(DriverError):
+            batch.execute_batch([("SELECT 1 FROM t", ())])
+
+    def test_empty_batch_is_free(self, sim_stack):
+        _, clock, _, _, batch = sim_stack
+        assert batch.execute_batch([]) == []
+        assert clock.now == 0
+
+    def test_driver_call_burns_app_cpu(self, sim_stack):
+        db, clock, _, driver, _ = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        before = clock.phase_time("app")
+        driver.execute("SELECT * FROM t")
+        assert clock.phase_time("app") > before
+
+    def test_server_counters(self, sim_stack):
+        db, _, server, driver, batch = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        driver.execute("SELECT * FROM t")
+        batch.execute_batch([("SELECT * FROM t", ())] * 3)
+        assert server.statements_executed == 4
+        assert server.batches_executed == 2
+        assert server.largest_batch == 3

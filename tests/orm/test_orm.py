@@ -1,0 +1,177 @@
+import pytest
+
+from repro.core.runtime import SlothRuntime
+from repro.core.thunk import force
+from repro.orm import (
+    Column, EAGER, Entity, EntityNotFound, LAZY, ManyToOne, OneToMany,
+    OriginalBackend, Session, SlothBackend, schema_ddl,
+)
+from repro.sqldb.types import INTEGER, TEXT
+
+
+class Author(Entity):
+    __table__ = "author"
+    id = Column(INTEGER, primary_key=True)
+    name = Column(TEXT)
+    books = OneToMany("BookEntity", foreign_key="author_id", fetch=LAZY,
+                      order_by="id")
+
+
+class BookEntity(Entity):
+    __table__ = "book_e"
+    id = Column(INTEGER, primary_key=True)
+    author_id = Column(INTEGER)
+    title = Column(TEXT)
+    author = ManyToOne("Author", column="author_id", fetch=EAGER)
+
+
+@pytest.fixture
+def orm_db(sim_stack):
+    db, clock, server, driver, batch_driver = sim_stack
+    for ddl in schema_ddl([Author, BookEntity]):
+        db.execute(ddl)
+    db.execute("INSERT INTO author (id, name) VALUES (1, 'Knuth'),"
+               " (2, 'Dijkstra')")
+    for i in range(4):
+        db.execute("INSERT INTO book_e (id, author_id, title) "
+                   "VALUES (?, ?, ?)", (10 + i, 1 + i % 2, f"Vol {i}"))
+    return sim_stack
+
+
+@pytest.fixture
+def original_session(orm_db):
+    _, _, _, driver, _ = orm_db
+    return Session(OriginalBackend(driver)), driver
+
+
+@pytest.fixture
+def sloth_session(orm_db):
+    db, clock, server, _, batch_driver = orm_db
+    runtime = SlothRuntime(batch_driver, clock, server.cost_model)
+    return Session(SlothBackend(runtime)), batch_driver, runtime
+
+
+class TestOriginalMode:
+    def test_find_is_immediate(self, original_session):
+        session, driver = original_session
+        author = session.find(Author, 1)
+        assert driver.stats.round_trips == 1
+        assert author.name == "Knuth"
+
+    def test_find_missing_returns_none(self, original_session):
+        session, _ = original_session
+        assert session.find(Author, 99) is None
+
+    def test_get_missing_raises(self, original_session):
+        session, _ = original_session
+        with pytest.raises(EntityNotFound):
+            session.get(Author, 99)
+
+    def test_identity_map_avoids_requery(self, original_session):
+        session, driver = original_session
+        a1 = session.find(Author, 1)
+        a2 = session.find(Author, 1)
+        assert a1 is a2
+        assert driver.stats.round_trips == 1
+
+    def test_lazy_collection_loads_on_access(self, original_session):
+        session, driver = original_session
+        author = session.find(Author, 1)
+        trips = driver.stats.round_trips
+        books = author.books
+        assert driver.stats.round_trips == trips  # proxy, not loaded yet
+        assert [b.title for b in books] == ["Vol 0", "Vol 2"]
+        assert driver.stats.round_trips == trips + 1
+
+    def test_eager_many_to_one_loads_at_deserialize(self, original_session):
+        session, driver = original_session
+        book = session.find(BookEntity, 10)
+        # find + eager author = 2 round trips already done
+        assert driver.stats.round_trips == 2
+        assert book.author.name == "Knuth"
+        assert driver.stats.round_trips == 2
+
+    def test_query_builder(self, original_session):
+        session, _ = original_session
+        books = session.query(BookEntity).where(
+            "author_id = ?", 1).order_by("id DESC").all()
+        assert [b.id for b in books] == [12, 10]
+
+    def test_query_count_and_first(self, original_session):
+        session, _ = original_session
+        assert force(session.query(BookEntity).count()) == 4
+        first = session.query(BookEntity).order_by("id").first()
+        assert first.id == 10
+
+    def test_persist_update_delete(self, original_session):
+        session, _ = original_session
+        session.persist(Author(id=3, name="Lamport"))
+        found = session.query(Author).where("name = ?", "Lamport").first()
+        assert found.id == 3
+        found.name = "L. Lamport"
+        session.update(found)
+        session.identity_map.clear()
+        again = session.get(Author, 3)
+        assert again.name == "L. Lamport"
+        session.delete(again)
+        assert session.find(Author, 3) is None
+
+
+class TestSlothMode:
+    def test_find_registers_without_round_trip(self, sloth_session):
+        session, driver, runtime = sloth_session
+        author = session.find(Author, 1)
+        assert driver.stats.round_trips == 0
+        assert runtime.query_store.pending_count == 1
+        assert author.name == "Knuth"  # forces -> one batch
+        assert driver.stats.round_trips == 1
+
+    def test_finds_batch_together(self, sloth_session):
+        session, driver, _ = sloth_session
+        a1 = session.find(Author, 1)
+        a2 = session.find(Author, 2)
+        assert driver.stats.round_trips == 0
+        assert a1.name == "Knuth"
+        assert driver.stats.round_trips == 1
+        assert a2.name == "Dijkstra"  # came in the same batch
+        assert driver.stats.round_trips == 1
+
+    def test_duplicate_finds_dedup_in_store(self, sloth_session):
+        session, driver, runtime = sloth_session
+        session.find(Author, 1)
+        session.find(Author, 1)
+        assert runtime.query_store.pending_count == 1
+        assert runtime.query_store.stats.dedup_hits == 1
+
+    def test_identity_map_after_force(self, sloth_session):
+        session, _, _ = sloth_session
+        p1 = session.find(Author, 1)
+        name = p1.name  # force + deserialize
+        assert name == "Knuth"
+        p2 = session.find(Author, 1)
+        assert force(p2) is force(p1)
+
+    def test_relation_access_forces_owner_then_registers(
+            self, sloth_session):
+        session, driver, runtime = sloth_session
+        author = session.find(Author, 1)
+        books = author.books  # forces author, registers books query
+        assert driver.stats.round_trips == 1
+        assert runtime.query_store.pending_count >= 1
+        assert [b.title for b in books] == ["Vol 0", "Vol 2"]
+        assert driver.stats.round_trips == 2
+
+    def test_write_flushes_pending_batch(self, sloth_session):
+        session, driver, runtime = sloth_session
+        session.find(Author, 2)
+        session.persist(Author(id=5, name="Hoare"))
+        assert runtime.query_store.pending_count == 0
+        # read and write went out together in one round trip
+        assert driver.stats.round_trips == 1
+
+    def test_unforced_queries_never_issue(self, sloth_session):
+        session, driver, _ = sloth_session
+        session.find(Author, 1)
+        session.query(BookEntity).where("author_id = ?", 2).all()
+        # Nothing forced: no round trips at all.
+        assert driver.stats.round_trips == 0

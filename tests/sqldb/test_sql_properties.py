@@ -1,0 +1,94 @@
+"""Property-based tests of the SQL engine's core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqldb import Database
+
+ages = st.one_of(st.none(), st.integers(min_value=0, max_value=120))
+name_strategy = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8)
+rows_strategy = st.lists(
+    st.tuples(name_strategy, ages), min_size=0, max_size=25)
+
+
+def build(rows):
+    db = Database()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT, age INT)")
+    db.execute("CREATE INDEX idx_t_name ON t (name)")
+    for i, (name, age) in enumerate(rows):
+        db.execute("INSERT INTO t (id, name, age) VALUES (?, ?, ?)",
+                   (i, name, age))
+    return db
+
+
+@given(rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_count_matches_inserted_rows(rows):
+    db = build(rows)
+    assert db.query("SELECT COUNT(*) AS n FROM t")[0]["n"] == len(rows)
+
+
+@given(rows_strategy, st.integers(min_value=0, max_value=120))
+@settings(max_examples=40, deadline=None)
+def test_filter_partition(rows, threshold):
+    """WHERE p, WHERE NOT p and WHERE p IS NULL partition the table."""
+    db = build(rows)
+    above = db.query("SELECT id FROM t WHERE age >= ?", (threshold,))
+    below = db.query("SELECT id FROM t WHERE age < ?", (threshold,))
+    nulls = db.query("SELECT id FROM t WHERE age IS NULL")
+    assert len(above) + len(below) + len(nulls) == len(rows)
+    ids = {r["id"] for r in above} | {r["id"] for r in below} | {
+        r["id"] for r in nulls}
+    assert len(ids) == len(rows)
+
+
+@given(rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_index_lookup_agrees_with_scan(rows):
+    """Equality via the secondary index returns exactly the scan's rows."""
+    db = build(rows)
+    for name in {name for name, _ in rows}:
+        indexed = db.query("SELECT id FROM t WHERE name = ?", (name,))
+        scanned = [r for r in db.query("SELECT id, name FROM t")
+                   if r["name"] == name]
+        assert sorted(r["id"] for r in indexed) == sorted(
+            r["id"] for r in scanned)
+
+
+@given(rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_order_by_is_sorted_and_stable_cardinality(rows):
+    db = build(rows)
+    result = db.query("SELECT age FROM t WHERE age IS NOT NULL "
+                      "ORDER BY age")
+    values = [r["age"] for r in result]
+    assert values == sorted(values)
+    assert len(values) == sum(1 for _, age in rows if age is not None)
+
+
+@given(rows_strategy)
+@settings(max_examples=40, deadline=None)
+def test_sum_equals_python_sum(rows):
+    db = build(rows)
+    expected = sum(age for _, age in rows if age is not None)
+    got = db.query("SELECT SUM(age) AS s FROM t")[0]["s"]
+    if all(age is None for _, age in rows):
+        assert got is None
+    else:
+        assert got == expected
+
+
+@given(rows_strategy, st.data())
+@settings(max_examples=40, deadline=None)
+def test_transaction_rollback_restores_state(rows, data):
+    db = build(rows)
+    before = db.query("SELECT id, name, age FROM t ORDER BY id")
+    db.execute("BEGIN")
+    db.execute("UPDATE t SET age = 1 WHERE age > 10")
+    db.execute("DELETE FROM t WHERE name LIKE 'a%'")
+    db.execute("INSERT INTO t (id, name, age) VALUES (?, ?, ?)",
+               (10_000, "new", 1))
+    db.execute("ROLLBACK")
+    after = db.query("SELECT id, name, age FROM t ORDER BY id")
+    assert before == after

@@ -1,0 +1,68 @@
+import pytest
+
+from repro.sqldb.errors import TransactionError
+
+
+def test_rollback_undoes_insert(people_db):
+    people_db.execute("BEGIN")
+    people_db.execute("INSERT INTO person (id, name) VALUES (9, 'zoe')")
+    people_db.execute("ROLLBACK")
+    assert people_db.table_size("person") == 4
+
+
+def test_rollback_undoes_update(people_db):
+    people_db.execute("BEGIN")
+    people_db.execute("UPDATE person SET age = 99 WHERE id = 1")
+    people_db.execute("ROLLBACK")
+    assert people_db.query(
+        "SELECT age FROM person WHERE id = 1")[0]["age"] == 34
+
+
+def test_rollback_undoes_delete_and_restores_indexes(people_db):
+    people_db.execute("BEGIN")
+    people_db.execute("DELETE FROM pet WHERE owner_id = 1")
+    people_db.execute("ROLLBACK")
+    result = people_db.execute("SELECT * FROM pet WHERE owner_id = ?", (1,))
+    assert result.rowcount == 2
+
+
+def test_commit_persists(people_db):
+    people_db.execute("BEGIN")
+    people_db.execute("INSERT INTO person (id, name) VALUES (9, 'zoe')")
+    people_db.execute("COMMIT")
+    assert people_db.table_size("person") == 5
+
+
+def test_rollback_multiple_operations_in_reverse(people_db):
+    people_db.execute("BEGIN")
+    people_db.execute("UPDATE person SET age = 1 WHERE id = 1")
+    people_db.execute("UPDATE person SET age = 2 WHERE id = 1")
+    people_db.execute("DELETE FROM person WHERE id = 2")
+    people_db.execute("ROLLBACK")
+    rows = people_db.query("SELECT age FROM person WHERE id = 1")
+    assert rows[0]["age"] == 34
+    assert people_db.table_size("person") == 4
+
+
+def test_nested_begin_raises(people_db):
+    people_db.execute("BEGIN")
+    with pytest.raises(TransactionError):
+        people_db.execute("BEGIN")
+
+
+def test_commit_without_begin_raises(people_db):
+    with pytest.raises(TransactionError):
+        people_db.execute("COMMIT")
+
+
+def test_rollback_without_begin_raises(people_db):
+    with pytest.raises(TransactionError):
+        people_db.execute("ROLLBACK")
+
+
+def test_autocommit_outside_transaction(people_db):
+    people_db.execute("UPDATE person SET age = 50 WHERE id = 1")
+    # No transaction: change is permanent, and no undo state lingers.
+    assert not people_db.transactions.in_transaction
+    assert people_db.query(
+        "SELECT age FROM person WHERE id = 1")[0]["age"] == 50

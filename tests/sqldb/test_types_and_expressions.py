@@ -1,0 +1,118 @@
+import pytest
+
+from repro.sqldb import ast_nodes as A
+from repro.sqldb.errors import SqlTypeError
+from repro.sqldb.expressions import RowContext, evaluate, like_to_regex
+from repro.sqldb.types import (
+    BOOLEAN, FLOAT, INTEGER, TEXT, canonical_type, coerce_value,
+    is_comparable,
+)
+
+
+class TestTypes:
+    def test_aliases(self):
+        assert canonical_type("varchar") == TEXT
+        assert canonical_type("BIGINT") == INTEGER
+        assert canonical_type("double") == FLOAT
+        assert canonical_type("bool") == BOOLEAN
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(SqlTypeError):
+            canonical_type("blob")
+
+    def test_coerce_none_passthrough(self):
+        assert coerce_value(None, INTEGER) is None
+
+    def test_int_widens_to_float(self):
+        assert coerce_value(3, FLOAT) == 3.0
+        assert isinstance(coerce_value(3, FLOAT), float)
+
+    def test_integral_float_narrows_to_int(self):
+        assert coerce_value(4.0, INTEGER) == 4
+
+    def test_fractional_float_rejected_for_int(self):
+        with pytest.raises(SqlTypeError):
+            coerce_value(4.5, INTEGER)
+
+    def test_bool_for_integer_column(self):
+        assert coerce_value(True, INTEGER) == 1
+
+    def test_int_01_for_boolean_column(self):
+        assert coerce_value(1, BOOLEAN) is True
+        assert coerce_value(0, BOOLEAN) is False
+        with pytest.raises(SqlTypeError):
+            coerce_value(2, BOOLEAN)
+
+    def test_text_rejects_numbers(self):
+        with pytest.raises(SqlTypeError):
+            coerce_value(5, TEXT)
+
+    def test_comparability(self):
+        assert is_comparable(1, 2.5)
+        assert is_comparable("a", "b")
+        assert not is_comparable(1, "a")
+        assert not is_comparable(True, 1)  # bools only compare to bools
+
+
+def ev(expr, **env):
+    positions = {(None, k): i for i, k in enumerate(sorted(env))}
+    ctx = RowContext(positions).bind(
+        [env[k] for k in sorted(env)])
+    return evaluate(expr, ctx)
+
+
+class TestThreeValuedLogic:
+    def test_null_propagates_through_arithmetic(self):
+        expr = A.BinaryOp("+", A.ColumnRef(None, "x"), A.Literal(1))
+        assert ev(expr, x=None) is None
+
+    def test_and_short_circuit_with_null(self):
+        # FALSE AND NULL = FALSE; TRUE AND NULL = NULL
+        null = A.ColumnRef(None, "x")
+        assert ev(A.BinaryOp("AND", A.Literal(False), null), x=None) is False
+        assert ev(A.BinaryOp("AND", A.Literal(True), null), x=None) is None
+
+    def test_or_with_null(self):
+        null = A.ColumnRef(None, "x")
+        assert ev(A.BinaryOp("OR", A.Literal(True), null), x=None) is True
+        assert ev(A.BinaryOp("OR", A.Literal(False), null), x=None) is None
+
+    def test_not_null_is_null(self):
+        assert ev(A.UnaryOp("NOT", A.ColumnRef(None, "x")), x=None) is None
+
+    def test_in_with_null_member(self):
+        expr = A.InList(A.Literal(1),
+                        [A.Literal(2), A.Literal(None)])
+        assert ev(expr) is None  # unknown: 1 might equal NULL
+        hit = A.InList(A.Literal(2), [A.Literal(2), A.Literal(None)])
+        assert ev(hit) is True
+
+    def test_division_by_zero_yields_null(self):
+        expr = A.BinaryOp("/", A.Literal(1), A.Literal(0))
+        assert ev(expr) is None
+
+    def test_integer_division_stays_exact(self):
+        assert ev(A.BinaryOp("/", A.Literal(7), A.Literal(2))) == 3.5
+        assert ev(A.BinaryOp("/", A.Literal(8), A.Literal(2))) == 4
+
+    def test_concat(self):
+        assert ev(A.BinaryOp("||", A.Literal("a"), A.Literal("b"))) == "ab"
+
+    def test_coalesce(self):
+        expr = A.FuncCall("COALESCE",
+                          [A.Literal(None), A.Literal(None), A.Literal(3)])
+        assert ev(expr) == 3
+
+
+class TestLike:
+    @pytest.mark.parametrize("pattern,value,matches", [
+        ("a%", "abc", True),
+        ("a%", "ba", False),
+        ("%c", "abc", True),
+        ("a_c", "abc", True),
+        ("a_c", "abbc", False),
+        ("%", "", True),
+        ("a.c", "abc", False),  # dot is literal, not regex
+    ])
+    def test_patterns(self, pattern, value, matches):
+        assert bool(like_to_regex(pattern).match(value)) is matches

@@ -1,0 +1,95 @@
+import pytest
+
+from repro.core.runtime import OptimizationFlags
+from repro.net.clock import CostModel
+from repro.web.appserver import AppServer, MODE_ORIGINAL, MODE_SLOTH
+from repro.web.framework import Dispatcher, ModelAndView, Request
+from repro.web.templates import Template
+from repro.orm import Column, Entity, schema_ddl
+from repro.sqldb import Database
+from repro.sqldb.types import INTEGER, TEXT
+
+
+class Widget(Entity):
+    __table__ = "widget"
+    id = Column(INTEGER, primary_key=True)
+    label = Column(TEXT)
+
+
+@pytest.fixture
+def mini_app():
+    db = Database()
+    for ddl in schema_ddl([Widget]):
+        db.execute(ddl)
+    for i in range(8):
+        db.execute("INSERT INTO widget (id, label) VALUES (?, ?)",
+                   (i, f"w{i}"))
+
+    def controller(ctx, request):
+        model = {"widgets": ctx.session.query(Widget).order_by("id").all()}
+        ctx.run_ops(20)
+        return ModelAndView("list", model)
+
+    dispatcher = Dispatcher()
+    dispatcher.register("list", controller, Template(
+        "{% for w in widgets %}{{ w.label }};{% endfor %}"))
+    return db, dispatcher
+
+
+class TestAppServer:
+    def test_invalid_mode_rejected(self, mini_app):
+        db, dispatcher = mini_app
+        with pytest.raises(ValueError):
+            AppServer(db, dispatcher, CostModel(), mode="turbo")
+
+    def test_both_modes_render_same_html(self, mini_app):
+        db, dispatcher = mini_app
+        html = {}
+        for mode in (MODE_ORIGINAL, MODE_SLOTH):
+            server = AppServer(db, dispatcher, CostModel(), mode=mode)
+            html[mode] = server.load_page(Request("list")).html
+        assert html[MODE_ORIGINAL] == html[MODE_SLOTH]
+        assert "w0;w1;" in html[MODE_ORIGINAL]
+
+    def test_result_fields_populated(self, mini_app):
+        db, dispatcher = mini_app
+        server = AppServer(db, dispatcher, CostModel(), mode=MODE_SLOTH)
+        result = server.load_page(Request("list"))
+        assert result.url == "list"
+        assert result.time_ms > 0
+        assert set(result.phases) == {"network", "app", "db"}
+        assert result.round_trips >= 1
+        assert result.queries_registered >= result.queries_issued >= 1
+
+    def test_default_user_injected(self, mini_app):
+        db, dispatcher = mini_app
+        server = AppServer(db, dispatcher, CostModel())
+        request = Request("list")
+        server.load_page(request)
+        assert request.user is not None
+        assert "privileges" in request.user
+
+    def test_explicit_user_preserved(self, mini_app):
+        db, dispatcher = mini_app
+        server = AppServer(db, dispatcher, CostModel())
+        request = Request("list", user={"name": "x", "privileges": ()})
+        server.load_page(request)
+        assert request.user["name"] == "x"
+
+    def test_optimization_flags_affect_time(self, mini_app):
+        db, dispatcher = mini_app
+        cm = CostModel()
+        slow = AppServer(db, dispatcher, cm, mode=MODE_SLOTH,
+                         optimizations=OptimizationFlags.none())
+        fast = AppServer(db, dispatcher, cm, mode=MODE_SLOTH,
+                         optimizations=OptimizationFlags.all())
+        t_slow = slow.load_page(Request("list")).time_ms
+        t_fast = fast.load_page(Request("list")).time_ms
+        assert t_fast < t_slow
+
+    def test_clock_accumulates_across_requests(self, mini_app):
+        db, dispatcher = mini_app
+        server = AppServer(db, dispatcher, CostModel())
+        r1 = server.load_page(Request("list"))
+        r2 = server.load_page(Request("list"))
+        assert server.clock.now == pytest.approx(r1.time_ms + r2.time_ms)
