@@ -1,8 +1,16 @@
-"""Fig. 12: optimization ablation (noopt -> SC -> SC+TC -> SC+TC+BD).
+"""Fig. 12: optimization ablation (noopt -> SC -> SC+TC -> SC+TC+BD -> +SS).
 
 Paper result: total load time over all benchmarks drops monotonically as
 optimizations are enabled, with branch deferral (BD) the largest win and a
 >2x gap between no optimizations and all three.
+
+On top of the paper's three compile-time optimizations this reproduction
+adds a batch-level **shared-scan** series (SS): with all three enabled, the
+query store additionally asks the server to merge union-compatible SELECTs
+in each shipped batch into one shared table scan
+(:mod:`repro.sqldb.plan.batch`), charging the batch for one scan instead of
+N.  The series reports the same page loads with that server-side rewrite
+on; ``shared_scan_rows_saved`` per app is reported alongside.
 """
 
 from repro.apps import itracker, openmrs
@@ -17,6 +25,7 @@ CONFIGS = (
     ("SC", OptimizationFlags(True, False, False)),
     ("SC+TC", OptimizationFlags(True, True, False)),
     ("SC+TC+BD", OptimizationFlags(True, True, True)),
+    ("SC+TC+BD+SS", OptimizationFlags(True, True, True, shared_scans=True)),
 )
 
 
@@ -26,23 +35,29 @@ def run(apps=None):
     result = {}
     for name, mod in apps:
         db, dispatcher = mod.build_app()
-        per_config = {}
+        times = {}
+        rows_saved = 0
         for label, flags in CONFIGS:
             total = 0.0
             for url in mod.BENCHMARK_URLS:
-                total += load_page(db, dispatcher, url, cost_model,
-                                   MODE_SLOTH, optimizations=flags).time_ms
-            per_config[label] = total
-        result[name] = per_config
+                page = load_page(db, dispatcher, url, cost_model,
+                                 MODE_SLOTH, optimizations=flags)
+                total += page.time_ms
+                if flags.shared_scans:
+                    rows_saved += page.shared_scan_rows_saved
+            times[label] = total
+        result[name] = {"times": times, "rows_saved": rows_saved}
     return result
 
 
 def format_result(result):
     labels = [label for label, _ in CONFIGS]
     rows = []
-    for app, per_config in result.items():
-        rows.append(tuple([app] + [round(per_config[label], 1)
-                                   for label in labels]))
+    for app, per_app in result.items():
+        rows.append(tuple(
+            [app] + [round(per_app["times"][label], 1) for label in labels]
+            + [per_app["rows_saved"]]))
     return format_table(
-        tuple(["app"] + [f"{label} ms" for label in labels]), rows,
+        tuple(["app"] + [f"{label} ms" for label in labels]
+              + ["rows saved (SS)"]), rows,
         title="Fig. 12 — optimization ablation (total load time)")

@@ -16,31 +16,43 @@ reads before the update).
 
 ``get_result_set`` returns a cached result, or flushes the current batch in
 a single round trip and then returns it.
+
+With ``shared_scans`` enabled the store hands each flushed batch to the
+server's batch-plan path (:mod:`repro.sqldb.plan.batch`), which merges
+union-compatible SELECTs over one table into a single shared scan.
+
+Write-vs-read classification goes through the process-wide LRU parse cache
+(:func:`repro.sqldb.parser.is_read_statement`), shared with the simulated
+server: each distinct SQL string is parsed once per process no matter how
+many stores, servers or benchmark runs touch it.
 """
 
-from repro.sqldb import ast_nodes as A
-from repro.sqldb.parser import parse
+from repro.sqldb.parser import is_read_statement
 
 
 class QueryId:
-    """Unique identifier for a registered query."""
+    """Unique identifier for a query registered with one store.
 
-    __slots__ = ("value",)
+    Ids are allocated per :class:`QueryStore` (no process-global counter to
+    leak across stores or benchmark runs) and hash/compare by
+    ``(store, value)`` so equal ids from different stores stay distinct.
+    """
 
-    _counter = 0
+    __slots__ = ("store", "value")
 
-    def __init__(self):
-        QueryId._counter += 1
-        self.value = QueryId._counter
+    def __init__(self, store, value):
+        self.store = store
+        self.value = value
 
     def __repr__(self):
         return f"QueryId({self.value})"
 
     def __hash__(self):
-        return self.value
+        return hash((id(self.store), self.value))
 
     def __eq__(self, other):
-        return isinstance(other, QueryId) and other.value == self.value
+        return (isinstance(other, QueryId) and other.store is self.store
+                and other.value == self.value)
 
 
 class QueryStoreStats:
@@ -69,14 +81,20 @@ class QueryStore:
     ``auto_flush_threshold`` implements the execution strategy the paper
     sketches as future work (§6.7): when set, a batch is shipped as soon
     as it reaches that size instead of waiting for a force.
+
+    ``shared_scans`` requests the server-side shared-scan optimization for
+    every batch this store flushes.
     """
 
-    def __init__(self, batch_driver, auto_flush_threshold=None):
+    def __init__(self, batch_driver, auto_flush_threshold=None,
+                 shared_scans=False):
         self.driver = batch_driver
         self.auto_flush_threshold = auto_flush_threshold
+        self.shared_scans = shared_scans
         self._buffer = []  # list of (QueryId, sql, params)
         self._pending_keys = {}  # (sql, params) -> QueryId, for dedup
         self._results = {}  # QueryId -> ExecResult
+        self._next_id = 0
         self.stats = QueryStoreStats()
 
     # -- public API (paper §3.3) ---------------------------------------------
@@ -89,8 +107,8 @@ class QueryStore:
         """
         params = tuple(params)
         self.stats.queries_registered += 1
-        if _is_write(sql):
-            query_id = QueryId()
+        if not is_read_statement(sql):
+            query_id = self._new_id()
             self._buffer.append((query_id, sql, params))
             self._flush()
             return query_id
@@ -99,7 +117,7 @@ class QueryStore:
         if existing is not None:
             self.stats.dedup_hits += 1
             return existing
-        query_id = QueryId()
+        query_id = self._new_id()
         self._buffer.append((query_id, sql, params))
         self._pending_keys[key] = query_id
         if (self.auto_flush_threshold is not None
@@ -131,6 +149,10 @@ class QueryStore:
 
     # -- internals -------------------------------------------------------------
 
+    def _new_id(self):
+        self._next_id += 1
+        return QueryId(self, self._next_id)
+
     def _flush(self):
         batch = self._buffer
         self._buffer = []
@@ -138,14 +160,10 @@ class QueryStore:
         if not batch:
             return
         statements = [(sql, params) for _, sql, params in batch]
-        results = self.driver.execute_batch(statements)
+        results = self.driver.execute_batch(
+            statements, batch_optimize=self.shared_scans)
         for (query_id, _, _), result in zip(batch, results):
             self._results[query_id] = result
         self.stats.batches_flushed += 1
         self.stats.queries_issued += len(batch)
         self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
-
-
-def _is_write(sql):
-    """Whether a statement must flush the store (anything but SELECT)."""
-    return not isinstance(parse(sql), A.Select)

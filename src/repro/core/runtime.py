@@ -26,16 +26,24 @@ from repro.net.clock import PHASE_APP
 
 
 class OptimizationFlags:
-    """Which of the paper's §4 optimizations are enabled."""
+    """Which of the paper's §4 optimizations are enabled.
+
+    ``shared_scans`` (SS) is this reproduction's batch-level extension: the
+    query store asks the server to merge union-compatible SELECTs in one
+    batch into a single shared scan (:mod:`repro.sqldb.plan.batch`).  It is
+    *not* part of the paper's three compile-time optimizations, so
+    :meth:`all` leaves it off.
+    """
 
     __slots__ = ("selective_compilation", "thunk_coalescing",
-                 "branch_deferral")
+                 "branch_deferral", "shared_scans")
 
     def __init__(self, selective_compilation=True, thunk_coalescing=True,
-                 branch_deferral=True):
+                 branch_deferral=True, shared_scans=False):
         self.selective_compilation = selective_compilation
         self.thunk_coalescing = thunk_coalescing
         self.branch_deferral = branch_deferral
+        self.shared_scans = shared_scans
 
     @classmethod
     def none(cls):
@@ -53,6 +61,8 @@ class OptimizationFlags:
             parts.append("TC")
         if self.branch_deferral:
             parts.append("BD")
+        if self.shared_scans:
+            parts.append("SS")
         return "+".join(parts) if parts else "noopt"
 
     def __repr__(self):
@@ -97,7 +107,8 @@ class SlothRuntime:
         self.cost_model = cost_model
         self.opts = optimizations or OptimizationFlags.all()
         self.lazy_mode = lazy_mode
-        self.query_store = QueryStore(batch_driver)
+        self.query_store = QueryStore(
+            batch_driver, shared_scans=self.opts.shared_scans)
         self.stats = RuntimeStats()
 
     # -- overhead accounting hooks (called by Thunk/ThunkBlock) ---------------

@@ -22,6 +22,8 @@ class DriverStats:
         self.statements = 0
         self.batches = 0
         self.largest_batch = 0
+        self.shared_scan_groups = 0
+        self.shared_scan_rows_saved = 0
 
     def record(self, batch_size):
         self.round_trips += 1
@@ -35,6 +37,8 @@ class DriverStats:
             "statements": self.statements,
             "batches": self.batches,
             "largest_batch": self.largest_batch,
+            "shared_scan_groups": self.shared_scan_groups,
+            "shared_scan_rows_saved": self.shared_scan_rows_saved,
         }
 
 
@@ -70,7 +74,12 @@ class Driver:
 
 
 class BatchDriver:
-    """The Sloth batch driver: many statements, one round trip."""
+    """The Sloth batch driver: many statements, one round trip.
+
+    ``execute_batch(..., batch_optimize=True)`` routes the batch through
+    the server's batch-plan path (shared scans across union-compatible
+    SELECTs); the query store opts in per its ``shared_scans`` flag.
+    """
 
     def __init__(self, server, clock, cost_model=None):
         self.server = server
@@ -91,7 +100,7 @@ class BatchDriver:
         results = self.execute_batch([(sql, params)])
         return results[0]
 
-    def execute_batch(self, statements):
+    def execute_batch(self, statements, batch_optimize=False):
         """Execute ``[(sql, params), ...]`` in one round trip.
 
         Returns the list of :class:`ExecResult` in statement order.
@@ -105,7 +114,14 @@ class BatchDriver:
             PHASE_NETWORK,
             model.round_trip_ms
             + model.serialization_per_query_ms * len(statements))
-        outcomes, elapsed_ms = self.server.execute_batch(statements)
+        groups_before = self.server.shared_scan_groups
+        saved_before = self.server.shared_scan_rows_saved
+        outcomes, elapsed_ms = self.server.execute_batch(
+            statements, batch_optimize=batch_optimize)
+        self.stats.shared_scan_groups += (
+            self.server.shared_scan_groups - groups_before)
+        self.stats.shared_scan_rows_saved += (
+            self.server.shared_scan_rows_saved - saved_before)
         self.clock.charge(PHASE_DB, elapsed_ms)
         self.stats.record(len(statements))
         return [outcome.result for outcome in outcomes]

@@ -12,10 +12,16 @@ Virtual database time for a batch is therefore::
 
 where ``parallel_elapsed`` assigns reads to the least-loaded worker
 (longest-processing-time-first greedy makespan).
+
+With ``batch_optimize`` the batch takes the **batch-plan path**
+(:mod:`repro.sqldb.plan.batch`): union-compatible SELECTs over one table
+share a single scan.  A shared group is one job on one worker, charged for
+one scan plus one dispatch — not N scans — so the server's total database
+time drops whenever the optimizer finds sharing.
 """
 
-from repro.sqldb import ast_nodes as A
-from repro.sqldb.parser import parse
+from repro.sqldb.parser import is_read_statement
+from repro.sqldb.plan.batch import execute_batch_plan
 
 
 class StatementOutcome:
@@ -39,6 +45,9 @@ class DatabaseServer:
         self.statements_executed = 0
         self.largest_batch = 0
         self.total_db_time_ms = 0.0
+        # Batch-plan path counters (shared-scan optimizer).
+        self.shared_scan_groups = 0
+        self.shared_scan_rows_saved = 0
 
     def execute_one(self, sql, params=()):
         """Execute a single statement; returns a :class:`StatementOutcome`."""
@@ -49,28 +58,71 @@ class DatabaseServer:
         self.total_db_time_ms += outcome.cost_ms
         return outcome
 
-    def execute_batch(self, statements):
+    def execute_batch(self, statements, batch_optimize=False):
         """Execute ``[(sql, params), ...]`` as one batch.
 
         Returns ``(outcomes, elapsed_ms)`` where ``elapsed_ms`` models
-        parallel execution of reads.
+        parallel execution of reads.  With ``batch_optimize`` the batch
+        runs through the shared-scan planner first.
         """
+        if batch_optimize:
+            outcomes, elapsed_ms = self._execute_batch_plan(statements)
+        else:
+            outcomes, elapsed_ms = self._execute_batch_direct(statements)
+        self.batches_executed += 1
+        self.statements_executed += len(statements)
+        self.largest_batch = max(self.largest_batch, len(statements))
+        self.total_db_time_ms += elapsed_ms
+        return outcomes, elapsed_ms
+
+    # -- the two batch paths --------------------------------------------------
+
+    def _execute_batch_direct(self, statements):
+        """Every statement on its own plan (the pre-optimizer behaviour)."""
         outcomes = []
         read_costs = []
         serial_ms = 0.0
         for sql, params in statements:
             outcome = self._run(sql, params)
             outcomes.append(outcome)
-            if isinstance(parse(sql), A.Select):
+            if is_read_statement(sql):
                 read_costs.append(outcome.cost_ms)
             else:
                 serial_ms += outcome.cost_ms
         elapsed_ms = serial_ms + _parallel_elapsed(
             read_costs, self.cost_model.db_workers)
-        self.batches_executed += 1
-        self.statements_executed += len(statements)
-        self.largest_batch = max(self.largest_batch, len(statements))
-        self.total_db_time_ms += elapsed_ms
+        return outcomes, elapsed_ms
+
+    def _execute_batch_plan(self, statements):
+        """The shared-scan path: group, execute, charge groups once."""
+        plan_result = execute_batch_plan(self.database, statements)
+        grouped = set()
+        group_costs = []
+        for group in plan_result.groups:
+            grouped.update(group.member_indices)
+            # One job: one dispatch plus the single shared scan.
+            group_costs.append(self.cost_model.query_cost_ms(group.scan_rows))
+            self.shared_scan_groups += 1
+            self.shared_scan_rows_saved += group.rows_saved
+
+        outcomes = []
+        read_costs = list(group_costs)
+        serial_ms = 0.0
+        for index, (sql, params) in enumerate(statements):
+            result = plan_result.results[index]
+            if index in grouped:
+                # The group job already carries the cost; members ship free.
+                cost = 0.0
+                outcomes.append(StatementOutcome(sql, result, cost))
+                continue
+            cost = self.cost_model.query_cost_ms(result.rows_touched)
+            outcomes.append(StatementOutcome(sql, result, cost))
+            if is_read_statement(sql):
+                read_costs.append(cost)
+            else:
+                serial_ms += cost
+        elapsed_ms = serial_ms + _parallel_elapsed(
+            read_costs, self.cost_model.db_workers)
         return outcomes, elapsed_ms
 
     def _run(self, sql, params):

@@ -8,8 +8,12 @@ paper's evaluation.  It provides:
 - a catalog of tables, columns and indexes (:mod:`repro.sqldb.catalog`),
 - row storage with secondary hash/ordered indexes (:mod:`repro.sqldb.storage`,
   :mod:`repro.sqldb.indexes`),
-- an expression evaluator and query executor supporting filters, joins,
-  aggregates, grouping, ordering and limits (:mod:`repro.sqldb.executor`),
+- an expression evaluator (:mod:`repro.sqldb.expressions`) and a planner
+  subsystem (:mod:`repro.sqldb.plan`) that turns parsed SELECTs into
+  logical plans, optimizes them (predicate pushdown, index selection,
+  join-strategy choice) and executes Volcano-style physical operators,
+- a thin execution facade dispatching statements through the pipeline
+  (:mod:`repro.sqldb.executor`),
 - simple transactions with rollback (:mod:`repro.sqldb.transactions`),
 - the top-level :class:`repro.sqldb.database.Database` facade.
 
@@ -26,7 +30,7 @@ from repro.sqldb.errors import (
     SqlTypeError,
     TransactionError,
 )
-from repro.sqldb.executor import ExecResult
+from repro.sqldb.result import ExecResult
 
 __all__ = [
     "Database",

@@ -33,11 +33,27 @@ class Database:
 
     def execute(self, sql, params=()):
         """Parse and execute one SQL statement; returns :class:`ExecResult`."""
-        stmt = parse(sql)
+        return self.execute_parsed(parse(sql), params)
+
+    def execute_parsed(self, stmt, params=()):
+        """Execute an already-parsed statement, with counter bookkeeping.
+
+        The batch planner uses this to run statements it has already
+        classified without re-parsing or duplicating the accounting.
+        """
         result = self.executor.execute(stmt, tuple(params))
-        self.statements_executed += 1
-        self.total_rows_touched += result.rows_touched
+        self.record_statement(result.rows_touched)
         return result
+
+    def record_statement(self, rows_touched):
+        """The single home for per-statement counter bookkeeping.
+
+        Also called directly by the batch planner for shared-scan group
+        members, whose row charge is attributed to the group's one scan
+        rather than re-counted per member.
+        """
+        self.statements_executed += 1
+        self.total_rows_touched += rows_touched
 
     def execute_script(self, script):
         """Execute a semicolon-separated list of statements (DDL helper)."""
@@ -52,6 +68,20 @@ class Database:
         """Execute a SELECT and return rows as a list of dicts."""
         result = self.execute(sql, params)
         return [dict(zip(result.columns, row)) for row in result.rows]
+
+    def explain(self, sql):
+        """The optimized logical plan for a SELECT, as an indented tree.
+
+        For non-SELECT statements, returns the statement repr.
+        """
+        from repro.sqldb import ast_nodes as A
+        from repro.sqldb.plan import build_select_plan, explain, optimize
+
+        stmt = parse(sql)
+        if not isinstance(stmt, A.Select):
+            return repr(stmt)
+        logical, sctx = build_select_plan(self, stmt)
+        return explain(optimize(logical, sctx, self))
 
     def table_size(self, name):
         return len(self.tables_get(name))

@@ -1,10 +1,17 @@
-"""Statement executor.
+"""Statement execution facade: parse → plan → optimize → execute.
 
-Executes parsed statements against the catalog/storage layer.  SELECT
-supports filters, inner/left joins (hash join on equality conditions, nested
-loop otherwise), grouping with aggregates, HAVING, DISTINCT, ORDER BY and
-LIMIT/OFFSET.  Single-table equality predicates use the primary-key or a
-secondary index when available.
+SELECT statements run through the planner subsystem
+(:mod:`repro.sqldb.plan`): the statement is translated to a logical plan,
+rewritten by the rule-based optimizer (predicate pushdown, index selection,
+join-strategy choice) and lowered to Volcano-style physical operators.
+Optimized plans are cached per parsed statement and invalidated when DDL
+changes the catalog — parameters never affect plan shape (index-key values
+resolve at execution time), so one plan serves every execution of a
+prepared statement.
+
+Writes and DDL are interpreted directly here; UPDATE/DELETE share the
+planner's access-path machinery (:mod:`repro.sqldb.plan.access`) for their
+candidate-row search.
 
 Every execution returns an :class:`ExecResult` carrying the result rows plus
 ``rows_touched``, the number of storage rows the statement examined; the
@@ -13,43 +20,18 @@ simulated server turns that into database time.
 
 from repro.sqldb import ast_nodes as A
 from repro.sqldb.catalog import IndexInfo, TableSchema, Column
-from repro.sqldb.errors import SqlError, SqlTypeError
-from repro.sqldb.expressions import RowContext, evaluate, expr_columns
+from repro.sqldb.errors import SqlError
+from repro.sqldb.expressions import RowContext, evaluate
+from repro.sqldb.plan import plan_select
+from repro.sqldb.plan.access import candidate_row_ids
+from repro.sqldb.result import ExecResult
 from repro.sqldb.storage import Table
 
-_AGGREGATE_NAMES = frozenset(["COUNT", "SUM", "AVG", "MIN", "MAX"])
+__all__ = ["ExecResult", "Executor"]
 
-
-class ExecResult:
-    """Result of executing one statement.
-
-    ``columns`` — output column names (empty for writes).
-    ``rows`` — list of tuples (empty for writes).
-    ``rowcount`` — rows returned for reads, rows affected for writes.
-    ``rows_touched`` — storage rows examined (cost-model input).
-    ``last_insert_id`` — primary key of the last inserted row, if integral.
-    """
-
-    __slots__ = ("columns", "rows", "rowcount", "rows_touched",
-                 "last_insert_id")
-
-    def __init__(self, columns=(), rows=(), rowcount=0, rows_touched=0,
-                 last_insert_id=None):
-        self.columns = list(columns)
-        self.rows = [tuple(r) for r in rows]
-        self.rowcount = rowcount
-        self.rows_touched = rows_touched
-        self.last_insert_id = last_insert_id
-
-    def __repr__(self):
-        return (f"ExecResult(columns={self.columns!r}, "
-                f"rowcount={self.rowcount}, rows_touched={self.rows_touched})")
-
-    def scalar(self):
-        """The single value of a one-row, one-column result (or None)."""
-        if self.rows and self.rows[0]:
-            return self.rows[0][0]
-        return None
+# Cached physical plans per executor; cleared wholesale on overflow (the
+# workloads' hot sets are far smaller) and invalidated by catalog changes.
+_PLAN_CACHE_LIMIT = 512
 
 
 class Executor:
@@ -57,6 +39,11 @@ class Executor:
 
     def __init__(self, database):
         self.db = database
+        # id(stmt) -> (stmt, catalog_version, PhysicalPlan).  The strong
+        # reference to ``stmt`` pins the AST so the id cannot be reused
+        # while the entry lives.
+        self._plans = {}
+        self._catalog_version = 0
 
     def execute(self, stmt, params=()):
         kind = type(stmt)
@@ -75,6 +62,7 @@ class Executor:
         if kind is A.DropTable:
             self.db.catalog.drop_table(stmt.name)
             del self.db.tables[stmt.name]
+            self._invalidate_plans()
             return ExecResult()
         if kind is A.Begin:
             self.db.transactions.begin()
@@ -87,6 +75,26 @@ class Executor:
             return ExecResult()
         raise SqlError(f"cannot execute statement {stmt!r}")
 
+    # -- SELECT: the plan pipeline --------------------------------------------
+
+    def _exec_select(self, stmt, params):
+        return self.plan_for(stmt).execute(self.db, params)
+
+    def plan_for(self, stmt):
+        """The cached optimized physical plan for a SELECT statement."""
+        entry = self._plans.get(id(stmt))
+        if entry is not None and entry[1] == self._catalog_version:
+            return entry[2]
+        plan = plan_select(self.db, stmt)
+        if len(self._plans) >= _PLAN_CACHE_LIMIT:
+            self._plans.clear()
+        self._plans[id(stmt)] = (stmt, self._catalog_version, plan)
+        return plan
+
+    def _invalidate_plans(self):
+        self._catalog_version += 1
+        self._plans.clear()
+
     # -- DDL ------------------------------------------------------------------
 
     def _exec_create_table(self, stmt):
@@ -97,12 +105,14 @@ class Executor:
         schema = TableSchema(stmt.name, columns)
         self.db.catalog.create_table(schema)
         self.db.tables[stmt.name] = Table(schema)
+        self._invalidate_plans()
         return ExecResult()
 
     def _exec_create_index(self, stmt):
         info = IndexInfo(stmt.name, stmt.table, stmt.columns, stmt.unique)
         self.db.catalog.register_index(info)
         self.db.tables[stmt.table].add_index(info)
+        self._invalidate_plans()
         return ExecResult()
 
     # -- writes ---------------------------------------------------------------
@@ -137,8 +147,7 @@ class Executor:
         table = self.db.tables_get(stmt.table)
         schema = table.schema
         ctx = _single_table_context(schema, stmt.table)
-        target_ids, touched = self._candidate_rows(table, stmt.where, ctx,
-                                                   params)
+        target_ids, touched = candidate_row_ids(table, stmt.where, params)
         assignments = [(schema.ordinal_of(c), e) for c, e in stmt.assignments]
         undo = self.db.transactions.undo_log()
         updated = 0
@@ -161,8 +170,7 @@ class Executor:
     def _exec_delete(self, stmt, params):
         table = self.db.tables_get(stmt.table)
         ctx = _single_table_context(table.schema, stmt.table)
-        target_ids, touched = self._candidate_rows(table, stmt.where, ctx,
-                                                   params)
+        target_ids, touched = candidate_row_ids(table, stmt.where, params)
         undo = self.db.transactions.undo_log()
         deleted = 0
         for row_id in list(target_ids):
@@ -178,392 +186,6 @@ class Executor:
             deleted += 1
         return ExecResult(rowcount=deleted, rows_touched=touched)
 
-    def _candidate_rows(self, table, where, ctx, params):
-        """Row ids that may satisfy ``where`` plus rows-touched count.
-
-        Uses primary-key / secondary-index equality lookups when the WHERE
-        clause pins indexed columns; otherwise scans.
-        """
-        lookup = _index_lookup(table, where, params)
-        if lookup is not None:
-            row_ids = lookup
-            return list(row_ids), len(row_ids)
-        row_ids = [row_id for row_id, _ in table.scan()]
-        return row_ids, len(row_ids)
-
-    # -- SELECT -----------------------------------------------------------------
-
-    def _exec_select(self, stmt, params):
-        source = _JoinSource(self.db, stmt, params)
-        rows, touched = source.produce()
-        ctx = source.context
-
-        has_aggregates = any(
-            _contains_aggregate(item.expr) for item in stmt.items
-        ) or (stmt.having is not None) or bool(stmt.group_by)
-
-        if has_aggregates:
-            out_columns, out_rows = self._aggregate(stmt, rows, ctx, params)
-        else:
-            out_columns, out_rows = self._project(stmt, rows, ctx, params)
-
-        if stmt.distinct:
-            seen = set()
-            unique = []
-            for row in out_rows:
-                key = tuple(row)
-                if key not in seen:
-                    seen.add(key)
-                    unique.append(row)
-            out_rows = unique
-
-        if stmt.order_by:
-            out_rows = self._order(stmt, out_rows, rows, ctx, params,
-                                   out_columns, has_aggregates)
-
-        if stmt.limit is not None:
-            empty_ctx = RowContext({}).bind(())
-            limit = evaluate(stmt.limit, empty_ctx, params)
-            offset = 0
-            if stmt.offset is not None:
-                offset = evaluate(stmt.offset, empty_ctx, params)
-            out_rows = out_rows[offset:offset + limit]
-
-        return ExecResult(out_columns, out_rows, rowcount=len(out_rows),
-                          rows_touched=touched)
-
-    def _project(self, stmt, rows, ctx, params):
-        expansions = _expand_stars(stmt, ctx)
-        out_columns = _output_columns(stmt, expansions)
-        out_rows = []
-        for values in rows:
-            ctx.bind(values)
-            out = []
-            for item, expansion in zip(stmt.items, expansions):
-                if expansion is not None:
-                    out.extend(values[pos] for pos, _ in expansion)
-                else:
-                    out.append(evaluate(item.expr, ctx, params))
-            out_rows.append(tuple(out))
-        return out_columns, out_rows
-
-    def _aggregate(self, stmt, rows, ctx, params):
-        # Partition rows into groups by the GROUP BY key (a single group
-        # covering everything when there is no GROUP BY).
-        groups = {}
-        order = []
-        if stmt.group_by:
-            for values in rows:
-                ctx.bind(values)
-                key = tuple(
-                    evaluate(e, ctx, params) for e in stmt.group_by
-                )
-                if key not in groups:
-                    groups[key] = []
-                    order.append(key)
-                groups[key].append(values)
-        else:
-            groups[()] = list(rows)
-            order.append(())
-
-        out_columns = _output_columns(stmt, _expand_stars(stmt, ctx))
-        out_rows = []
-        for key in order:
-            group_rows = groups[key]
-            if stmt.having is not None:
-                keep = _eval_aggregate_expr(stmt.having, group_rows, ctx,
-                                            params)
-                if keep is not True:
-                    continue
-            out = tuple(
-                _eval_aggregate_expr(item.expr, group_rows, ctx, params)
-                for item in stmt.items
-            )
-            out_rows.append(out)
-        return out_columns, out_rows
-
-    def _order(self, stmt, out_rows, source_rows, ctx, params, out_columns,
-               has_aggregates):
-        # ORDER BY may reference output aliases/positions or source columns.
-        # We sort the projected rows; keys referencing source columns are
-        # only valid for non-aggregate queries where rows align 1:1.
-        keyed = []
-        alias_positions = {name: i for i, name in enumerate(out_columns)}
-        for i, out in enumerate(out_rows):
-            key = []
-            for item in stmt.order_by:
-                expr = item.expr
-                value = None
-                if (isinstance(expr, A.ColumnRef) and expr.table is None
-                        and expr.column in alias_positions):
-                    value = out[alias_positions[expr.column]]
-                elif isinstance(expr, A.Literal) and isinstance(expr.value, int):
-                    value = out[expr.value - 1]
-                elif not has_aggregates and i < len(source_rows):
-                    ctx.bind(source_rows[i])
-                    value = evaluate(expr, ctx, params)
-                else:
-                    raise SqlError(
-                        "ORDER BY in aggregate queries must reference "
-                        "output columns")
-                key.append(_SortKey(value, item.descending))
-            keyed.append((key, out))
-        keyed.sort(key=lambda pair: pair[0])
-        return [out for _, out in keyed]
-
-
-class _SortKey:
-    """Comparable wrapper: NULLs sort first ascending; honors DESC."""
-
-    __slots__ = ("value", "descending")
-
-    def __init__(self, value, descending):
-        self.value = value
-        self.descending = descending
-
-    def __lt__(self, other):
-        a, b = self.value, other.value
-        if a is None and b is None:
-            return False
-        if a is None:
-            return not self.descending
-        if b is None:
-            return self.descending
-        if a == b:
-            return False
-        try:
-            less = a < b
-        except TypeError:
-            raise SqlTypeError(f"cannot order {a!r} against {b!r}") from None
-        return (not less) if self.descending else less
-
-    def __eq__(self, other):
-        return self.value == other.value
-
-
-# -----------------------------------------------------------------------------
-# FROM/JOIN row production
-# -----------------------------------------------------------------------------
-
-class _JoinSource:
-    """Produces the joined, filtered row stream for a SELECT."""
-
-    def __init__(self, db, stmt, params):
-        self.db = db
-        self.stmt = stmt
-        self.params = params
-        self.tables = [stmt.table] + [j.table for j in stmt.joins]
-        self.schemas = [db.catalog.table(t.name) for t in self.tables]
-        self.widths = [len(s.columns) for s in self.schemas]
-        self.offsets = []
-        offset = 0
-        for width in self.widths:
-            self.offsets.append(offset)
-            offset += width
-        self.total_width = offset
-        self.context = self._build_context()
-
-    def _build_context(self):
-        positions = {}
-        ambiguous = set()
-        unqualified = {}
-        for table_ref, schema, offset in zip(self.tables, self.schemas,
-                                             self.offsets):
-            for col in schema.columns:
-                positions[(table_ref.alias, col.name)] = offset + col.ordinal
-                if col.name in unqualified:
-                    ambiguous.add(col.name)
-                else:
-                    unqualified[col.name] = offset + col.ordinal
-        for name, pos in unqualified.items():
-            if name not in ambiguous:
-                positions[(None, name)] = pos
-        return RowContext(positions, frozenset(ambiguous))
-
-    def produce(self):
-        """Return (rows, rows_touched) after joins and WHERE."""
-        touched = 0
-        base_table = self.db.tables_get(self.tables[0].name)
-
-        # Index-accelerated single-table fast path.
-        where = self.stmt.where
-        if not self.stmt.joins:
-            lookup = _index_lookup(base_table, where, self.params)
-            if lookup is not None:
-                rows = []
-                ctx = self.context
-                for row_id in sorted(lookup):
-                    row = base_table.rows.get(row_id)
-                    if row is None:
-                        continue
-                    touched += 1
-                    values = _pad(row, 0, self.total_width)
-                    if where is not None:
-                        ctx.bind(values)
-                        if evaluate(where, ctx, self.params) is not True:
-                            continue
-                    rows.append(values)
-                return rows, touched
-
-        current = []
-        for _, row in base_table.scan():
-            touched += 1
-            current.append(_pad(row, 0, self.total_width))
-
-        for join_index, join in enumerate(self.stmt.joins, start=1):
-            right_table = self.db.tables_get(join.table.name)
-            offset = self.offsets[join_index]
-            width = self.widths[join_index]
-            current, join_touched = self._join_step(
-                current, join, right_table, offset, width)
-            touched += join_touched
-
-        if where is not None:
-            ctx = self.context
-            filtered = []
-            for values in current:
-                ctx.bind(values)
-                if evaluate(where, ctx, self.params) is True:
-                    filtered.append(values)
-            current = filtered
-        return current, touched
-
-    def _join_step(self, left_rows, join, right_table, offset, width):
-        """Join accumulated rows against one table (hash join if possible)."""
-        touched = 0
-        equi = self._equi_join_key(join, offset, width)
-        results = []
-        if equi is not None:
-            left_pos, right_ordinal = equi
-            buckets = {}
-            for _, row in right_table.scan():
-                touched += 1
-                key = row[right_ordinal]
-                if key is None:
-                    continue
-                buckets.setdefault(key, []).append(row)
-            for values in left_rows:
-                key = values[left_pos]
-                matches = buckets.get(key, ()) if key is not None else ()
-                if matches:
-                    for row in matches:
-                        merged = list(values)
-                        merged[offset:offset + width] = row
-                        results.append(merged)
-                elif join.kind == "LEFT":
-                    results.append(list(values))
-            return results, touched
-
-        # Nested-loop fallback with the full ON condition.
-        right_rows = [row for _, row in right_table.scan()]
-        touched += len(right_rows)
-        ctx = self.context
-        for values in left_rows:
-            matched = False
-            for row in right_rows:
-                merged = list(values)
-                merged[offset:offset + width] = row
-                ctx.bind(merged)
-                if evaluate(join.condition, ctx, self.params) is True:
-                    results.append(merged)
-                    matched = True
-            if not matched and join.kind == "LEFT":
-                results.append(list(values))
-        return results, touched
-
-    def _equi_join_key(self, join, offset, width):
-        """If the ON condition is ``left_col = right_col``, return the
-        (flat left position, right ordinal) pair for a hash join."""
-        cond = join.condition
-        if not (isinstance(cond, A.BinaryOp) and cond.op == "="):
-            return None
-        sides = [cond.left, cond.right]
-        if not all(isinstance(s, A.ColumnRef) for s in sides):
-            return None
-        placements = []
-        for side in sides:
-            pos = self.context.positions.get((side.table, side.column))
-            if pos is None:
-                return None
-            placements.append(pos)
-        in_right = [offset <= p < offset + width for p in placements]
-        if in_right == [False, True]:
-            return placements[0], placements[1] - offset
-        if in_right == [True, False]:
-            return placements[1], placements[0] - offset
-        return None
-
-
-def _pad(row, offset, total_width):
-    values = [None] * total_width
-    values[offset:offset + len(row)] = row
-    return values
-
-
-# -----------------------------------------------------------------------------
-# Index selection
-# -----------------------------------------------------------------------------
-
-def _equality_conjuncts(where, params, alias=None):
-    """Extract ``column -> constant`` pairs from top-level AND conjuncts."""
-    pairs = {}
-    stack = [where]
-    while stack:
-        node = stack.pop()
-        if isinstance(node, A.BinaryOp) and node.op == "AND":
-            stack.append(node.left)
-            stack.append(node.right)
-            continue
-        if isinstance(node, A.BinaryOp) and node.op == "=":
-            column, constant = None, None
-            for a, b in ((node.left, node.right), (node.right, node.left)):
-                if isinstance(a, A.ColumnRef) and isinstance(
-                        b, (A.Literal, A.Param)):
-                    column, constant = a, b
-                    break
-            if column is None:
-                continue
-            if isinstance(constant, A.Literal):
-                value = constant.value
-            else:
-                if constant.index >= len(params):
-                    continue
-                value = params[constant.index]
-            if value is not None:
-                pairs[column.column] = value
-    return pairs
-
-
-def _index_lookup(table, where, params):
-    """Try to resolve WHERE to row ids via PK or secondary index.
-
-    Returns a collection of row ids, or None when no index applies.
-    """
-    if where is None:
-        return None
-    pairs = _equality_conjuncts(where, params)
-    if not pairs:
-        return None
-    schema = table.schema
-    pk = schema.primary_key
-    if pk is not None and pk.name in pairs:
-        hit = table.find_by_pk(pairs[pk.name])
-        return [hit[0]] if hit else []
-    best = None
-    for index in table.indexes.values():
-        if all(col in pairs for col in index.info.columns):
-            if best is None or len(index.info.columns) > len(
-                    best.info.columns):
-                best = index
-    if best is None:
-        return None
-    key = [pairs[col] for col in best.info.columns]
-    return sorted(best.lookup(key))
-
-
-# -----------------------------------------------------------------------------
-# Projection helpers
-# -----------------------------------------------------------------------------
 
 def _single_table_context(schema, table_name):
     """A RowContext for statements over a single unaliased table."""
@@ -572,109 +194,3 @@ def _single_table_context(schema, table_name):
         positions[(table_name, col.name)] = col.ordinal
         positions[(None, col.name)] = col.ordinal
     return RowContext(positions)
-
-
-def _expand_stars(stmt, ctx):
-    """For each select item, the ``[(flat position, column name), ...]`` it
-    expands to for a Star, or None for ordinary expressions."""
-    positions_by_alias = {}
-    for (alias, column), pos in ctx.positions.items():
-        if alias is None:
-            continue
-        positions_by_alias.setdefault(alias, []).append((pos, column))
-    for alias in positions_by_alias:
-        positions_by_alias[alias].sort()
-    result = []
-    for item in stmt.items:
-        if not isinstance(item.expr, A.Star):
-            result.append(None)
-            continue
-        star = item.expr
-        if star.table is not None:
-            if star.table not in positions_by_alias:
-                raise SqlError(f"unknown table alias {star.table!r} in '*'")
-            result.append(list(positions_by_alias[star.table]))
-        else:
-            expanded = []
-            aliases = [stmt.table.alias] + [j.table.alias for j in stmt.joins]
-            for alias in aliases:
-                expanded.extend(positions_by_alias.get(alias, []))
-            result.append(expanded)
-    return result
-
-
-def _output_columns(stmt, expansions):
-    names = []
-    for item, expansion in zip(stmt.items, expansions):
-        if expansion is not None:
-            names.extend(name for _, name in expansion)
-        elif item.alias:
-            names.append(item.alias)
-        elif isinstance(item.expr, A.ColumnRef):
-            names.append(item.expr.column)
-        elif isinstance(item.expr, A.FuncCall):
-            names.append(item.expr.name.lower())
-        else:
-            names.append(f"col{len(names) + 1}")
-    return names
-
-
-def _contains_aggregate(expr):
-    if isinstance(expr, A.FuncCall) and expr.name in _AGGREGATE_NAMES:
-        return True
-    if isinstance(expr, A.BinaryOp):
-        return _contains_aggregate(expr.left) or _contains_aggregate(
-            expr.right)
-    if isinstance(expr, A.UnaryOp):
-        return _contains_aggregate(expr.operand)
-    return False
-
-
-def _eval_aggregate_expr(expr, group_rows, ctx, params):
-    """Evaluate an expression that may contain aggregate calls over a group."""
-    if isinstance(expr, A.FuncCall) and expr.name in _AGGREGATE_NAMES:
-        return _eval_aggregate_call(expr, group_rows, ctx, params)
-    if isinstance(expr, A.BinaryOp):
-        left = _eval_aggregate_expr(expr.left, group_rows, ctx, params)
-        right = _eval_aggregate_expr(expr.right, group_rows, ctx, params)
-        synthetic = A.BinaryOp(expr.op, A.Literal(left), A.Literal(right))
-        return evaluate(synthetic, ctx, params)
-    if isinstance(expr, A.UnaryOp):
-        operand = _eval_aggregate_expr(expr.operand, group_rows, ctx, params)
-        return evaluate(A.UnaryOp(expr.op, A.Literal(operand)), ctx, params)
-    # Plain expression: evaluate against the first row of the group
-    # (valid for GROUP BY keys, which are constant within a group).
-    if group_rows:
-        ctx.bind(group_rows[0])
-        return evaluate(expr, ctx, params)
-    return None
-
-
-def _eval_aggregate_call(expr, group_rows, ctx, params):
-    name = expr.name
-    if name == "COUNT" and expr.args and isinstance(expr.args[0], A.Star):
-        return len(group_rows)
-    if not expr.args:
-        raise SqlError(f"{name} requires an argument")
-    arg = expr.args[0]
-    values = []
-    for row in group_rows:
-        ctx.bind(row)
-        value = evaluate(arg, ctx, params)
-        if value is not None:
-            values.append(value)
-    if expr.distinct:
-        values = list(dict.fromkeys(values))
-    if name == "COUNT":
-        return len(values)
-    if not values:
-        return None
-    if name == "SUM":
-        return sum(values)
-    if name == "AVG":
-        return sum(values) / len(values)
-    if name == "MIN":
-        return min(values)
-    if name == "MAX":
-        return max(values)
-    raise SqlError(f"unknown aggregate {name!r}")

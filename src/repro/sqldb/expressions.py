@@ -251,6 +251,28 @@ def _eval_scalar_func(expr, ctx, params):
     raise SqlError(f"unknown function {name!r}")
 
 
+def split_conjuncts(expr):
+    """Split a predicate on top-level ANDs, left to right.
+
+    Three-valued logic makes this safe for WHERE processing: the conjunction
+    evaluates to TRUE exactly when every conjunct does, so filters may apply
+    the pieces independently (the planner's predicate-pushdown rule).
+    """
+    if isinstance(expr, A.BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts):
+    """Rebuild a predicate from conjuncts (left-associated ANDs), or None."""
+    if not conjuncts:
+        return None
+    combined = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        combined = A.BinaryOp("AND", combined, conjunct)
+    return combined
+
+
 def expr_columns(expr):
     """Collect all ColumnRef nodes in an expression (for planning)."""
     found = []

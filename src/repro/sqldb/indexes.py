@@ -43,6 +43,12 @@ class HashIndex:
             if not bucket:
                 del self._buckets[key]
 
+    def covers(self, pinned):
+        """Whether every indexed column appears in ``pinned`` (a set or
+        mapping of column names the predicate equates to constants) — the
+        planner's test for whether this index can serve a lookup."""
+        return all(col in pinned for col in self.info.columns)
+
     def lookup(self, key):
         """Return a set of row ids matching the key tuple (possibly empty)."""
         return self._buckets.get(tuple(key), set())

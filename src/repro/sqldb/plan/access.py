@@ -1,0 +1,121 @@
+"""Access-path selection: resolving a WHERE clause to index lookups.
+
+Shared by the SELECT pipeline (``IndexLookup`` physical operator) and by the
+``UPDATE``/``DELETE`` candidate-row search in the executor facade.
+
+Index choice has a structural half and a runtime half.  At *plan* time,
+:func:`pinned_columns` and :func:`candidate_indexes` decide whether the
+predicate's shape (equality conjuncts over the primary key or an index's
+columns) could ever use an index — if not, the optimizer keeps a plain scan.
+At *execution* time, :func:`resolve_index_lookup` re-derives the key values
+from the actual parameters; a key that resolves to NULL or a missing
+parameter drops out of the conjunct set, which can disqualify the index and
+fall back to a full scan (SQL semantics: ``col = NULL`` never matches).
+"""
+
+from repro.sqldb import ast_nodes as A
+from repro.sqldb.expressions import split_conjuncts
+
+
+def _equality_shapes(where):
+    """Yield ``(column name, constant node)`` for every top-level AND
+    conjunct of the form ``col = literal-or-param`` (either side order).
+
+    The single filter both plan-time candidate search and runtime key
+    resolution build on, so the two can never disagree about which
+    predicate shapes count as equality conjuncts.
+    """
+    for node in split_conjuncts(where):
+        if isinstance(node, A.BinaryOp) and node.op == "=":
+            for a, b in ((node.left, node.right), (node.right, node.left)):
+                if isinstance(a, A.ColumnRef) and isinstance(
+                        b, (A.Literal, A.Param)):
+                    yield a.column, b
+                    break
+
+
+def equality_conjuncts(where, params):
+    """Extract ``column -> constant`` pairs from top-level AND conjuncts."""
+    pairs = {}
+    for column, constant in _equality_shapes(where):
+        if isinstance(constant, A.Literal):
+            value = constant.value
+        else:
+            if constant.index >= len(params):
+                continue
+            value = params[constant.index]
+        if value is not None:
+            pairs[column] = value
+    return pairs
+
+
+def pinned_columns(where):
+    """Plan-time view of :func:`equality_conjuncts`: the set of column names
+    equated to *some* literal or parameter, regardless of its eventual value.
+
+    A superset of what :func:`equality_conjuncts` yields for any concrete
+    parameters, so a negative answer here is a safe "never uses an index".
+    """
+    return {column for column, _ in _equality_shapes(where)}
+
+
+def candidate_indexes(table, where):
+    """Plan-time candidates: names of access paths the predicate could pin.
+
+    Returns a list like ``["<pk>", "idx_owner"]`` (empty when no index can
+    ever apply, in which case the optimizer keeps a sequential scan).
+    """
+    if where is None:
+        return []
+    pinned = pinned_columns(where)
+    if not pinned:
+        return []
+    names = []
+    pk = table.schema.primary_key
+    if pk is not None and pk.name in pinned:
+        names.append("<pk>")
+    for index in table.indexes.values():
+        if index.covers(pinned):
+            names.append(index.info.name)
+    return names
+
+
+def resolve_index_lookup(table, where, params):
+    """Resolve WHERE to row ids via the PK or a secondary index.
+
+    Returns a collection of row ids, or None when no index applies for the
+    actual parameter values (caller falls back to a scan).
+    """
+    if where is None:
+        return None
+    pairs = equality_conjuncts(where, params)
+    if not pairs:
+        return None
+    schema = table.schema
+    pk = schema.primary_key
+    if pk is not None and pk.name in pairs:
+        hit = table.find_by_pk(pairs[pk.name])
+        return [hit[0]] if hit else []
+    best = None
+    for index in table.indexes.values():
+        if index.covers(pairs):
+            if best is None or len(index.info.columns) > len(
+                    best.info.columns):
+                best = index
+    if best is None:
+        return None
+    key = [pairs[col] for col in best.info.columns]
+    return sorted(best.lookup(key))
+
+
+def candidate_row_ids(table, where, params):
+    """Row ids that may satisfy ``where`` plus a rows-touched count.
+
+    Used by UPDATE/DELETE: index lookup when the predicate pins indexed
+    columns, full scan otherwise.
+    """
+    lookup = resolve_index_lookup(table, where, params)
+    if lookup is not None:
+        return list(lookup), len(lookup)
+    row_ids = [row_id for row_id, _ in table.scan()]
+    return row_ids, len(row_ids)

@@ -1,0 +1,182 @@
+"""Logical plan nodes.
+
+A logical plan is a tree describing *what* a SELECT computes, independent of
+the algorithms used to compute it.  The planner builds the canonical tree
+
+.. code-block:: text
+
+    Limit(Sort(Distinct(Project|Aggregate(Filter(Join(... Scan))))))
+
+and the optimizer rewrites it (pushing filters below joins, replacing a
+``Scan`` with an ``IndexLookup``, annotating ``Join`` nodes with a physical
+strategy).  :func:`explain` renders a tree for debugging and tests.
+"""
+
+
+class LogicalNode:
+    """Base class for logical plan nodes."""
+
+    _show = ()  # attribute names rendered by explain()
+
+    def children(self):
+        return ()
+
+    def label(self):
+        parts = []
+        for name in self._show:
+            value = getattr(self, name)
+            if value is not None and value != [] and value is not False:
+                parts.append(f"{name}={value!r}")
+        suffix = f" [{', '.join(parts)}]" if parts else ""
+        return f"{type(self).__name__}{suffix}"
+
+    def __repr__(self):
+        return self.label()
+
+
+class Scan(LogicalNode):
+    """Full scan of one table in the FROM list (``table_index`` into the
+    select context's table order; 0 is the base table)."""
+
+    _show = ("table", "alias")
+
+    def __init__(self, table_index, table, alias):
+        self.table_index = table_index
+        self.table = table
+        self.alias = alias
+
+
+class IndexLookup(LogicalNode):
+    """Index-accelerated access to the base table.
+
+    ``where`` is the full predicate the lookup keys are drawn from; key
+    values are resolved against the statement parameters at execution time,
+    falling back to a full scan when no index applies for the actual
+    parameter values (e.g. a key bound to NULL).  ``candidates`` names the
+    indexes the optimizer found structurally applicable (informational).
+    """
+
+    _show = ("table", "candidates")
+
+    def __init__(self, table_index, table, alias, where, candidates):
+        self.table_index = table_index
+        self.table = table
+        self.alias = alias
+        self.where = where
+        self.candidates = candidates  # e.g. ["<pk>"] or index names
+
+
+class Filter(LogicalNode):
+    """Keep rows for which ``predicate`` evaluates to SQL TRUE."""
+
+    _show = ("predicate",)
+
+    def __init__(self, child, predicate):
+        self.child = child
+        self.predicate = predicate
+
+    def children(self):
+        return (self.child,)
+
+
+class Join(LogicalNode):
+    """Join the child row stream against one table.
+
+    ``strategy`` is chosen by the optimizer: ``"hash"`` (with ``equi`` as the
+    ``(flat left position, right ordinal)`` key pair) for equality ON
+    conditions, ``"nested"`` otherwise.
+    """
+
+    _show = ("kind", "table", "strategy")
+
+    def __init__(self, kind, child, table_index, table, condition,
+                 strategy=None, equi=None):
+        self.kind = kind  # "INNER" | "LEFT"
+        self.child = child
+        self.table_index = table_index
+        self.table = table
+        self.condition = condition
+        self.strategy = strategy
+        self.equi = equi
+
+    def children(self):
+        return (self.child,)
+
+
+class Project(LogicalNode):
+    """Evaluate the select list over each source row."""
+
+    def __init__(self, child, items):
+        self.child = child
+        self.items = items
+
+    def children(self):
+        return (self.child,)
+
+
+class Aggregate(LogicalNode):
+    """Group rows and evaluate aggregate select items per group."""
+
+    _show = ("group_by",)
+
+    def __init__(self, child, items, group_by, having):
+        self.child = child
+        self.items = items
+        self.group_by = group_by
+        self.having = having
+
+    def children(self):
+        return (self.child,)
+
+
+class Distinct(LogicalNode):
+    """Drop duplicate output rows, keeping first occurrences."""
+
+    def __init__(self, child):
+        self.child = child
+
+    def children(self):
+        return (self.child,)
+
+
+class Sort(LogicalNode):
+    """ORDER BY over the projected rows."""
+
+    _show = ("order_by",)
+
+    def __init__(self, child, order_by):
+        self.child = child
+        self.order_by = order_by
+
+    def children(self):
+        return (self.child,)
+
+
+class Limit(LogicalNode):
+    """LIMIT/OFFSET over the projected rows."""
+
+    def __init__(self, child, limit, offset):
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+
+    def children(self):
+        return (self.child,)
+
+
+def explain(node, indent=0):
+    """Render a logical plan tree as an indented multi-line string."""
+    lines = ["  " * indent + node.label()]
+    for child in node.children():
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)
+
+
+def transform_bottom_up(node, fn):
+    """Rebuild-free bottom-up rewrite: children are transformed in place,
+    then ``fn(node)`` may return a replacement for the node itself."""
+    for child in node.children():
+        replacement = transform_bottom_up(child, fn)
+        if replacement is not child:
+            node.child = replacement
+    return fn(node)

@@ -1,0 +1,172 @@
+"""Rule-based logical optimizer.
+
+Three rule families run in order:
+
+1. **Predicate pushdown** — conjuncts of the WHERE clause that reference
+   only base-table columns move below the join chain, shrinking the rows a
+   join has to carry.  Valid for LEFT joins too: a predicate over left-side
+   columns commutes with left outer join.  Conjuncts that reference join
+   tables, ambiguous unqualified names, or aggregate calls stay put.
+2. **Access-path selection** — a single-table plan whose predicate pins the
+   primary key or all columns of a secondary index (structurally: equality
+   against literals/parameters) replaces its ``Scan`` with an
+   ``IndexLookup``; the final decision still happens at execution time
+   against the actual parameter values.  Join plans keep full base scans —
+   matching the legacy interpreter's cost accounting exactly.
+3. **Join-strategy choice** — ``a.x = b.y`` ON conditions become hash
+   joins; anything else a nested loop.
+"""
+
+from repro.sqldb import ast_nodes as A
+from repro.sqldb.expressions import conjoin, expr_columns, split_conjuncts
+from repro.sqldb.plan import logical as L
+from repro.sqldb.plan.access import candidate_indexes
+from repro.sqldb.plan.planner import contains_aggregate
+
+
+def optimize(node, sctx, db):
+    """Apply all rewrite rules to a canonical logical plan."""
+    node = push_down_predicates(node, sctx)
+    node = select_access_path(node, sctx, db)
+    node = choose_join_strategies(node, sctx)
+    return node
+
+
+# ---------------------------------------------------------------------------
+# Rule 1: predicate pushdown
+# ---------------------------------------------------------------------------
+
+def push_down_predicates(node, sctx):
+    """Move base-table-only conjuncts of the WHERE filter below the joins."""
+    if not sctx.stmt.joins:
+        return node  # single-table: the filter already sits on the scan
+    return _push_in(node, sctx)
+
+
+def _push_in(node, sctx):
+    if isinstance(node, L.Filter) and isinstance(node.child, L.Join):
+        pushable, residual = [], []
+        for conjunct in split_conjuncts(node.predicate):
+            if _references_only_base(conjunct, sctx):
+                pushable.append(conjunct)
+            else:
+                residual.append(conjunct)
+        if not pushable:
+            return node
+        bottom = _push_onto_base(node.child, conjoin(pushable))
+        residual_pred = conjoin(residual)
+        if residual_pred is None:
+            return bottom
+        node.child = bottom
+        node.predicate = residual_pred
+        return node
+    for child in node.children():
+        replacement = _push_in(child, sctx)
+        if replacement is not child:
+            node.child = replacement
+    return node
+
+
+def _push_onto_base(node, predicate):
+    """Wrap the bottom Scan/IndexLookup of a join chain in a Filter."""
+    if isinstance(node, L.Join):
+        node.child = _push_onto_base(node.child, predicate)
+        return node
+    return L.Filter(node, predicate)
+
+
+def _references_only_base(conjunct, sctx):
+    """Whether every column in ``conjunct`` resolves inside table 0.
+
+    Conservative: aggregate calls, ambiguous unqualified names and
+    unresolvable references disqualify the conjunct (it stays above the
+    joins, where evaluation raises the same resolution errors as before).
+    Note the standard pushdown caveat: a pushed conjunct now evaluates on
+    base rows the join might have eliminated, so a per-row type error
+    (e.g. comparing text with a number) can surface where the unoptimized
+    plan, seeing an empty joined stream, returned a result.
+    """
+    if contains_aggregate(conjunct):
+        return False
+    refs = expr_columns(conjunct)
+    if not refs:
+        return True
+    base_width = sctx.widths[0]
+    positions = sctx.context.positions
+    for ref in refs:
+        if ref.table is None and ref.column in sctx.context.ambiguous:
+            return False
+        pos = positions.get((ref.table, ref.column))
+        if pos is None or pos >= base_width:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Rule 2: access-path (index) selection
+# ---------------------------------------------------------------------------
+
+def select_access_path(node, sctx, db):
+    """Replace Filter(Scan) with Filter(IndexLookup) on single-table plans
+    whose predicate could pin the primary key or a secondary index."""
+    if sctx.stmt.joins or sctx.stmt.where is None:
+        return node
+    return L.transform_bottom_up(node, lambda n: _to_index_lookup(n, db))
+
+
+def _to_index_lookup(node, db):
+    if not (isinstance(node, L.Filter) and isinstance(node.child, L.Scan)):
+        return node
+    scan = node.child
+    table = db.tables_get(scan.table)
+    candidates = candidate_indexes(table, node.predicate)
+    if not candidates:
+        return node
+    node.child = L.IndexLookup(scan.table_index, scan.table, scan.alias,
+                               node.predicate, candidates)
+    return node
+
+
+# ---------------------------------------------------------------------------
+# Rule 3: join-strategy choice
+# ---------------------------------------------------------------------------
+
+def choose_join_strategies(node, sctx):
+    return L.transform_bottom_up(node, lambda n: _annotate_join(n, sctx))
+
+
+def _annotate_join(node, sctx):
+    if not isinstance(node, L.Join):
+        return node
+    equi = _equi_join_key(node, sctx)
+    if equi is not None:
+        node.strategy = "hash"
+        node.equi = equi
+    else:
+        node.strategy = "nested"
+    return node
+
+
+def _equi_join_key(join, sctx):
+    """If the ON condition is ``left_col = right_col``, return the
+    (flat left position, right ordinal) pair for a hash join."""
+    cond = join.condition
+    if not (isinstance(cond, A.BinaryOp) and cond.op == "="):
+        return None
+    sides = [cond.left, cond.right]
+    if not all(isinstance(s, A.ColumnRef) for s in sides):
+        return None
+    offset = sctx.offsets[join.table_index]
+    width = sctx.widths[join.table_index]
+    placements = []
+    for side in sides:
+        pos = sctx.context.positions.get((side.table, side.column))
+        if pos is None:
+            return None
+        placements.append(pos)
+    in_right = [offset <= p < offset + width for p in placements]
+    if in_right == [False, True]:
+        return placements[0], placements[1] - offset
+    if in_right == [True, False]:
+        return placements[1], placements[0] - offset
+    return None

@@ -1,0 +1,567 @@
+"""Volcano-style physical operators.
+
+Two operator flavours mirror the two halves of a SELECT:
+
+- **Row sources** (:class:`SeqScanOp`, :class:`IndexLookupOp`,
+  :class:`FilterOp`, :class:`HashJoinOp`, :class:`NestedLoopJoinOp`) stream
+  flat joined rows via ``iter_rows(run)``, pulling from their child — the
+  Volcano iterator protocol.  They charge every storage row they examine to
+  ``run.rows_touched``, which the cost model converts to database time.
+
+- **Result operators** (:class:`ProjectOp`, :class:`AggregateOp`,
+  :class:`DistinctOp`, :class:`SortOp`, :class:`LimitOp`) transform the
+  materialized output relation via ``apply(run)``.  Sort and Aggregate are
+  blocking by nature; Distinct/Limit keep list semantics so ORDER BY's
+  legacy behaviour (sorting projected rows, with source-column keys allowed
+  for non-aggregate queries) is preserved exactly.
+
+``build_physical`` lowers an optimized logical tree into a
+:class:`PhysicalPlan`; ``PhysicalPlan.execute(db, params)`` returns an
+:class:`repro.sqldb.result.ExecResult`.
+"""
+
+from repro.sqldb import ast_nodes as A
+from repro.sqldb.errors import SqlError, SqlTypeError
+from repro.sqldb.expressions import evaluate, RowContext
+from repro.sqldb.plan import logical as L
+from repro.sqldb.plan.access import resolve_index_lookup
+from repro.sqldb.plan.planner import _AGGREGATE_NAMES
+from repro.sqldb.result import ExecResult
+
+
+class PlanRun:
+    """Mutable state for one execution of a physical plan."""
+
+    __slots__ = ("db", "params", "sctx", "ctx", "rows_touched",
+                 "source_rows", "out_columns", "out_rows", "has_aggregates",
+                 "prefetched_base_rows")
+
+    def __init__(self, db, params, sctx, prefetched_base_rows=None):
+        self.db = db
+        self.params = tuple(params)
+        self.sctx = sctx
+        self.ctx = sctx.fresh_context()
+        self.rows_touched = 0
+        self.source_rows = None   # materialized rows entering projection
+        self.out_columns = None
+        self.out_rows = None
+        self.has_aggregates = False
+        # When set, the base-table access operator yields these rows instead
+        # of scanning storage (the batch shared-scan path): the scan already
+        # happened once for the whole group, so no rows are charged here.
+        self.prefetched_base_rows = prefetched_base_rows
+
+
+def _pad(row, offset, total_width):
+    values = [None] * total_width
+    values[offset:offset + len(row)] = row
+    return values
+
+
+# ---------------------------------------------------------------------------
+# Row sources
+# ---------------------------------------------------------------------------
+
+class SeqScanOp:
+    """Full scan of the base table, padded to the joined-row width."""
+
+    def __init__(self, table_name):
+        self.table_name = table_name
+
+    def iter_rows(self, run):
+        if run.prefetched_base_rows is not None:
+            yield from run.prefetched_base_rows
+            return
+        table = run.db.tables_get(self.table_name)
+        total = run.sctx.total_width
+        for _, row in table.scan():
+            run.rows_touched += 1
+            yield _pad(row, 0, total)
+
+
+class IndexLookupOp:
+    """Index-accelerated base-table access with runtime fallback.
+
+    Key values come from the statement parameters, so the final index
+    decision happens per execution (mirroring the legacy interpreter): when
+    :func:`resolve_index_lookup` finds no usable index for the actual
+    values, this operator degrades to a sequential scan and the filter above
+    does all the work.
+    """
+
+    def __init__(self, table_name, where):
+        self.table_name = table_name
+        self.where = where
+
+    def iter_rows(self, run):
+        if run.prefetched_base_rows is not None:
+            yield from run.prefetched_base_rows
+            return
+        table = run.db.tables_get(self.table_name)
+        total = run.sctx.total_width
+        lookup = resolve_index_lookup(table, self.where, run.params)
+        if lookup is None:
+            for _, row in table.scan():
+                run.rows_touched += 1
+                yield _pad(row, 0, total)
+            return
+        for row_id in sorted(lookup):
+            row = table.rows.get(row_id)
+            if row is None:
+                continue
+            run.rows_touched += 1
+            yield _pad(row, 0, total)
+
+
+class FilterOp:
+    """Keep rows whose predicate evaluates to SQL TRUE."""
+
+    def __init__(self, child, predicate):
+        self.child = child
+        self.predicate = predicate
+
+    def iter_rows(self, run):
+        predicate = self.predicate
+        ctx = run.ctx
+        params = run.params
+        for values in self.child.iter_rows(run):
+            ctx.bind(values)
+            if evaluate(predicate, ctx, params) is True:
+                yield values
+
+
+class HashJoinOp:
+    """Equi-join: build a hash table over the right table, probe with the
+    child's rows.  LEFT joins emit the unmatched left row padded with NULLs
+    (already present from the base padding)."""
+
+    def __init__(self, child, join_index, kind, table_name,
+                 left_pos, right_ordinal):
+        self.child = child
+        self.join_index = join_index
+        self.kind = kind
+        self.table_name = table_name
+        self.left_pos = left_pos
+        self.right_ordinal = right_ordinal
+
+    def iter_rows(self, run):
+        right_table = run.db.tables_get(self.table_name)
+        offset = run.sctx.offsets[self.join_index]
+        width = run.sctx.widths[self.join_index]
+        buckets = {}
+        for _, row in right_table.scan():
+            run.rows_touched += 1
+            key = row[self.right_ordinal]
+            if key is None:
+                continue
+            buckets.setdefault(key, []).append(row)
+        left_pos = self.left_pos
+        for values in self.child.iter_rows(run):
+            key = values[left_pos]
+            matches = buckets.get(key, ()) if key is not None else ()
+            if matches:
+                for row in matches:
+                    merged = list(values)
+                    merged[offset:offset + width] = row
+                    yield merged
+            elif self.kind == "LEFT":
+                yield list(values)
+
+
+class NestedLoopJoinOp:
+    """General join with an arbitrary ON condition."""
+
+    def __init__(self, child, join_index, kind, table_name, condition):
+        self.child = child
+        self.join_index = join_index
+        self.kind = kind
+        self.table_name = table_name
+        self.condition = condition
+
+    def iter_rows(self, run):
+        right_table = run.db.tables_get(self.table_name)
+        offset = run.sctx.offsets[self.join_index]
+        width = run.sctx.widths[self.join_index]
+        right_rows = [row for _, row in right_table.scan()]
+        run.rows_touched += len(right_rows)
+        ctx = run.ctx
+        params = run.params
+        for values in self.child.iter_rows(run):
+            matched = False
+            for row in right_rows:
+                merged = list(values)
+                merged[offset:offset + width] = row
+                ctx.bind(merged)
+                if evaluate(self.condition, ctx, params) is True:
+                    yield merged
+                    matched = True
+            if not matched and self.kind == "LEFT":
+                yield list(values)
+
+
+# ---------------------------------------------------------------------------
+# Result operators
+# ---------------------------------------------------------------------------
+
+class ProjectOp:
+    """Evaluate the select list (with ``*`` expansion) over each row.
+
+    Star expansion and output-column names depend only on the statement and
+    the FROM-list layout, both fixed for the plan's lifetime (DDL
+    invalidates the plan cache), so they are computed once at build time.
+    """
+
+    def __init__(self, items, sctx):
+        self.items = items
+        self.expansions = _expand_stars(sctx.stmt, sctx.context)
+        self.out_columns = _output_columns(sctx.stmt, self.expansions)
+
+    def apply(self, run):
+        ctx = run.ctx
+        params = run.params
+        expansions = self.expansions
+        run.out_columns = self.out_columns
+        out_rows = []
+        for values in run.source_rows:
+            ctx.bind(values)
+            out = []
+            for item, expansion in zip(self.items, expansions):
+                if expansion is not None:
+                    out.extend(values[pos] for pos, _ in expansion)
+                else:
+                    out.append(evaluate(item.expr, ctx, params))
+            out_rows.append(tuple(out))
+        run.out_rows = out_rows
+
+
+class AggregateOp:
+    """GROUP BY + aggregate select items + HAVING."""
+
+    def __init__(self, items, group_by, having, sctx):
+        self.items = items
+        self.group_by = group_by
+        self.having = having
+        self.out_columns = _output_columns(
+            sctx.stmt, _expand_stars(sctx.stmt, sctx.context))
+
+    def apply(self, run):
+        run.has_aggregates = True
+        ctx = run.ctx
+        params = run.params
+        rows = run.source_rows
+        # Partition rows into groups by the GROUP BY key (a single group
+        # covering everything when there is no GROUP BY).
+        groups = {}
+        order = []
+        if self.group_by:
+            for values in rows:
+                ctx.bind(values)
+                key = tuple(
+                    evaluate(e, ctx, params) for e in self.group_by
+                )
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(values)
+        else:
+            groups[()] = list(rows)
+            order.append(())
+
+        run.out_columns = self.out_columns
+        out_rows = []
+        for key in order:
+            group_rows = groups[key]
+            if self.having is not None:
+                keep = _eval_aggregate_expr(self.having, group_rows, ctx,
+                                            params)
+                if keep is not True:
+                    continue
+            out = tuple(
+                _eval_aggregate_expr(item.expr, group_rows, ctx, params)
+                for item in self.items
+            )
+            out_rows.append(out)
+        run.out_rows = out_rows
+
+
+class DistinctOp:
+    """Drop duplicate output rows, keeping first occurrences."""
+
+    def apply(self, run):
+        seen = set()
+        unique = []
+        for row in run.out_rows:
+            key = tuple(row)
+            if key not in seen:
+                seen.add(key)
+                unique.append(row)
+        run.out_rows = unique
+
+
+class SortOp:
+    """ORDER BY over projected rows.
+
+    Keys may reference output aliases/positions or — for non-aggregate
+    queries, where output rows align 1:1 with source rows — source columns.
+    """
+
+    def __init__(self, order_by):
+        self.order_by = order_by
+
+    def apply(self, run):
+        ctx = run.ctx
+        params = run.params
+        source_rows = run.source_rows
+        keyed = []
+        alias_positions = {
+            name: i for i, name in enumerate(run.out_columns)}
+        for i, out in enumerate(run.out_rows):
+            key = []
+            for item in self.order_by:
+                expr = item.expr
+                value = None
+                if (isinstance(expr, A.ColumnRef) and expr.table is None
+                        and expr.column in alias_positions):
+                    value = out[alias_positions[expr.column]]
+                elif isinstance(expr, A.Literal) and isinstance(
+                        expr.value, int):
+                    value = out[expr.value - 1]
+                elif not run.has_aggregates and i < len(source_rows):
+                    ctx.bind(source_rows[i])
+                    value = evaluate(expr, ctx, params)
+                else:
+                    raise SqlError(
+                        "ORDER BY in aggregate queries must reference "
+                        "output columns")
+                key.append(_SortKey(value, item.descending))
+            keyed.append((key, out))
+        keyed.sort(key=lambda pair: pair[0])
+        run.out_rows = [out for _, out in keyed]
+
+
+class LimitOp:
+    """LIMIT/OFFSET (expressions may reference parameters)."""
+
+    def __init__(self, limit, offset):
+        self.limit = limit
+        self.offset = offset
+
+    def apply(self, run):
+        empty_ctx = RowContext({}).bind(())
+        limit = evaluate(self.limit, empty_ctx, run.params)
+        offset = 0
+        if self.offset is not None:
+            offset = evaluate(self.offset, empty_ctx, run.params)
+        run.out_rows = run.out_rows[offset:offset + limit]
+
+
+class _SortKey:
+    """Comparable wrapper: NULLs sort first ascending; honors DESC."""
+
+    __slots__ = ("value", "descending")
+
+    def __init__(self, value, descending):
+        self.value = value
+        self.descending = descending
+
+    def __lt__(self, other):
+        a, b = self.value, other.value
+        if a is None and b is None:
+            return False
+        if a is None:
+            return not self.descending
+        if b is None:
+            return self.descending
+        if a == b:
+            return False
+        try:
+            less = a < b
+        except TypeError:
+            raise SqlTypeError(f"cannot order {a!r} against {b!r}") from None
+        return (not less) if self.descending else less
+
+    def __eq__(self, other):
+        return self.value == other.value
+
+
+# ---------------------------------------------------------------------------
+# The executable plan
+# ---------------------------------------------------------------------------
+
+class PhysicalPlan:
+    """A row-source tree plus the result-operator pipeline above it.
+
+    ``shared_scan_table`` is the table name when the row source is a pure
+    sequential scan (no joins, no index access path) — the batch shared-scan
+    optimizer's eligibility test, precomputed here so it rides the plan
+    cache instead of re-walking the AST on every batch flush.
+    """
+
+    __slots__ = ("source", "result_ops", "sctx", "shared_scan_table")
+
+    def __init__(self, source, result_ops, sctx):
+        self.source = source
+        self.result_ops = result_ops
+        self.sctx = sctx
+        op = source
+        while isinstance(op, FilterOp):
+            op = op.child
+        self.shared_scan_table = (
+            op.table_name if isinstance(op, SeqScanOp) else None)
+
+    def execute(self, db, params=(), prefetched_base_rows=None):
+        """Run the plan; returns an :class:`ExecResult`."""
+        run = PlanRun(db, params, self.sctx,
+                      prefetched_base_rows=prefetched_base_rows)
+        run.source_rows = list(self.source.iter_rows(run))
+        for op in self.result_ops:
+            op.apply(run)
+        return ExecResult(run.out_columns, run.out_rows,
+                          rowcount=len(run.out_rows),
+                          rows_touched=run.rows_touched)
+
+
+def build_physical(node, sctx):
+    """Lower an optimized logical tree into a :class:`PhysicalPlan`."""
+    result_ops = []
+    while True:
+        if isinstance(node, L.Limit):
+            result_ops.append(LimitOp(node.limit, node.offset))
+            node = node.child
+        elif isinstance(node, L.Sort):
+            result_ops.append(SortOp(node.order_by))
+            node = node.child
+        elif isinstance(node, L.Distinct):
+            result_ops.append(DistinctOp())
+            node = node.child
+        elif isinstance(node, L.Project):
+            result_ops.append(ProjectOp(node.items, sctx))
+            node = node.child
+            break
+        elif isinstance(node, L.Aggregate):
+            result_ops.append(AggregateOp(node.items, node.group_by,
+                                          node.having, sctx))
+            node = node.child
+            break
+        else:
+            raise SqlError(f"unexpected plan node above projection: {node!r}")
+    result_ops.reverse()
+    source = _build_source(node, sctx)
+    return PhysicalPlan(source, result_ops, sctx)
+
+
+def _build_source(node, sctx):
+    if isinstance(node, L.Scan):
+        return SeqScanOp(node.table)
+    if isinstance(node, L.IndexLookup):
+        return IndexLookupOp(node.table, node.where)
+    if isinstance(node, L.Filter):
+        return FilterOp(_build_source(node.child, sctx), node.predicate)
+    if isinstance(node, L.Join):
+        child = _build_source(node.child, sctx)
+        if node.strategy == "hash":
+            left_pos, right_ordinal = node.equi
+            return HashJoinOp(child, node.table_index, node.kind,
+                              node.table, left_pos, right_ordinal)
+        return NestedLoopJoinOp(child, node.table_index, node.kind,
+                                node.table, node.condition)
+    raise SqlError(f"unexpected plan node in row source: {node!r}")
+
+
+# ---------------------------------------------------------------------------
+# Projection helpers (shared by Project and Aggregate)
+# ---------------------------------------------------------------------------
+
+def _expand_stars(stmt, ctx):
+    """For each select item, the ``[(flat position, column name), ...]`` it
+    expands to for a Star, or None for ordinary expressions."""
+    positions_by_alias = {}
+    for (alias, column), pos in ctx.positions.items():
+        if alias is None:
+            continue
+        positions_by_alias.setdefault(alias, []).append((pos, column))
+    for alias in positions_by_alias:
+        positions_by_alias[alias].sort()
+    result = []
+    for item in stmt.items:
+        if not isinstance(item.expr, A.Star):
+            result.append(None)
+            continue
+        star = item.expr
+        if star.table is not None:
+            if star.table not in positions_by_alias:
+                raise SqlError(f"unknown table alias {star.table!r} in '*'")
+            result.append(list(positions_by_alias[star.table]))
+        else:
+            expanded = []
+            aliases = [stmt.table.alias] + [j.table.alias for j in stmt.joins]
+            for alias in aliases:
+                expanded.extend(positions_by_alias.get(alias, []))
+            result.append(expanded)
+    return result
+
+
+def _output_columns(stmt, expansions):
+    names = []
+    for item, expansion in zip(stmt.items, expansions):
+        if expansion is not None:
+            names.extend(name for _, name in expansion)
+        elif item.alias:
+            names.append(item.alias)
+        elif isinstance(item.expr, A.ColumnRef):
+            names.append(item.expr.column)
+        elif isinstance(item.expr, A.FuncCall):
+            names.append(item.expr.name.lower())
+        else:
+            names.append(f"col{len(names) + 1}")
+    return names
+
+
+def _eval_aggregate_expr(expr, group_rows, ctx, params):
+    """Evaluate an expression that may contain aggregate calls over a group."""
+    if isinstance(expr, A.FuncCall) and expr.name in _AGGREGATE_NAMES:
+        return _eval_aggregate_call(expr, group_rows, ctx, params)
+    if isinstance(expr, A.BinaryOp):
+        left = _eval_aggregate_expr(expr.left, group_rows, ctx, params)
+        right = _eval_aggregate_expr(expr.right, group_rows, ctx, params)
+        synthetic = A.BinaryOp(expr.op, A.Literal(left), A.Literal(right))
+        return evaluate(synthetic, ctx, params)
+    if isinstance(expr, A.UnaryOp):
+        operand = _eval_aggregate_expr(expr.operand, group_rows, ctx, params)
+        return evaluate(A.UnaryOp(expr.op, A.Literal(operand)), ctx, params)
+    # Plain expression: evaluate against the first row of the group
+    # (valid for GROUP BY keys, which are constant within a group).
+    if group_rows:
+        ctx.bind(group_rows[0])
+        return evaluate(expr, ctx, params)
+    return None
+
+
+def _eval_aggregate_call(expr, group_rows, ctx, params):
+    name = expr.name
+    if name == "COUNT" and expr.args and isinstance(expr.args[0], A.Star):
+        return len(group_rows)
+    if not expr.args:
+        raise SqlError(f"{name} requires an argument")
+    arg = expr.args[0]
+    values = []
+    for row in group_rows:
+        ctx.bind(row)
+        value = evaluate(arg, ctx, params)
+        if value is not None:
+            values.append(value)
+    if expr.distinct:
+        values = list(dict.fromkeys(values))
+    if name == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if name == "SUM":
+        return sum(values)
+    if name == "AVG":
+        return sum(values) / len(values)
+    if name == "MIN":
+        return min(values)
+    if name == "MAX":
+        return max(values)
+    raise SqlError(f"unknown aggregate {name!r}")

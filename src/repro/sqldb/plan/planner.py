@@ -1,0 +1,103 @@
+"""Translate a parsed SELECT into a canonical logical plan.
+
+The planner resolves the FROM list against the catalog, builds the
+:class:`SelectContext` (flat row layout + column-reference resolution shared
+by every operator), and emits the canonical node tree.  It performs *no*
+optimization — see :mod:`repro.sqldb.plan.optimizer`.
+"""
+
+from repro.sqldb import ast_nodes as A
+from repro.sqldb.expressions import RowContext
+from repro.sqldb.plan import logical as L
+
+_AGGREGATE_NAMES = frozenset(["COUNT", "SUM", "AVG", "MIN", "MAX"])
+
+
+class SelectContext:
+    """Resolved FROM-list layout for one SELECT.
+
+    Joined rows are flat lists; table ``i``'s columns live at positions
+    ``offsets[i] .. offsets[i] + widths[i]``.  ``context`` is the
+    :class:`RowContext` every expression in the statement evaluates against.
+    """
+
+    def __init__(self, db, stmt):
+        self.stmt = stmt
+        self.tables = [stmt.table] + [j.table for j in stmt.joins]
+        self.schemas = [db.catalog.table(t.name) for t in self.tables]
+        self.widths = [len(s.columns) for s in self.schemas]
+        self.offsets = []
+        offset = 0
+        for width in self.widths:
+            self.offsets.append(offset)
+            offset += width
+        self.total_width = offset
+        self.context = self._build_context()
+
+    def _build_context(self):
+        positions = {}
+        ambiguous = set()
+        unqualified = {}
+        for table_ref, schema, offset in zip(self.tables, self.schemas,
+                                             self.offsets):
+            for col in schema.columns:
+                positions[(table_ref.alias, col.name)] = offset + col.ordinal
+                if col.name in unqualified:
+                    ambiguous.add(col.name)
+                else:
+                    unqualified[col.name] = offset + col.ordinal
+        for name, pos in unqualified.items():
+            if name not in ambiguous:
+                positions[(None, name)] = pos
+        return RowContext(positions, frozenset(ambiguous))
+
+    def fresh_context(self):
+        """A new (unbound) RowContext over the same layout, safe for use on
+        a second concurrent evaluation (contexts carry bound row state)."""
+        return RowContext(self.context.positions, self.context.ambiguous)
+
+
+def contains_aggregate(expr):
+    if isinstance(expr, A.FuncCall) and expr.name in _AGGREGATE_NAMES:
+        return True
+    if isinstance(expr, A.BinaryOp):
+        return contains_aggregate(expr.left) or contains_aggregate(expr.right)
+    if isinstance(expr, A.UnaryOp):
+        return contains_aggregate(expr.operand)
+    return False
+
+
+def select_has_aggregates(stmt):
+    return any(
+        contains_aggregate(item.expr) for item in stmt.items
+    ) or (stmt.having is not None) or bool(stmt.group_by)
+
+
+def build_select_plan(db, stmt):
+    """Build the canonical logical plan for ``stmt``.
+
+    Returns ``(root, select_context)``.  Raises
+    :class:`repro.sqldb.errors.CatalogError` for unknown tables, exactly as
+    direct execution would.
+    """
+    sctx = SelectContext(db, stmt)
+
+    node = L.Scan(0, sctx.tables[0].name, sctx.tables[0].alias)
+    for join_index, join in enumerate(stmt.joins, start=1):
+        node = L.Join(join.kind, node, join_index, join.table.name,
+                      join.condition)
+    if stmt.where is not None:
+        node = L.Filter(node, stmt.where)
+
+    if select_has_aggregates(stmt):
+        node = L.Aggregate(node, stmt.items, stmt.group_by, stmt.having)
+    else:
+        node = L.Project(node, stmt.items)
+
+    if stmt.distinct:
+        node = L.Distinct(node)
+    if stmt.order_by:
+        node = L.Sort(node, stmt.order_by)
+    if stmt.limit is not None:
+        node = L.Limit(node, stmt.limit, stmt.offset)
+    return node, sctx

@@ -1,0 +1,37 @@
+"""The result of executing one statement.
+
+Lives in its own module so both the executor facade and the plan pipeline
+(:mod:`repro.sqldb.plan`) can build results without importing each other.
+"""
+
+
+class ExecResult:
+    """Result of executing one statement.
+
+    ``columns`` — output column names (empty for writes).
+    ``rows`` — list of tuples (empty for writes).
+    ``rowcount`` — rows returned for reads, rows affected for writes.
+    ``rows_touched`` — storage rows examined (cost-model input).
+    ``last_insert_id`` — primary key of the last inserted row, if integral.
+    """
+
+    __slots__ = ("columns", "rows", "rowcount", "rows_touched",
+                 "last_insert_id")
+
+    def __init__(self, columns=(), rows=(), rowcount=0, rows_touched=0,
+                 last_insert_id=None):
+        self.columns = list(columns)
+        self.rows = [tuple(r) for r in rows]
+        self.rowcount = rowcount
+        self.rows_touched = rows_touched
+        self.last_insert_id = last_insert_id
+
+    def __repr__(self):
+        return (f"ExecResult(columns={self.columns!r}, "
+                f"rowcount={self.rowcount}, rows_touched={self.rows_touched})")
+
+    def scalar(self):
+        """The single value of a one-row, one-column result (or None)."""
+        if self.rows and self.rows[0]:
+            return self.rows[0][0]
+        return None

@@ -80,7 +80,8 @@ class PageLoadResult:
     """Outcome of one page load."""
 
     def __init__(self, url, html, time_ms, phases, round_trips,
-                 queries_issued, largest_batch, queries_registered):
+                 queries_issued, largest_batch, queries_registered,
+                 shared_scan_rows_saved=0):
         self.url = url
         self.html = html
         self.time_ms = time_ms
@@ -89,6 +90,9 @@ class PageLoadResult:
         self.queries_issued = queries_issued
         self.largest_batch = largest_batch
         self.queries_registered = queries_registered
+        # Storage-row touches avoided by the batch shared-scan optimizer
+        # (0 unless OptimizationFlags.shared_scans is on).
+        self.shared_scan_rows_saved = shared_scan_rows_saved
 
     def __repr__(self):
         return (f"PageLoadResult({self.url!r}, {self.time_ms:.2f} ms, "
@@ -171,4 +175,5 @@ class AppServer:
             queries_issued=driver.stats.statements,
             largest_batch=driver.stats.largest_batch,
             queries_registered=registered,
+            shared_scan_rows_saved=driver.stats.shared_scan_rows_saved,
         )

@@ -63,7 +63,40 @@ def test_unknown_id_raises(store):
     from repro.core.query_store import QueryId
 
     with pytest.raises(KeyError):
-        qs.get_result_set(QueryId())
+        qs.get_result_set(QueryId(qs, 999_999))
+
+
+class TestQueryIdScoping:
+    """Ids are per-store: no mutable class-level counter leaking across
+    stores or benchmark runs."""
+
+    def test_counters_are_independent_across_stores(self, sim_stack):
+        db, clock, server, driver, batch_driver = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        a = QueryStore(batch_driver)
+        b = QueryStore(batch_driver)
+        id_a = a.register_query("SELECT v FROM t WHERE id = 1")
+        id_b = b.register_query("SELECT v FROM t WHERE id = 1")
+        assert id_a.value == 1
+        assert id_b.value == 1
+
+    def test_same_value_different_store_not_equal(self, sim_stack):
+        db, clock, server, driver, batch_driver = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        a = QueryStore(batch_driver)
+        b = QueryStore(batch_driver)
+        id_a = a.register_query("SELECT v FROM t WHERE id = 1")
+        id_b = b.register_query("SELECT v FROM t WHERE id = 1")
+        assert id_a != id_b
+        assert hash(id_a) != hash(id_b)
+
+    def test_equal_ids_hash_equal(self, sim_stack):
+        db, clock, server, driver, batch_driver = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        qs = QueryStore(batch_driver)
+        qid = qs.register_query("SELECT v FROM t WHERE id = 1")
+        twin = qs.register_query("SELECT v FROM t WHERE id = 1")
+        assert qid == twin and hash(qid) == hash(twin)
 
 
 def test_flush_noop_when_empty(store):

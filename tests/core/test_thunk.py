@@ -70,6 +70,67 @@ def test_force_deep_containers():
     assert force_deep(value) == [1, (2,), {"k": 3}, {4}]
 
 
+def test_force_deep_nested_containers():
+    value = {
+        "list": [Thunk(lambda: [Thunk(lambda: 1)])],
+        "tuple": (Thunk(lambda: (Thunk(lambda: 2), 3)),),
+        "set": Thunk(lambda: {4, 5}),
+    }
+    resolved = force_deep(value)
+    assert resolved == {"list": [[1]], "tuple": ((2, 3),), "set": {4, 5}}
+    # Every container is rebuilt as a plain container of plain values.
+    assert type(resolved["tuple"][0]) is tuple
+
+
+def test_force_deep_forces_dict_keys():
+    value = {Thunk(lambda: "k"): Thunk(lambda: "v")}
+    assert force_deep(value) == {"k": "v"}
+
+
+def test_thunk_block_non_dict_variants():
+    for bad_body in (lambda: [1, 2], lambda: None, lambda: 42,
+                     lambda: (("a", 1),)):
+        block = ThunkBlock(bad_body)
+        with pytest.raises(TypeError):
+            block.force_block()
+
+
+def test_thunk_block_failed_body_can_retry():
+    calls = []
+
+    def body():
+        calls.append(1)
+        raise TypeError("boom")
+
+    block = ThunkBlock(body)
+    with pytest.raises(TypeError):
+        block.force_block()
+    assert not block.is_forced  # a failed body does not poison the block
+    with pytest.raises(TypeError):
+        block.force_block()
+    assert calls == [1, 1]
+
+
+def test_thunk_block_forced_once_across_many_outputs_and_forces():
+    calls = []
+
+    def body():
+        calls.append(1)
+        return {"a": 1, "b": 2, "c": Thunk(lambda: 3)}
+
+    block = ThunkBlock(body)
+    outputs = [block.output(name) for name in ("a", "b", "c", "a")]
+    assert [t.force() for t in outputs] == [1, 2, 3, 1]
+    assert [t.force() for t in outputs] == [1, 2, 3, 1]  # memoized
+    assert calls == [1]
+
+
+def test_thunk_block_unknown_output_raises_keyerror():
+    block = ThunkBlock(lambda: {"a": 1})
+    with pytest.raises(KeyError):
+        block.output("missing").force()
+
+
 def test_runtime_accounting(sim_stack):
     from repro.core.runtime import SlothRuntime
 

@@ -128,6 +128,18 @@ def test_parse_cache_returns_same_object():
         "SELECT a FROM cache_test")
 
 
+def test_parse_cache_is_lru_with_stats():
+    from repro.sqldb.parser import parse_cache_stats
+
+    before = parse_cache_stats()
+    parse("SELECT a FROM lru_test_1")
+    parse("SELECT a FROM lru_test_1")
+    after = parse_cache_stats()
+    assert after["hits"] >= before["hits"] + 1
+    assert after["misses"] >= before["misses"] + 1
+    assert after["size"] <= 4096
+
+
 def test_trailing_garbage_raises():
     with pytest.raises(SqlParseError):
         parse("SELECT a FROM t extra ,")

@@ -1,0 +1,268 @@
+"""Tests for the planner subsystem: logical plans, optimizer rules,
+physical operators, the plan cache, and the batch shared-scan optimizer."""
+
+import pytest
+
+from repro.sqldb import Database
+from repro.sqldb.parser import parse
+from repro.sqldb.plan.batch import execute_batch_plan
+
+
+class TestOptimizerRules:
+    def test_pk_predicate_selects_index_lookup(self, people_db):
+        plan = people_db.explain("SELECT name FROM person WHERE id = 3")
+        assert "IndexLookup" in plan
+        assert "<pk>" in plan
+
+    def test_secondary_index_selected(self, people_db):
+        plan = people_db.explain("SELECT id FROM pet WHERE owner_id = 1")
+        assert "idx_pet_owner" in plan
+
+    def test_no_index_keeps_scan(self, people_db):
+        plan = people_db.explain(
+            "SELECT name FROM person WHERE city = 'boston'")
+        assert "IndexLookup" not in plan
+        assert "Scan" in plan
+
+    def test_predicate_pushdown_below_join(self, people_db):
+        plan = people_db.explain(
+            "SELECT p.name FROM person p JOIN pet q ON p.id = q.owner_id "
+            "WHERE p.city = 'boston' AND q.species = 'cat'")
+        lines = plan.splitlines()
+        join_depth = next(i for i, l in enumerate(lines) if "Join" in l)
+        # One filter stays above the join (pet predicate), one is pushed
+        # below it (person predicate).
+        filters = [i for i, l in enumerate(lines) if "Filter" in l]
+        assert any(i < join_depth for i in filters)
+        assert any(i > join_depth for i in filters)
+
+    def test_equi_join_gets_hash_strategy(self, people_db):
+        plan = people_db.explain(
+            "SELECT p.name FROM person p JOIN pet q ON p.id = q.owner_id")
+        assert "strategy='hash'" in plan
+
+    def test_non_equi_join_gets_nested_strategy(self, people_db):
+        plan = people_db.explain(
+            "SELECT p.name FROM person p JOIN pet q ON p.id > q.owner_id")
+        assert "strategy='nested'" in plan
+
+
+class TestPushdownSemantics:
+    """Pushdown must not change results, for inner and left joins."""
+
+    def test_inner_join_results_unchanged(self, people_db):
+        rows = people_db.query(
+            "SELECT p.name, q.species FROM person p "
+            "JOIN pet q ON p.id = q.owner_id "
+            "WHERE p.city = 'boston' AND q.species = 'cat' ORDER BY q.id")
+        assert rows == [{"name": "alice", "species": "cat"}]
+
+    def test_left_join_base_predicate(self, people_db):
+        # dave has no pets; the base predicate keeps him, the LEFT join
+        # NULL-extends him.
+        rows = people_db.query(
+            "SELECT p.name, q.id FROM person p "
+            "LEFT JOIN pet q ON p.id = q.owner_id WHERE p.city = 'sf'")
+        assert rows == [{"name": "dave", "id": None}]
+
+    def test_right_side_predicate_not_pushed_on_left_join(self, people_db):
+        rows = people_db.query(
+            "SELECT p.name FROM person p "
+            "LEFT JOIN pet q ON p.id = q.owner_id WHERE q.id IS NULL")
+        assert [r["name"] for r in rows] == ["dave"]
+
+
+class TestPlanCache:
+    def test_repeated_statement_reuses_plan(self, people_db):
+        stmt = parse("SELECT name FROM person WHERE id = ?")
+        plan1 = people_db.executor.plan_for(stmt)
+        plan2 = people_db.executor.plan_for(stmt)
+        assert plan1 is plan2
+
+    def test_ddl_invalidates_plans(self, people_db):
+        stmt = parse("SELECT * FROM person WHERE age = 34")
+        plan1 = people_db.executor.plan_for(stmt)
+        people_db.execute("CREATE INDEX idx_person_age ON person (age)")
+        plan2 = people_db.executor.plan_for(stmt)
+        assert plan1 is not plan2
+        # The new plan uses the new index.
+        result = people_db.execute("SELECT * FROM person WHERE age = 34")
+        assert result.rows_touched == 1
+
+    def test_param_values_do_not_poison_plan(self, people_db):
+        # The same prepared statement must fall back to a scan when the
+        # parameter is NULL (col = NULL never matches) and use the index
+        # when it is not.
+        sql = "SELECT id FROM pet WHERE owner_id = ?"
+        indexed = people_db.execute(sql, (1,))
+        assert indexed.rows_touched == 2
+        null_param = people_db.execute(sql, (None,))
+        assert null_param.rows == []
+        assert null_param.rows_touched == 4  # degraded to a scan
+
+
+class TestSharedScanBatch:
+    @pytest.fixture
+    def batch_db(self):
+        db = Database()
+        db.execute("CREATE TABLE item (id INT PRIMARY KEY, kind TEXT, "
+                   "price INT)")
+        for i in range(50):
+            db.execute("INSERT INTO item (id, kind, price) VALUES (?, ?, ?)",
+                       (i, "ab"[i % 2], i * 3))
+        return db
+
+    def test_shared_scan_touches_fewer_rows(self, batch_db):
+        statements = [
+            ("SELECT id FROM item WHERE kind = ?", ("a",)),
+            ("SELECT id FROM item WHERE kind = ?", ("b",)),
+            ("SELECT id, price FROM item WHERE price > ?", (60,)),
+        ]
+        independent = [batch_db.execute(s, p) for s, p in statements]
+        independent_touched = sum(r.rows_touched for r in independent)
+        plan_result = execute_batch_plan(batch_db, statements)
+        shared_touched = sum(
+            r.rows_touched for r in plan_result.results)
+        assert independent_touched == 150  # three full scans
+        assert shared_touched == 50        # one shared scan
+        assert len(plan_result.groups) == 1
+        assert plan_result.groups[0].rows_saved == 100
+
+    def test_results_byte_identical_to_independent_execution(self, batch_db):
+        statements = [
+            ("SELECT id FROM item WHERE kind = ? ORDER BY id DESC", ("a",)),
+            ("SELECT COUNT(*) AS n FROM item WHERE kind = ?", ("b",)),
+            ("SELECT DISTINCT kind FROM item", ()),
+            ("SELECT id, price FROM item WHERE price BETWEEN ? AND ? "
+             "LIMIT 5", (30, 90)),
+        ]
+        independent = [batch_db.execute(s, p) for s, p in statements]
+        plan_result = execute_batch_plan(batch_db, statements)
+        for alone, shared in zip(independent, plan_result.results):
+            assert alone.columns == shared.columns
+            assert alone.rows == shared.rows
+            assert alone.rowcount == shared.rowcount
+
+    def test_indexed_lookups_are_not_grouped(self, batch_db):
+        statements = [
+            ("SELECT price FROM item WHERE id = ?", (1,)),
+            ("SELECT price FROM item WHERE id = ?", (2,)),
+        ]
+        plan_result = execute_batch_plan(batch_db, statements)
+        assert plan_result.groups == []
+        assert [r.rows_touched for r in plan_result.results] == [1, 1]
+
+    def test_writes_split_segments(self, batch_db):
+        statements = [
+            ("SELECT COUNT(*) AS n FROM item WHERE kind = 'a'", ()),
+            ("INSERT INTO item (id, kind, price) VALUES (100, 'a', 1)", ()),
+            ("SELECT COUNT(*) AS n FROM item WHERE kind = 'a'", ()),
+        ]
+        plan_result = execute_batch_plan(batch_db, statements)
+        before, _, after = plan_result.results
+        # The read before the write must not see the inserted row; the
+        # read after must.
+        assert after.scalar() == before.scalar() + 1
+        assert plan_result.groups == []  # nothing shareable per segment
+
+    def test_errors_surface_in_statement_order(self, batch_db):
+        # Statement 0 fails on the catalog; the shareable scans later in
+        # the batch must not run (and raise) ahead of it.
+        from repro.sqldb.errors import CatalogError
+
+        statements = [
+            ("SELECT id FROM missing", ()),
+            ("SELECT id FROM item WHERE kind = 'a'", ()),
+            ("SELECT id FROM item WHERE kind = 'b'", ()),
+        ]
+        with pytest.raises(CatalogError):
+            execute_batch_plan(batch_db, statements)
+
+    def test_parse_error_after_write_leaves_write_applied(self, batch_db):
+        # A later statement's parse error must not abort the batch before
+        # an earlier write executes (state parity with the direct path).
+        from repro.sqldb.errors import SqlParseError
+
+        statements = [
+            ("INSERT INTO item (id, kind, price) VALUES (500, 'a', 9)", ()),
+            ("THIS IS NOT SQL", ()),
+        ]
+        with pytest.raises(SqlParseError):
+            execute_batch_plan(batch_db, statements)
+        assert batch_db.table_size("item") == 51
+
+    def test_read_error_surfaces_before_later_parse_error(self, batch_db):
+        # Buffered reads flush (and raise their own errors) before a later
+        # statement's parse error, matching sequential execution.
+        from repro.sqldb.errors import SqlError, SqlParseError
+
+        statements = [
+            ("SELECT nope FROM item", ()),
+            ("THIS IS NOT SQL", ()),
+        ]
+        with pytest.raises(SqlError) as excinfo:
+            execute_batch_plan(batch_db, statements)
+        assert not isinstance(excinfo.value, SqlParseError)
+
+    def test_mixed_tables_group_per_table(self, batch_db):
+        batch_db.execute("CREATE TABLE other (id INT PRIMARY KEY, v INT)")
+        for i in range(10):
+            batch_db.execute("INSERT INTO other (id, v) VALUES (?, ?)",
+                             (i, i))
+        statements = [
+            ("SELECT id FROM item WHERE kind = 'a'", ()),
+            ("SELECT v FROM other WHERE v > 3", ()),
+            ("SELECT id FROM item WHERE kind = 'b'", ()),
+            ("SELECT v FROM other WHERE v < 3", ()),
+        ]
+        plan_result = execute_batch_plan(batch_db, statements)
+        assert len(plan_result.groups) == 2
+        tables = sorted(g.table for g in plan_result.groups)
+        assert tables == ["item", "other"]
+
+
+class TestSharedScanThroughStack:
+    """End-to-end: query store -> batch driver -> server batch-plan path."""
+
+    def test_query_store_shared_scans(self, sim_stack):
+        db, clock, server, driver, batch_driver = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, grp INT)")
+        for i in range(30):
+            db.execute("INSERT INTO t (id, grp) VALUES (?, ?)", (i, i % 3))
+        from repro.core.query_store import QueryStore
+
+        qs = QueryStore(batch_driver, shared_scans=True)
+        ids = [qs.register_query("SELECT id FROM t WHERE grp = ?", (g,))
+               for g in range(3)]
+        values = [
+            sorted(row[0] for row in qs.get_result_set(i).rows)
+            for i in ids
+        ]
+        assert values[0] == [0, 3, 6, 9, 12, 15, 18, 21, 24, 27]
+        assert batch_driver.stats.shared_scan_groups == 1
+        assert batch_driver.stats.shared_scan_rows_saved == 60
+        assert server.shared_scan_groups == 1
+
+    def test_shared_batch_cheaper_than_direct(self, sim_stack):
+        db, clock, server, driver, batch_driver = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, grp INT)")
+        for i in range(200):
+            db.execute("INSERT INTO t (id, grp) VALUES (?, ?)", (i, i % 20))
+        statements = [("SELECT id FROM t WHERE grp = ?", (g,))
+                      for g in range(20)]
+        _, direct_ms = server.execute_batch(statements)
+        _, shared_ms = server.execute_batch(statements, batch_optimize=True)
+        assert shared_ms < direct_ms
+
+    def test_batch_results_identical_both_paths(self, sim_stack):
+        db, clock, server, driver, batch_driver = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, grp INT)")
+        for i in range(40):
+            db.execute("INSERT INTO t (id, grp) VALUES (?, ?)", (i, i % 4))
+        statements = [("SELECT id FROM t WHERE grp = ? ORDER BY id", (g,))
+                      for g in range(4)]
+        direct, _ = server.execute_batch(statements)
+        shared, _ = server.execute_batch(statements, batch_optimize=True)
+        for a, b in zip(direct, shared):
+            assert a.result.columns == b.result.columns
+            assert a.result.rows == b.result.rows
