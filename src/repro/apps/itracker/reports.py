@@ -1,0 +1,49 @@
+"""itracker reporting queries: the multi-table statements behind the
+benchmark pages.
+
+The benchmark pages themselves load entities through the ORM (one table per
+statement, as the original Hibernate application does); these reports are
+the equivalent hand-written JOIN forms of their hottest page fragments —
+the shape a DBA would write, and the shape the cost-based join optimizer
+exists for.  ``benchmarks/test_join_rows_touched.py`` executes them against
+the seeded fig-5 database under both the optimized and the FROM-order
+pipeline to measure the rows-touched deltas, and
+``tests/sqldb/test_explain_plans.py`` locks their chosen plans.
+
+Each entry is ``(name, sql, params)`` over the seeded app database.
+"""
+
+REPORT_QUERIES = (
+    (
+        "project_issue_listing",
+        "SELECT i.id, i.description, u.login FROM it_issue i "
+        "JOIN it_user u ON i.creator_id = u.id WHERE i.project_id = ?",
+        (3,),
+    ),
+    (
+        "user_history_audit",
+        "SELECT h.id, h.action, u.login FROM it_history h "
+        "JOIN it_user u ON h.user_id = u.id WHERE h.user_id = ?",
+        (7,),
+    ),
+    (
+        "project_component_overview",
+        "SELECT p.name, c.name FROM it_project p "
+        "JOIN it_component c ON c.project_id = p.id WHERE p.id = ?",
+        (1,),
+    ),
+    (
+        "severe_issue_report",
+        "SELECT p.name, i.id, u.login FROM it_project p "
+        "JOIN it_issue i ON i.project_id = p.id "
+        "JOIN it_user u ON i.creator_id = u.id "
+        "WHERE p.id = ? AND i.severity = ?",
+        (2, 1),
+    ),
+    (
+        "user_activity_audit",
+        "SELECT a.id, a.activity_type, u.login FROM it_activity a "
+        "JOIN it_user u ON a.user_id = u.id WHERE a.user_id = ?",
+        (5,),
+    ),
+)

@@ -1,0 +1,46 @@
+"""OpenMRS reporting queries: the multi-table statements behind the
+benchmark pages.
+
+Companion to :mod:`repro.apps.itracker.reports` for the fig-6 application —
+hand-written JOIN forms of the hottest page fragments (encounter display's
+obs→concept resolution, patient dashboards), executed by
+``benchmarks/test_join_rows_touched.py`` under the optimized vs. FROM-order
+pipeline and plan-locked by ``tests/sqldb/test_explain_plans.py``.
+
+Each entry is ``(name, sql, params)`` over the seeded app database.
+"""
+
+REPORT_QUERIES = (
+    (
+        "encounter_obs_display",
+        "SELECT o.id, o.value_text, c.name FROM obs o "
+        "JOIN concept c ON o.concept_id = c.id WHERE o.encounter_id = ?",
+        (3,),
+    ),
+    (
+        "patient_encounter_list",
+        "SELECT e.id, e.encounter_date, p.identifier FROM encounter e "
+        "JOIN patient p ON e.patient_id = p.id WHERE p.id = ?",
+        (2,),
+    ),
+    (
+        "patient_demographics",
+        "SELECT pt.identifier, pe.name, pe.gender FROM patient pt "
+        "JOIN person pe ON pt.person_id = pe.id WHERE pt.id = ?",
+        (4,),
+    ),
+    (
+        "concept_class_listing",
+        "SELECT c.id, c.name, k.name FROM concept c "
+        "JOIN concept_class k ON c.class_id = k.id WHERE k.id = ?",
+        (1,),
+    ),
+    (
+        "encounter_concept_numeric_report",
+        "SELECT e.id, o.id, c.name FROM encounter e "
+        "JOIN obs o ON o.encounter_id = e.id "
+        "JOIN concept c ON o.concept_id = c.id "
+        "WHERE e.patient_id = ? AND o.value_numeric >= ?",
+        (1, 50),
+    ),
+)

@@ -262,6 +262,22 @@ class DropTable(Node):
         self.name = name
 
 
+class DropIndex(Node):
+    _fields = ("name",)
+
+    def __init__(self, name):
+        self.name = name
+
+
+class Truncate(Node):
+    """``TRUNCATE [TABLE] name`` — delete every row, resetting table stats."""
+
+    _fields = ("table",)
+
+    def __init__(self, table):
+        self.table = table
+
+
 class Begin(Node):
     _fields = ()
 
@@ -276,4 +292,4 @@ class Rollback(Node):
 
 READ_STATEMENTS = (Select,)
 WRITE_STATEMENTS = (Insert, Update, Delete, CreateTable, CreateIndex,
-                    DropTable, Begin, Commit, Rollback)
+                    DropTable, DropIndex, Truncate, Begin, Commit, Rollback)

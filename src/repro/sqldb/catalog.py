@@ -1,7 +1,64 @@
-"""Schema catalog: tables, columns and index metadata."""
+"""Schema catalog: tables, columns, index metadata and live table stats.
+
+Beyond pure metadata, each :class:`TableSchema` carries a :class:`TableStats`
+that storage keeps up to date on every INSERT/DELETE/TRUNCATE.  The cost
+model (:mod:`repro.sqldb.plan.cost`) reads row counts from it, and the
+catalog-wide :class:`StatsEpoch` ticks whenever any table's size shifts by
+more than 2x since its plans were last optimized — the executor folds the
+epoch into its plan-cache key, so cached plans re-optimize when the
+cardinalities they were costed against are no longer representative.
+"""
 
 from repro.sqldb.errors import CatalogError
 from repro.sqldb.types import canonical_type
+
+
+class StatsEpoch:
+    """A counter shared by every table of one catalog; see module docstring."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def bump(self):
+        self.value += 1
+
+
+# Tables at or below this size never tick the epoch on growth alone: their
+# plans are trivially cheap either way, and the seed workloads churn many
+# tiny tables during setup.
+_BASELINE_FLOOR = 8
+
+
+class TableStats:
+    """Live statistics for one table.
+
+    ``row_count`` mirrors the storage layer's row count; ``_baseline`` is the
+    count the table had when the stats epoch last ticked for it (i.e. the
+    cardinality current cached plans were optimized against).
+    """
+
+    __slots__ = ("row_count", "_baseline", "_epoch")
+
+    def __init__(self):
+        self.row_count = 0
+        self._baseline = 0
+        self._epoch = None
+
+    def bind_epoch(self, epoch):
+        self._epoch = epoch
+
+    def note_mutation(self, row_count):
+        """Record the table's new size; tick the epoch on a >2x shift."""
+        self.row_count = row_count
+        base = self._baseline
+        grew = row_count > 2 * max(base, _BASELINE_FLOOR)
+        shrank = base > _BASELINE_FLOOR and row_count * 2 < base
+        if grew or shrank:
+            self._baseline = row_count
+            if self._epoch is not None:
+                self._epoch.bump()
 
 
 class Column:
@@ -43,6 +100,7 @@ class TableSchema:
                 pk = col
         self.primary_key = pk
         self.indexes = {}  # index name -> IndexInfo
+        self.stats = TableStats()
 
     @property
     def column_names(self):
@@ -80,10 +138,12 @@ class Catalog:
     def __init__(self):
         self._tables = {}
         self._index_names = {}
+        self.stats_epoch = StatsEpoch()
 
     def create_table(self, schema):
         if schema.name in self._tables:
             raise CatalogError(f"table {schema.name!r} already exists")
+        schema.stats.bind_epoch(self.stats_epoch)
         self._tables[schema.name] = schema
 
     def drop_table(self, name):
@@ -112,3 +172,10 @@ class Catalog:
             schema.column(column)  # raises if missing
         schema.indexes[info.name] = info
         self._index_names[info.name] = info
+
+    def drop_index(self, name):
+        info = self._index_names.pop(name, None)
+        if info is None:
+            raise CatalogError(f"no such index: {name!r}")
+        del self._tables[info.table].indexes[name]
+        return info

@@ -14,13 +14,22 @@ from repro.sqldb.transactions import TransactionManager
 
 
 class Database:
-    """An embedded in-memory relational database."""
+    """An embedded in-memory relational database.
 
-    def __init__(self, name="main"):
+    ``optimizer_options`` (an
+    :class:`repro.sqldb.plan.optimizer.OptimizerOptions`, None for the
+    defaults) gates the cost-based rules — pass
+    ``FROM_ORDER_OPTIONS`` to get PR-1 behaviour (joins in FROM order,
+    sequential scans under joins), the baseline the differential join
+    oracle measures against.
+    """
+
+    def __init__(self, name="main", optimizer_options=None):
         self.name = name
         self.catalog = Catalog()
         self.tables = {}
         self.transactions = TransactionManager()
+        self.optimizer_options = optimizer_options
         self.executor = Executor(self)
         self.statements_executed = 0
         self.total_rows_touched = 0
@@ -70,7 +79,9 @@ class Database:
         return [dict(zip(result.columns, row)) for row in result.rows]
 
     def explain(self, sql):
-        """The optimized logical plan for a SELECT, as an indented tree.
+        """The optimized logical plan for a SELECT, as an indented tree —
+        join order (tree nesting), join strategy (hash / index / nested)
+        and per-node cost estimates included.
 
         For non-SELECT statements, returns the statement repr.
         """

@@ -39,11 +39,17 @@ class Executor:
 
     def __init__(self, database):
         self.db = database
-        # id(stmt) -> (stmt, catalog_version, PhysicalPlan).  The strong
+        # id(stmt) -> (stmt, cache key, PhysicalPlan).  The strong
         # reference to ``stmt`` pins the AST so the id cannot be reused
-        # while the entry lives.
+        # while the entry lives.  The cache key combines the catalog
+        # version (DDL: table/index create and drop), the catalog's stats
+        # epoch (table sizes shifted >2x since the plan was optimized) and
+        # the database's optimizer options, so a hit is only possible when
+        # the schema, the cardinality picture and the rule set the plan was
+        # optimized under all still hold.
         self._plans = {}
         self._catalog_version = 0
+        self.plans_built = 0  # optimize() invocations, for staleness tests
 
     def execute(self, stmt, params=()):
         kind = type(stmt)
@@ -64,6 +70,18 @@ class Executor:
             del self.db.tables[stmt.name]
             self._invalidate_plans()
             return ExecResult()
+        if kind is A.DropIndex:
+            info = self.db.catalog.drop_index(stmt.name)
+            self.db.tables_get(info.table).drop_index(stmt.name)
+            self._invalidate_plans()
+            return ExecResult()
+        if kind is A.Truncate:
+            table = self.db.tables_get(stmt.table)
+            removed = table.truncate(self.db.transactions.undo_log())
+            # Emptying a table always invalidates the cardinality picture,
+            # even for tables too small to trip the >2x epoch heuristic.
+            self.db.catalog.stats_epoch.bump()
+            return ExecResult(rowcount=removed, rows_touched=removed)
         if kind is A.Begin:
             self.db.transactions.begin()
             return ExecResult()
@@ -82,13 +100,16 @@ class Executor:
 
     def plan_for(self, stmt):
         """The cached optimized physical plan for a SELECT statement."""
+        key = (self._catalog_version, self.db.catalog.stats_epoch.value,
+               self.db.optimizer_options)
         entry = self._plans.get(id(stmt))
-        if entry is not None and entry[1] == self._catalog_version:
+        if entry is not None and entry[1] == key:
             return entry[2]
         plan = plan_select(self.db, stmt)
+        self.plans_built += 1
         if len(self._plans) >= _PLAN_CACHE_LIMIT:
             self._plans.clear()
-        self._plans[id(stmt)] = (stmt, self._catalog_version, plan)
+        self._plans[id(stmt)] = (stmt, key, plan)
         return plan
 
     def _invalidate_plans(self):

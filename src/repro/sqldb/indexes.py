@@ -53,5 +53,11 @@ class HashIndex:
         """Return a set of row ids matching the key tuple (possibly empty)."""
         return self._buckets.get(tuple(key), set())
 
+    @property
+    def distinct_keys(self):
+        """Live distinct-key count — the cost model's NDV estimate for the
+        indexed column(s) (exact, since the buckets are the index)."""
+        return len(self._buckets)
+
     def __len__(self):
         return sum(len(bucket) for bucket in self._buckets.values())

@@ -130,6 +130,7 @@ class _Parser:
             "DELETE": self._parse_delete,
             "CREATE": self._parse_create,
             "DROP": self._parse_drop,
+            "TRUNCATE": self._parse_truncate,
             "BEGIN": lambda: (self._next(), A.Begin())[1],
             "COMMIT": lambda: (self._next(), A.Commit())[1],
             "ROLLBACK": lambda: (self._next(), A.Rollback())[1],
@@ -345,8 +346,15 @@ class _Parser:
 
     def _parse_drop(self):
         self._expect(KEYWORD, "DROP")
+        if self._accept(KEYWORD, "INDEX"):
+            return A.DropIndex(self._expect_ident())
         self._expect(KEYWORD, "TABLE")
         return A.DropTable(self._expect_ident())
+
+    def _parse_truncate(self):
+        self._expect(KEYWORD, "TRUNCATE")
+        self._accept(KEYWORD, "TABLE")  # optional, as in most dialects
+        return A.Truncate(self._expect_ident())
 
     # -- expressions --------------------------------------------------------
 

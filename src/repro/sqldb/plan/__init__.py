@@ -18,7 +18,12 @@ optimizer used by the simulated database server.
 """
 
 from repro.sqldb.plan.logical import explain
-from repro.sqldb.plan.optimizer import optimize
+from repro.sqldb.plan.optimizer import (
+    DEFAULT_OPTIONS,
+    FROM_ORDER_OPTIONS,
+    OptimizerOptions,
+    optimize,
+)
 from repro.sqldb.plan.physical import build_physical
 from repro.sqldb.plan.planner import build_select_plan
 
@@ -28,6 +33,9 @@ __all__ = [
     "build_physical",
     "explain",
     "plan_select",
+    "OptimizerOptions",
+    "DEFAULT_OPTIONS",
+    "FROM_ORDER_OPTIONS",
 ]
 
 

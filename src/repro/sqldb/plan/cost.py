@@ -1,0 +1,307 @@
+"""Cardinality and rows-touched estimation for logical plan subtrees.
+
+The cost model works in the same currency the physical operators charge at
+execution time: **storage rows touched** (which the simulated server's
+:class:`repro.net.clock.CostModel` converts to database time).  Estimates
+come from live catalog statistics — :class:`repro.sqldb.catalog.TableStats`
+row counts maintained on every INSERT/DELETE/TRUNCATE, and exact per-index
+distinct-key counts read from the hash indexes — plus standard textbook
+selectivity heuristics for predicate shapes the stats cannot resolve.
+
+Consumers:
+
+- the optimizer's **join reordering** rule costs candidate join orders and
+  keeps the cheapest (:func:`join_step` composed over a chain);
+- the **join-strategy** rule compares an index nested-loop probe against a
+  hash build for equi joins (:func:`probe_index_name`, :func:`join_step`);
+- ``Database.explain`` renders the per-node ``est_rows``/``est_cost``
+  annotations the strategy pass stores on the tree.
+
+Estimates are estimates: the physical operators stay adaptive (an index
+nested-loop join falls back to a hash build at execution time when the
+actual probe volume would exceed a full scan), so a wrong estimate can cost
+planning quality but never correctness or a rows-touched regression.
+"""
+
+from repro.sqldb import ast_nodes as A
+from repro.sqldb.expressions import expr_columns, split_conjuncts
+
+# Fallback selectivities for predicate shapes the statistics cannot price.
+EQ_SELECTIVITY = 0.1
+RANGE_SELECTIVITY = 0.3
+NULL_SELECTIVITY = 0.1
+LIKE_SELECTIVITY = 0.25
+BETWEEN_SELECTIVITY = 0.25
+DEFAULT_SELECTIVITY = 0.5
+
+# When no index reveals a column's distinct-key count, assume one key per
+# this many rows (i.e. NDV = rows / 10, at least 1).
+_FALLBACK_ROWS_PER_KEY = 10
+
+
+class Estimate:
+    """Estimated output cardinality and cumulative rows touched."""
+
+    __slots__ = ("rows", "cost")
+
+    def __init__(self, rows, cost):
+        self.rows = rows
+        self.cost = cost
+
+    def __repr__(self):
+        return f"Estimate(rows={self.rows:.1f}, cost={self.cost:.1f})"
+
+
+def table_rows(db, table_name):
+    """Live row count from the catalog's table stats."""
+    return db.catalog.table(table_name).stats.row_count
+
+
+def column_ndv(db, table_name, column):
+    """Distinct-key estimate for one column.
+
+    Exact for the primary key (== row count) and for columns carrying a
+    single-column hash index (the bucket count *is* the NDV); a density
+    heuristic otherwise.
+    """
+    schema = db.catalog.table(table_name)
+    rows = schema.stats.row_count
+    pk = schema.primary_key
+    if pk is not None and pk.name == column:
+        return max(rows, 1)
+    table = db.tables_get(table_name)
+    for index in table.indexes.values():
+        if index.info.columns == (column,):
+            return max(index.distinct_keys, 1)
+    # Density heuristic: one key per _FALLBACK_ROWS_PER_KEY rows, but never
+    # fewer keys than min(rows, 10) so equality stays selective on small
+    # tables instead of degenerating to "matches everything".
+    return max(rows // _FALLBACK_ROWS_PER_KEY, min(rows, 10), 1)
+
+
+def probe_index_name(db, table_name, ordinal):
+    """The access path an index nested-loop join could probe for equality on
+    column ``ordinal`` of ``table_name``: ``"<pk>"``, a single-column index
+    name, or None when no index serves that column alone."""
+    schema = db.catalog.table(table_name)
+    column = schema.columns[ordinal].name
+    pk = schema.primary_key
+    if pk is not None and pk.name == column:
+        return "<pk>"
+    table = db.tables_get(table_name)
+    for name, index in table.indexes.items():
+        if index.info.columns == (column,):
+            return name
+    return None
+
+
+def selectivity(db, table_name, expr):
+    """Estimated fraction of rows satisfying ``expr``.
+
+    ``table_name`` (may be None) lets equality predicates consult the
+    column's distinct-key count; every other shape uses the fallback
+    constants.  Conjunctions multiply, disjunctions combine inclusively,
+    NOT complements.
+    """
+    if isinstance(expr, A.BinaryOp):
+        if expr.op == "AND":
+            return (selectivity(db, table_name, expr.left)
+                    * selectivity(db, table_name, expr.right))
+        if expr.op == "OR":
+            a = selectivity(db, table_name, expr.left)
+            b = selectivity(db, table_name, expr.right)
+            return min(1.0, a + b - a * b)
+        if expr.op == "=":
+            return _equality_selectivity(db, table_name, expr)
+        if expr.op == "<>":
+            return 1.0 - _equality_selectivity(db, table_name, expr)
+        if expr.op in ("<", ">", "<=", ">="):
+            return RANGE_SELECTIVITY
+        return DEFAULT_SELECTIVITY
+    if isinstance(expr, A.UnaryOp) and expr.op == "NOT":
+        return 1.0 - selectivity(db, table_name, expr.operand)
+    if isinstance(expr, A.IsNull):
+        return 1.0 - NULL_SELECTIVITY if expr.negated else NULL_SELECTIVITY
+    if isinstance(expr, A.Between):
+        sel = BETWEEN_SELECTIVITY
+        return 1.0 - sel if expr.negated else sel
+    if isinstance(expr, A.Like):
+        return 1.0 - LIKE_SELECTIVITY if expr.negated else LIKE_SELECTIVITY
+    if isinstance(expr, A.InList):
+        sel = min(1.0, EQ_SELECTIVITY * max(len(expr.items), 1))
+        return 1.0 - sel if expr.negated else sel
+    if isinstance(expr, A.Literal):
+        if expr.value is True:
+            return 1.0
+        if expr.value in (False, None):
+            return 0.0
+        return DEFAULT_SELECTIVITY
+    return DEFAULT_SELECTIVITY
+
+
+def _equality_selectivity(db, table_name, expr):
+    for a, b in ((expr.left, expr.right), (expr.right, expr.left)):
+        if isinstance(a, A.ColumnRef) and isinstance(b, (A.Literal, A.Param)):
+            if table_name is not None:
+                schema = db.catalog.table(table_name)
+                if schema.has_column(a.column):
+                    return 1.0 / column_ndv(db, table_name, a.column)
+            return EQ_SELECTIVITY
+    return EQ_SELECTIVITY
+
+
+def access_estimate(db, table_name, predicate, indexed):
+    """Estimate for one base-table access.
+
+    ``predicate`` is the conjunction sitting on the access (None for a bare
+    scan); ``indexed`` says whether the access path is an index lookup
+    (touches only matching rows) or a sequential scan (touches everything).
+    """
+    rows = table_rows(db, table_name)
+    out = float(rows)
+    if predicate is not None:
+        out *= selectivity(db, table_name, predicate)
+    out = _floor(out, rows)
+    return Estimate(out, out if indexed else float(rows))
+
+
+def join_step(db, sctx, left, table_index, condition, kind,
+              allow_index=True):
+    """Estimate joining ``left`` (an :class:`Estimate`) against one table.
+
+    Returns ``(estimate, strategy, equi, index_name)`` where ``strategy`` is
+    the cost-chosen physical algorithm (``"hash"``, ``"index"`` or
+    ``"nested"``), ``equi`` the ``(flat left position, right ordinal)`` key
+    pair for hash/index strategies, and ``index_name`` the probe path for
+    the index strategy.  The same arithmetic serves join reordering (costing
+    candidate orders) and the join-strategy rule (annotating the final
+    chain), so the two can never disagree about what a plan costs.
+    """
+    table_name = sctx.tables[table_index].name
+    rows = table_rows(db, table_name)
+    equi = find_equi_conjunct(sctx, table_index, condition)
+    own_sel = 1.0
+    cross_sel = 1.0
+    equi_expr = equi[3] if equi is not None else None
+    for conjunct in split_conjuncts(condition) if condition is not None else ():
+        if conjunct is equi_expr:
+            continue
+        refs = conjunct_tables(sctx, conjunct)
+        if refs == {table_index}:
+            own_sel *= selectivity(db, table_name, conjunct)
+        else:
+            cross_sel *= selectivity(db, None, conjunct)
+
+    right_eff = _floor(rows * own_sel, rows)
+    if equi is not None:
+        left_pos, right_ordinal, right_column, _ = equi
+        ndv = column_ndv(db, table_name, right_column)
+        out = left.rows * right_eff / ndv * cross_sel
+        hash_cost = float(rows)
+        index_name = (probe_index_name(db, table_name, right_ordinal)
+                      if allow_index else None)
+        probe_cost = left.rows * (rows / ndv)
+        if index_name is not None and probe_cost <= hash_cost:
+            strategy, added = "index", probe_cost
+        else:
+            strategy, added = "hash", hash_cost
+            index_name = None
+        # LEFT joins with extra ON conjuncts keep nested-loop semantics
+        # (the whole condition decides matching before NULL-extension).
+        residual = [c for c in split_conjuncts(condition)
+                    if c is not equi_expr]
+        if kind == "LEFT" and residual:
+            strategy, added, index_name = "nested", float(rows), None
+            equi = None
+    else:
+        strategy, added, index_name = "nested", float(rows), None
+        out = left.rows * right_eff * cross_sel
+
+    if kind == "LEFT":
+        out = max(out, left.rows)
+    out = _floor(out, left.rows * max(rows, 1))
+    estimate = Estimate(out, left.cost + added)
+    key_pair = (equi[0], equi[1]) if equi is not None else None
+    return estimate, strategy, key_pair, index_name
+
+
+def find_equi_conjunct(sctx, table_index, condition):
+    """The first usable equi-join conjunct of ``condition`` for joining
+    ``table_index``: a top-level ``a = b`` with both sides column refs, one
+    resolving inside the joined table and one outside.
+
+    Returns ``(flat left position, right ordinal, right column name, expr)``
+    or None.  Conjuncts whose right column carries a probe-capable index are
+    preferred, so multi-equality ON conditions pick the probe-friendly key.
+    """
+    offset = sctx.offsets[table_index]
+    width = sctx.widths[table_index]
+    schema = sctx.schemas[table_index]
+    pk = schema.primary_key
+    indexed_columns = {info.columns[0] for info in schema.indexes.values()
+                       if len(info.columns) == 1}
+    best = None
+    for conjunct in split_conjuncts(condition) if condition is not None else ():
+        if not (isinstance(conjunct, A.BinaryOp) and conjunct.op == "="):
+            continue
+        sides = (conjunct.left, conjunct.right)
+        if not all(isinstance(s, A.ColumnRef) for s in sides):
+            continue
+        placements = []
+        for side in sides:
+            if side.table is None and side.column in sctx.context.ambiguous:
+                placements = None
+                break
+            pos = sctx.context.positions.get((side.table, side.column))
+            if pos is None:
+                placements = None
+                break
+            placements.append(pos)
+        if placements is None:
+            continue
+        in_right = [offset <= p < offset + width for p in placements]
+        if in_right == [False, True]:
+            left_pos, right_pos = placements
+        elif in_right == [True, False]:
+            right_pos, left_pos = placements
+        else:
+            continue
+        ordinal = right_pos - offset
+        column = schema.columns[ordinal].name
+        found = (left_pos, ordinal, column, conjunct)
+        if pk is not None and ordinal == pk.ordinal:
+            return found  # PK probe: best possible key
+        if best is None or (column in indexed_columns
+                            and best[2] not in indexed_columns):
+            best = found
+    return best
+
+
+def conjunct_tables(sctx, conjunct):
+    """The set of table indexes a conjunct references, with None entries
+    for unresolvable or ambiguous references.  Shared by the cost model and
+    every optimizer rule that classifies predicates by table."""
+    tables = set()
+    for ref in expr_columns(conjunct):
+        if ref.table is None and ref.column in sctx.context.ambiguous:
+            tables.add(None)
+            continue
+        pos = sctx.context.positions.get((ref.table, ref.column))
+        tables.add(None if pos is None else table_of_position(sctx, pos))
+    return tables
+
+
+def table_of_position(sctx, pos):
+    """The FROM-list table index owning flat row position ``pos``."""
+    for i in range(len(sctx.offsets) - 1, -1, -1):
+        if pos >= sctx.offsets[i]:
+            return i
+    return 0
+
+
+def _floor(value, rows):
+    """Clamp an estimate into [0, ...]; non-empty inputs yield at least one
+    row so downstream ratios stay meaningful."""
+    if rows <= 0:
+        return 0.0
+    return max(1.0, float(value))

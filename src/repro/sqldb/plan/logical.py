@@ -18,6 +18,11 @@ class LogicalNode:
 
     _show = ()  # attribute names rendered by explain()
 
+    # Cost annotations, set by the optimizer's strategy pass on row-source
+    # nodes: estimated output cardinality and cumulative rows touched.
+    est_rows = None
+    est_cost = None
+
     def children(self):
         return ()
 
@@ -28,6 +33,9 @@ class LogicalNode:
             if value is not None and value != [] and value is not False:
                 parts.append(f"{name}={value!r}")
         suffix = f" [{', '.join(parts)}]" if parts else ""
+        if self.est_rows is not None:
+            suffix += (f" (~{round(self.est_rows)} rows, "
+                       f"~{round(self.est_cost)} touched)")
         return f"{type(self).__name__}{suffix}"
 
     def __repr__(self):
@@ -82,15 +90,17 @@ class Filter(LogicalNode):
 class Join(LogicalNode):
     """Join the child row stream against one table.
 
-    ``strategy`` is chosen by the optimizer: ``"hash"`` (with ``equi`` as the
-    ``(flat left position, right ordinal)`` key pair) for equality ON
-    conditions, ``"nested"`` otherwise.
+    ``strategy`` is chosen by the optimizer: ``"hash"`` or ``"index"`` (with
+    ``equi`` as the ``(flat left position, right ordinal)`` key pair) for
+    equality ON conditions — ``"index"`` probes the right table's primary
+    key or the single-column index named ``index_name`` per left row —
+    ``"nested"`` otherwise.
     """
 
-    _show = ("kind", "table", "strategy")
+    _show = ("kind", "table", "strategy", "index_name")
 
     def __init__(self, kind, child, table_index, table, condition,
-                 strategy=None, equi=None):
+                 strategy=None, equi=None, index_name=None):
         self.kind = kind  # "INNER" | "LEFT"
         self.child = child
         self.table_index = table_index
@@ -98,6 +108,7 @@ class Join(LogicalNode):
         self.condition = condition
         self.strategy = strategy
         self.equi = equi
+        self.index_name = index_name
 
     def children(self):
         return (self.child,)

@@ -1,115 +1,392 @@
-"""Rule-based logical optimizer.
+"""Rule-based, cost-aware logical optimizer.
 
-Three rule families run in order:
+Rule families run in order:
 
-1. **Predicate pushdown** — conjuncts of the WHERE clause that reference
-   only base-table columns move below the join chain, shrinking the rows a
-   join has to carry.  Valid for LEFT joins too: a predicate over left-side
-   columns commutes with left outer join.  Conjuncts that reference join
-   tables, ambiguous unqualified names, or aggregate calls stay put.
-2. **Access-path selection** — a single-table plan whose predicate pins the
-   primary key or all columns of a secondary index (structurally: equality
-   against literals/parameters) replaces its ``Scan`` with an
-   ``IndexLookup``; the final decision still happens at execution time
-   against the actual parameter values.  Join plans keep full base scans —
-   matching the legacy interpreter's cost accounting exactly.
-3. **Join-strategy choice** — ``a.x = b.y`` ON conditions become hash
-   joins; anything else a nested loop.
+1. **Join reordering** — the inner-join chain is re-sequenced greedily
+   (smallest estimated intermediate first) using the cost model
+   (:mod:`repro.sqldb.plan.cost`) over live catalog statistics.  LEFT joins
+   are barriers: tables are never reordered across an outer join, only
+   within maximal runs of INNER joins (and the base table participates in
+   the first run).  The greedy order is kept only when its estimated
+   rows-touched beats the FROM order.
+2. **Predicate pushdown** — single-table conjuncts of the WHERE clause move
+   to where that table enters the plan: conjuncts over the (possibly
+   reordered) base table drop below the join chain, conjuncts over an
+   INNER-joined table merge into that join's ON condition.  Conjuncts over
+   LEFT-joined tables must stay above the chain (WHERE filters after
+   NULL-extension), as must multi-table, ambiguous or aggregate conjuncts.
+3. **Access-path selection** — a ``Filter(Scan)`` whose predicate pins the
+   primary key or a secondary index becomes ``Filter(IndexLookup)``.  Since
+   this PR the rule also applies to the base access *below* joins (gated by
+   ``OptimizerOptions.index_joins``); the final index decision still
+   happens at execution time against actual parameter values.
+4. **Join-strategy choice** — equi joins compare an index nested-loop probe
+   (per-left-row PK/secondary-index lookup) against a hash build and keep
+   the cheaper estimate; non-equi joins fall back to a nested loop.  For
+   INNER joins an ON condition with extra conjuncts is split into the equi
+   key plus a residual filter above the join; LEFT joins keep their whole
+   ON condition (matching decides NULL-extension, so it cannot be split)
+   and use hash/index only when the ON is exactly one equality.
+
+The pass doubles as the cost annotator: every row-source node gets
+``est_rows``/``est_cost`` attributes that ``explain`` renders.
 """
 
 from repro.sqldb import ast_nodes as A
-from repro.sqldb.expressions import conjoin, expr_columns, split_conjuncts
+from repro.sqldb.expressions import conjoin, split_conjuncts
+from repro.sqldb.plan import cost as C
 from repro.sqldb.plan import logical as L
 from repro.sqldb.plan.access import candidate_indexes
 from repro.sqldb.plan.planner import contains_aggregate
 
 
-def optimize(node, sctx, db):
+class OptimizerOptions:
+    """Feature gates for the cost-based rules.
+
+    ``FROM_ORDER_OPTIONS`` reproduces the PR-1 planner exactly: joins
+    execute in FROM order, base scans under joins stay sequential, and equi
+    joins only ever hash — the baseline the differential join oracle and
+    the rows-touched benchmarks compare against.
+    """
+
+    __slots__ = ("reorder_joins", "index_joins")
+
+    def __init__(self, reorder_joins=True, index_joins=True):
+        self.reorder_joins = reorder_joins
+        self.index_joins = index_joins
+
+
+DEFAULT_OPTIONS = OptimizerOptions()
+FROM_ORDER_OPTIONS = OptimizerOptions(reorder_joins=False, index_joins=False)
+
+
+def optimize(node, sctx, db, options=None):
     """Apply all rewrite rules to a canonical logical plan."""
+    if options is None:
+        options = getattr(db, "optimizer_options", None) or DEFAULT_OPTIONS
+    if options.reorder_joins:
+        node = reorder_joins(node, sctx, db, options)
     node = push_down_predicates(node, sctx)
-    node = select_access_path(node, sctx, db)
-    node = choose_join_strategies(node, sctx)
+    node = select_access_path(node, sctx, db, options)
+    node = choose_join_strategies(node, sctx, db, options)
     return node
 
 
 # ---------------------------------------------------------------------------
-# Rule 1: predicate pushdown
+# Shared chain helpers
+# ---------------------------------------------------------------------------
+
+def _row_source_top(root):
+    """The node directly above the row-source region (Project/Aggregate)."""
+    node = root
+    while not isinstance(node, (L.Project, L.Aggregate)):
+        node = node.child
+    return node
+
+
+def _chain_nodes(top):
+    """Decompose a row-source region into (filter, joins top-down, base)."""
+    where_filter = top if isinstance(top, L.Filter) else None
+    node = where_filter.child if where_filter is not None else top
+    joins = []
+    while isinstance(node, L.Join):
+        joins.append(node)
+        node = node.child
+    return where_filter, joins, node
+
+
+def _single_table_of(conjunct, sctx):
+    """The one table index a conjunct references, ``-1`` for reference-free
+    conjuncts, or None when it spans tables / is ambiguous / aggregates."""
+    if contains_aggregate(conjunct):
+        return None
+    tables = C.conjunct_tables(sctx, conjunct)
+    if not tables:
+        return -1
+    if None in tables or len(tables) > 1:
+        return None
+    return tables.pop()
+
+
+# ---------------------------------------------------------------------------
+# Rule 1: cost-based join reordering
+# ---------------------------------------------------------------------------
+
+def reorder_joins(node, sctx, db, options):
+    """Reorder maximal INNER-join runs by the greedy smallest-intermediate
+    heuristic; keep the FROM order when it is estimated no worse."""
+    top = _row_source_top(node)
+    where_filter, joins, base = _chain_nodes(top.child)
+    if len(joins) < 1 or not isinstance(base, L.Scan):
+        return node
+
+    # Bottom-up chain entries: (table_index, kind, condition).
+    entries = [(base.table_index, "BASE", None)]
+    for join in reversed(joins):
+        entries.append((join.table_index, join.kind, join.condition))
+
+    where_by_table = {}
+    if where_filter is not None:
+        for conjunct in split_conjuncts(where_filter.predicate):
+            t = _single_table_of(conjunct, sctx)
+            if t is not None and t >= 0:
+                where_by_table.setdefault(t, []).append(conjunct)
+
+    new_entries = _reorder_entries(entries, sctx, db, options, where_by_table)
+    if new_entries is None or [e[0] for e in new_entries] == [
+            e[0] for e in entries]:
+        return node
+
+    # Rebuild the chain bottom-up in the new order.
+    first = new_entries[0]
+    table_ref = sctx.tables[first[0]]
+    chain = L.Scan(first[0], table_ref.name, table_ref.alias)
+    if first[2] is not None:
+        chain = L.Filter(chain, first[2])
+    for table_index, kind, condition in new_entries[1:]:
+        table_ref = sctx.tables[table_index]
+        chain = L.Join(kind, chain, table_index, table_ref.name,
+                       condition if condition is not None else A.Literal(True))
+    if where_filter is not None:
+        where_filter.child = chain
+    else:
+        top.child = chain
+    return node
+
+
+def _reorder_entries(entries, sctx, db, options, where_by_table):
+    """Reorder INNER runs of a bottom-up entry list; None = keep as is."""
+    cond_refs = {}
+    for table_index, kind, condition in entries[1:]:
+        for conjunct in split_conjuncts(condition):
+            refs = _condition_tables(conjunct, sctx)
+            if refs is None:
+                return None  # unresolvable ON reference: preserve FROM order
+            cond_refs[id(conjunct)] = refs
+
+    result = []
+    available = set()
+    left = C.Estimate(0.0, 0.0)
+    original_cost = _order_cost(entries, sctx, db, options, where_by_table)
+    i = 0
+    while i < len(entries):
+        kind = entries[i][1]
+        if kind == "LEFT":
+            # Outer joins are barriers: the entry stays in place.
+            left = _entry_estimate(entries[i], left, sctx, db, options,
+                                   where_by_table)
+            result.append(entries[i])
+            available.add(entries[i][0])
+            i += 1
+            continue
+        run = [entries[i]]
+        j = i + 1
+        while j < len(entries) and entries[j][1] == "INNER":
+            run.append(entries[j])
+            j += 1
+        if len(run) == 1:
+            left = _entry_estimate(run[0], left, sctx, db, options,
+                                   where_by_table)
+            result.append(run[0])
+        else:
+            ordered, left = _greedy_run(run, available, left, sctx, db,
+                                        options, where_by_table, cond_refs,
+                                        first_run=(i == 0))
+            if ordered is None:
+                return None
+            result.extend(ordered)
+        available.update(e[0] for e in run)
+        i = j
+    if [e[0] for e in result] == [e[0] for e in entries]:
+        return None
+    if left.cost >= original_cost:
+        return None  # the greedy order is estimated no better: keep FROM order
+    return result
+
+
+def _condition_tables(conjunct, sctx):
+    """Tables referenced by an ON conjunct, or None if any reference is
+    ambiguous/unresolvable (reordering must then preserve FROM order)."""
+    tables = C.conjunct_tables(sctx, conjunct)
+    return None if None in tables else tables
+
+
+def _entry_estimate(entry, left, sctx, db, options, where_by_table):
+    """Fold one fixed (non-reordered) chain entry into the running estimate.
+
+    The table's single-table WHERE conjuncts are included in the estimate
+    (pushdown will place them) even though this pass does not move them.
+    """
+    table_index, kind, condition = entry
+    own = where_by_table.get(table_index, [])
+    if kind == "BASE":
+        table_name = sctx.tables[table_index].name
+        predicate = conjoin(own + ([condition] if condition is not None
+                                   else []))
+        indexed = bool(options.index_joins and predicate is not None
+                       and candidate_indexes(db.tables_get(table_name),
+                                             predicate))
+        return C.access_estimate(db, table_name, predicate, indexed)
+    merged = condition
+    if kind == "INNER" and own:
+        merged = conjoin([condition] + own)
+    estimate, _, _, _ = C.join_step(db, sctx, left, table_index, merged,
+                                    kind, allow_index=options.index_joins)
+    return estimate
+
+
+def _order_cost(entries, sctx, db, options, where_by_table):
+    left = C.Estimate(0.0, 0.0)
+    for entry in entries:
+        left = _entry_estimate(entry, left, sctx, db, options,
+                               where_by_table)
+    return left.cost
+
+
+def _greedy_run(run, outer_available, outer_left, sctx, db, options,
+                where_by_table, cond_refs, first_run):
+    """Greedily order one INNER run (smallest estimated intermediate first).
+
+    Returns ``(entries, estimate)`` where each entry's condition is the
+    conjunction of ON conjuncts that become fully bound at that step, or
+    ``(None, None)`` when no valid order exists (e.g. an ON condition
+    references a table outside the run's reach).
+    """
+    tables = [e[0] for e in run]
+    pool = []
+    for table_index, kind, condition in run:
+        if condition is not None:
+            pool.extend(split_conjuncts(condition))
+
+    best = None
+    starts = tables if first_run else [None]
+    for start in starts:
+        attached = set()
+        available = set(outer_available)
+
+        def conjuncts_bound(extra):
+            return [c for c in pool if id(c) not in attached
+                    and cond_refs[id(c)] <= available | {extra}]
+
+        result = []
+        if start is not None:
+            own = where_by_table.get(start, [])
+            table_name = sctx.tables[start].name
+            bound = conjuncts_bound(start)
+            estimate_pred = conjoin(own + bound)
+            indexed = bool(options.index_joins and estimate_pred is not None
+                           and candidate_indexes(db.tables_get(table_name),
+                                                 estimate_pred))
+            left = C.access_estimate(db, table_name, estimate_pred, indexed)
+            attached.update(id(c) for c in bound)
+            # Rebuilt base carries only the ON conjuncts bound here; the
+            # table's WHERE conjuncts arrive via the pushdown rule.
+            result.append((start, "BASE", conjoin(bound)))
+            available.add(start)
+            remaining = [t for t in tables if t != start]
+        else:
+            left = outer_left
+            remaining = list(tables)
+
+        while remaining:
+            candidates = []
+            for t in remaining:
+                bound = conjuncts_bound(t)
+                connected = any(t in cond_refs[id(c)] for c in bound)
+                merged = conjoin(bound + where_by_table.get(t, []))
+                estimate, _, _, _ = C.join_step(
+                    db, sctx, left, t, merged, "INNER",
+                    allow_index=options.index_joins)
+                candidates.append((not connected, estimate.rows,
+                                   estimate.cost, t, bound, estimate))
+            candidates.sort(key=lambda c: c[:4])
+            _, _, _, t, bound, left = candidates[0]
+            result.append((t, "INNER", conjoin(bound)))
+            attached.update(id(c) for c in bound)
+            available.add(t)
+            remaining.remove(t)
+
+        if len(attached) == len(pool):
+            if best is None or left.cost < best[1].cost:
+                best = (result, left)
+
+    if best is None:
+        return None, None
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Rule 2: predicate pushdown
 # ---------------------------------------------------------------------------
 
 def push_down_predicates(node, sctx):
-    """Move base-table-only conjuncts of the WHERE filter below the joins."""
+    """Move single-table conjuncts of the WHERE filter to where their table
+    enters the (possibly reordered) join chain."""
     if not sctx.stmt.joins:
         return node  # single-table: the filter already sits on the scan
-    return _push_in(node, sctx)
-
-
-def _push_in(node, sctx):
-    if isinstance(node, L.Filter) and isinstance(node.child, L.Join):
-        pushable, residual = [], []
-        for conjunct in split_conjuncts(node.predicate):
-            if _references_only_base(conjunct, sctx):
-                pushable.append(conjunct)
-            else:
-                residual.append(conjunct)
-        if not pushable:
-            return node
-        bottom = _push_onto_base(node.child, conjoin(pushable))
-        residual_pred = conjoin(residual)
-        if residual_pred is None:
-            return bottom
-        node.child = bottom
-        node.predicate = residual_pred
+    top = _row_source_top(node)
+    where_filter, joins, base = _chain_nodes(top.child)
+    if where_filter is None or not joins:
         return node
-    for child in node.children():
-        replacement = _push_in(child, sctx)
-        if replacement is not child:
-            node.child = replacement
+
+    if isinstance(base, L.Filter):  # reorder may have placed a base filter
+        base = base.child
+    base_index = base.table_index
+    inner_joins = {j.table_index: j for j in joins if j.kind == "INNER"}
+    pushable_base, residual = [], []
+    merged_any = False
+    for conjunct in split_conjuncts(where_filter.predicate):
+        t = _single_table_of(conjunct, sctx)
+        if t == base_index or t == -1:
+            pushable_base.append(conjunct)
+        elif t in inner_joins:
+            join = inner_joins[t]
+            join.condition = conjoin([join.condition, conjunct])
+            merged_any = True
+        else:
+            residual.append(conjunct)
+
+    if not pushable_base and not merged_any:
+        return node
+    if pushable_base:
+        _push_onto_base(where_filter.child, conjoin(pushable_base))
+    residual_pred = conjoin(residual)
+    if residual_pred is None:
+        # The WHERE filter dissolved entirely into the chain.
+        top.child = where_filter.child
+    else:
+        where_filter.predicate = residual_pred
     return node
 
 
 def _push_onto_base(node, predicate):
-    """Wrap the bottom Scan/IndexLookup of a join chain in a Filter."""
-    if isinstance(node, L.Join):
-        node.child = _push_onto_base(node.child, predicate)
-        return node
-    return L.Filter(node, predicate)
+    """AND ``predicate`` onto the bottom Scan of a join chain (merging with
+    a Filter the reorder rule may already have placed there)."""
+    while isinstance(node.child, L.Join):
+        node = node.child
+    bottom = node.child
+    if isinstance(bottom, L.Filter):
+        bottom.predicate = conjoin([bottom.predicate, predicate])
+    else:
+        node.child = L.Filter(bottom, predicate)
 
 
-def _references_only_base(conjunct, sctx):
-    """Whether every column in ``conjunct`` resolves inside table 0.
+# ---------------------------------------------------------------------------
+# Rule 3: access-path (index) selection
+# ---------------------------------------------------------------------------
 
-    Conservative: aggregate calls, ambiguous unqualified names and
-    unresolvable references disqualify the conjunct (it stays above the
-    joins, where evaluation raises the same resolution errors as before).
-    Note the standard pushdown caveat: a pushed conjunct now evaluates on
-    base rows the join might have eliminated, so a per-row type error
-    (e.g. comparing text with a number) can surface where the unoptimized
-    plan, seeing an empty joined stream, returned a result.
+def select_access_path(node, sctx, db, options):
+    """Replace Filter(Scan) with Filter(IndexLookup) when the predicate
+    could pin the primary key or a secondary index.
+
+    Applies to single-table plans (as in PR 1) and — when
+    ``options.index_joins`` is on — to the base access below a join chain,
+    where pushdown has just deposited the base table's conjuncts.
     """
-    if contains_aggregate(conjunct):
-        return False
-    refs = expr_columns(conjunct)
-    if not refs:
-        return True
-    base_width = sctx.widths[0]
-    positions = sctx.context.positions
-    for ref in refs:
-        if ref.table is None and ref.column in sctx.context.ambiguous:
-            return False
-        pos = positions.get((ref.table, ref.column))
-        if pos is None or pos >= base_width:
-            return False
-    return True
-
-
-# ---------------------------------------------------------------------------
-# Rule 2: access-path (index) selection
-# ---------------------------------------------------------------------------
-
-def select_access_path(node, sctx, db):
-    """Replace Filter(Scan) with Filter(IndexLookup) on single-table plans
-    whose predicate could pin the primary key or a secondary index."""
-    if sctx.stmt.joins or sctx.stmt.where is None:
+    if sctx.stmt.joins:
+        if not options.index_joins:
+            return node  # PR-1 cost parity: scans under joins stay sequential
+    elif sctx.stmt.where is None:
         return node
     return L.transform_bottom_up(node, lambda n: _to_index_lookup(n, db))
 
@@ -128,45 +405,79 @@ def _to_index_lookup(node, db):
 
 
 # ---------------------------------------------------------------------------
-# Rule 3: join-strategy choice
+# Rule 4: join-strategy choice (+ cost annotation)
 # ---------------------------------------------------------------------------
 
-def choose_join_strategies(node, sctx):
-    return L.transform_bottom_up(node, lambda n: _annotate_join(n, sctx))
+def choose_join_strategies(node, sctx, db, options):
+    return L.transform_bottom_up(
+        node, lambda n: _annotate_node(n, sctx, db, options))
 
 
-def _annotate_join(node, sctx):
+def _annotate_node(node, sctx, db, options):
+    """Pick physical join strategies bottom-up, annotating every row-source
+    node with its cost estimate along the way."""
+    if isinstance(node, L.Scan):
+        est = C.access_estimate(db, node.table, None, indexed=False)
+        _set_estimate(node, est)
+        return node
+    if isinstance(node, L.IndexLookup):
+        est = C.access_estimate(db, node.table, node.where, indexed=True)
+        _set_estimate(node, est)
+        return node
+    if isinstance(node, L.Filter):
+        return _annotate_filter(node, sctx, db)
     if not isinstance(node, L.Join):
         return node
-    equi = _equi_join_key(node, sctx)
-    if equi is not None:
-        node.strategy = "hash"
-        node.equi = equi
-    else:
-        node.strategy = "nested"
+
+    child_est = _estimate_of(node.child)
+    est, strategy, equi, index_name = C.join_step(
+        db, sctx, child_est, node.table_index, node.condition, node.kind,
+        allow_index=options.index_joins)
+    node.strategy = strategy
+    node.equi = equi
+    node.index_name = index_name
+    _set_estimate(node, est)
+    if strategy in ("hash", "index") and node.kind == "INNER":
+        # Split a conjunctive ON into the equi key plus a residual filter
+        # above the join (safe for INNER joins only).
+        equi_conjunct = C.find_equi_conjunct(sctx, node.table_index,
+                                             node.condition)
+        residual = [c for c in split_conjuncts(node.condition)
+                    if c is not equi_conjunct[3]]
+        if residual:
+            node.condition = equi_conjunct[3]
+            wrapper = L.Filter(node, conjoin(residual))
+            _set_estimate(wrapper, est)
+            return wrapper
     return node
 
 
-def _equi_join_key(join, sctx):
-    """If the ON condition is ``left_col = right_col``, return the
-    (flat left position, right ordinal) pair for a hash join."""
-    cond = join.condition
-    if not (isinstance(cond, A.BinaryOp) and cond.op == "="):
+def _annotate_filter(node, sctx, db):
+    child_est = _estimate_of(node.child)
+    if child_est is None:
+        return node
+    child = node.child
+    if isinstance(child, L.IndexLookup) and child.where is node.predicate:
+        _set_estimate(node, child_est)  # selectivity already applied
+        return node
+    t = _single_table_of(node.predicate, sctx)
+    table_name = sctx.tables[t].name if t is not None and t >= 0 else None
+    sel = C.selectivity(db, table_name, node.predicate)
+    rows = child_est.rows * sel
+    if child_est.rows > 0:
+        rows = max(1.0, rows)
+    _set_estimate(node, C.Estimate(rows, child_est.cost))
+    return node
+
+
+def _estimate_of(node):
+    rows = getattr(node, "est_rows", None)
+    cost = getattr(node, "est_cost", None)
+    if rows is None or cost is None:
         return None
-    sides = [cond.left, cond.right]
-    if not all(isinstance(s, A.ColumnRef) for s in sides):
-        return None
-    offset = sctx.offsets[join.table_index]
-    width = sctx.widths[join.table_index]
-    placements = []
-    for side in sides:
-        pos = sctx.context.positions.get((side.table, side.column))
-        if pos is None:
-            return None
-        placements.append(pos)
-    in_right = [offset <= p < offset + width for p in placements]
-    if in_right == [False, True]:
-        return placements[0], placements[1] - offset
-    if in_right == [True, False]:
-        return placements[1], placements[0] - offset
-    return None
+    return C.Estimate(float(rows), float(cost))
+
+
+def _set_estimate(node, estimate):
+    node.est_rows = estimate.rows
+    node.est_cost = estimate.cost

@@ -63,10 +63,15 @@ def _pad(row, offset, total_width):
 # ---------------------------------------------------------------------------
 
 class SeqScanOp:
-    """Full scan of the base table, padded to the joined-row width."""
+    """Full scan of the base table, padded to the joined-row width.
 
-    def __init__(self, table_name):
+    ``offset`` is the table's slot in the flat joined-row layout — 0 unless
+    join reordering made a non-first FROM table the base of the chain.
+    """
+
+    def __init__(self, table_name, offset=0):
         self.table_name = table_name
+        self.offset = offset
 
     def iter_rows(self, run):
         if run.prefetched_base_rows is not None:
@@ -74,9 +79,10 @@ class SeqScanOp:
             return
         table = run.db.tables_get(self.table_name)
         total = run.sctx.total_width
+        offset = self.offset
         for _, row in table.scan():
             run.rows_touched += 1
-            yield _pad(row, 0, total)
+            yield _pad(row, offset, total)
 
 
 class IndexLookupOp:
@@ -89,9 +95,10 @@ class IndexLookupOp:
     does all the work.
     """
 
-    def __init__(self, table_name, where):
+    def __init__(self, table_name, where, offset=0):
         self.table_name = table_name
         self.where = where
+        self.offset = offset
 
     def iter_rows(self, run):
         if run.prefetched_base_rows is not None:
@@ -99,18 +106,19 @@ class IndexLookupOp:
             return
         table = run.db.tables_get(self.table_name)
         total = run.sctx.total_width
+        offset = self.offset
         lookup = resolve_index_lookup(table, self.where, run.params)
         if lookup is None:
             for _, row in table.scan():
                 run.rows_touched += 1
-                yield _pad(row, 0, total)
+                yield _pad(row, offset, total)
             return
         for row_id in sorted(lookup):
             row = table.rows.get(row_id)
             if row is None:
                 continue
             run.rows_touched += 1
-            yield _pad(row, 0, total)
+            yield _pad(row, offset, total)
 
 
 class FilterOp:
@@ -130,10 +138,35 @@ class FilterOp:
                 yield values
 
 
+def _hash_join_rows(run, table, left_rows, kind, left_pos, right_ordinal,
+                    offset, width):
+    """Shared hash-join loop: build over ``table``, probe with
+    ``left_rows``.  NULL keys are never indexed and never probe (SQL
+    ``NULL = NULL`` is UNKNOWN), so NULL join keys cannot match; LEFT joins
+    emit the unmatched left row padded with NULLs (already present from the
+    base padding)."""
+    buckets = {}
+    for _, row in table.scan():
+        run.rows_touched += 1
+        key = row[right_ordinal]
+        if key is None:
+            continue
+        buckets.setdefault(key, []).append(row)
+    for values in left_rows:
+        key = values[left_pos]
+        matches = buckets.get(key, ()) if key is not None else ()
+        if matches:
+            for row in matches:
+                merged = list(values)
+                merged[offset:offset + width] = row
+                yield merged
+        elif kind == "LEFT":
+            yield list(values)
+
+
 class HashJoinOp:
     """Equi-join: build a hash table over the right table, probe with the
-    child's rows.  LEFT joins emit the unmatched left row padded with NULLs
-    (already present from the base padding)."""
+    child's rows."""
 
     def __init__(self, child, join_index, kind, table_name,
                  left_pos, right_ordinal):
@@ -148,23 +181,89 @@ class HashJoinOp:
         right_table = run.db.tables_get(self.table_name)
         offset = run.sctx.offsets[self.join_index]
         width = run.sctx.widths[self.join_index]
-        buckets = {}
-        for _, row in right_table.scan():
-            run.rows_touched += 1
-            key = row[self.right_ordinal]
-            if key is None:
-                continue
-            buckets.setdefault(key, []).append(row)
+        yield from _hash_join_rows(
+            run, right_table, self.child.iter_rows(run), self.kind,
+            self.left_pos, self.right_ordinal, offset, width)
+
+
+class IndexNLJoinOp:
+    """Index nested-loop equi-join: probe the right table's primary key or
+    a single-column secondary index once per left row, touching only the
+    rows each probe returns instead of building a hash table over a full
+    scan.
+
+    The operator is **adaptive**: before fetching anything it sums the
+    probe result sizes from index metadata (bucket lengths — free, no row
+    touches), and when the total probe volume would exceed one full scan of
+    the right table (duplicate-heavy left keys re-touch the same right
+    rows) it falls back to the hash build.  Index nested-loop therefore
+    never touches more rows than the hash strategy it replaces, whatever
+    the optimizer's estimates predicted.
+    """
+
+    def __init__(self, child, join_index, kind, table_name,
+                 left_pos, right_ordinal, index_name):
+        self.child = child
+        self.join_index = join_index
+        self.kind = kind
+        self.table_name = table_name
+        self.left_pos = left_pos
+        self.right_ordinal = right_ordinal
+        self.index_name = index_name  # "<pk>" or a secondary index name
+
+    def _probe_ids(self, table, key):
+        """Row ids matching ``key``, via the chosen access path."""
+        if self.index_name == "<pk>":
+            hit = table.find_by_pk(key)
+            return (hit[0],) if hit is not None else ()
+        # A missing index means the plan outlived a direct storage edit
+        # (DDL invalidates cached plans); signal the hash fallback.
+        index = table.indexes.get(self.index_name)
+        if index is None:
+            return None
+        return index.lookup((key,))
+
+    def iter_rows(self, run):
+        table = run.db.tables_get(self.table_name)
+        offset = run.sctx.offsets[self.join_index]
+        width = run.sctx.widths[self.join_index]
         left_pos = self.left_pos
-        for values in self.child.iter_rows(run):
+        kind = self.kind
+        left_rows = list(self.child.iter_rows(run))
+
+        # Metadata pass: how many right rows would the probes touch?  The
+        # per-row id sets are kept so the emit loop never probes twice.
+        probes = []
+        total_probe = 0
+        usable = True
+        for values in left_rows:
             key = values[left_pos]
-            matches = buckets.get(key, ()) if key is not None else ()
-            if matches:
-                for row in matches:
-                    merged = list(values)
-                    merged[offset:offset + width] = row
-                    yield merged
-            elif self.kind == "LEFT":
+            ids = self._probe_ids(table, key) if key is not None else ()
+            if ids is None:
+                usable = False
+                break
+            probes.append(ids)
+            total_probe += len(ids)
+            if total_probe > len(table):
+                break  # fallback already inevitable: stop probing
+        if not usable or total_probe > len(table):
+            yield from _hash_join_rows(run, table, left_rows, kind,
+                                       left_pos, self.right_ordinal,
+                                       offset, width)
+            return
+
+        for values, ids in zip(left_rows, probes):
+            matched = False
+            for row_id in sorted(ids):
+                row = table.rows.get(row_id)
+                if row is None:
+                    continue
+                run.rows_touched += 1
+                merged = list(values)
+                merged[offset:offset + width] = row
+                yield merged
+                matched = True
+            if not matched and kind == "LEFT":
                 yield list(values)
 
 
@@ -452,13 +551,19 @@ def build_physical(node, sctx):
 
 def _build_source(node, sctx):
     if isinstance(node, L.Scan):
-        return SeqScanOp(node.table)
+        return SeqScanOp(node.table, sctx.offsets[node.table_index])
     if isinstance(node, L.IndexLookup):
-        return IndexLookupOp(node.table, node.where)
+        return IndexLookupOp(node.table, node.where,
+                             sctx.offsets[node.table_index])
     if isinstance(node, L.Filter):
         return FilterOp(_build_source(node.child, sctx), node.predicate)
     if isinstance(node, L.Join):
         child = _build_source(node.child, sctx)
+        if node.strategy == "index":
+            left_pos, right_ordinal = node.equi
+            return IndexNLJoinOp(child, node.table_index, node.kind,
+                                 node.table, left_pos, right_ordinal,
+                                 node.index_name)
         if node.strategy == "hash":
             left_pos, right_ordinal = node.equi
             return HashJoinOp(child, node.table_index, node.kind,

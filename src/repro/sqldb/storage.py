@@ -30,6 +30,9 @@ class Table:
         self.indexes[info.name] = index
         return index
 
+    def drop_index(self, name):
+        self.indexes.pop(name, None)
+
     def index_on(self, columns):
         """Find an index whose column list equals ``columns``, or None."""
         wanted = tuple(columns)
@@ -74,6 +77,7 @@ class Table:
             index.insert(row_id, row)
         if undo_log is not None:
             undo_log.append(("insert", self, row_id))
+        self.schema.stats.note_mutation(len(self.rows))
         return row_id
 
     def delete_row(self, row_id, undo_log=None):
@@ -85,7 +89,19 @@ class Table:
             index.delete(row_id, row)
         if undo_log is not None:
             undo_log.append(("delete", self, row_id, row))
+        self.schema.stats.note_mutation(len(self.rows))
         return row
+
+    def truncate(self, undo_log=None):
+        """Delete every row (TRUNCATE); returns the number removed.
+
+        Goes through :meth:`delete_row` so secondary indexes, the PK index,
+        live stats and the transaction undo log all stay consistent.
+        """
+        row_ids = list(self.rows)
+        for row_id in row_ids:
+            self.delete_row(row_id, undo_log)
+        return len(row_ids)
 
     def update_row(self, row_id, new_values, undo_log=None):
         old_row = self.rows[row_id]
@@ -126,6 +142,7 @@ class Table:
             self._pk_index[row[pk.ordinal]] = row_id
         for index in self.indexes.values():
             index.insert(row_id, row)
+        self.schema.stats.note_mutation(len(self.rows))
 
     def undo_update(self, row_id, old_row):
         current = self.rows.get(row_id)

@@ -1,0 +1,192 @@
+"""Golden EXPLAIN plans for representative itracker / OpenMRS / TPC-C
+statements.
+
+These lock the optimizer's chosen join order (tree nesting), join strategy
+(hash / index / nested), access path and cost annotations over the
+deterministic seeded app databases, so any optimizer or cost-model change
+surfaces as a readable plan diff rather than a silent perf regression.
+
+The databases are built fresh at module scope (not the shared session
+fixtures) so plan estimates cannot drift with test execution order.
+"""
+
+import pytest
+
+from repro.sqldb import Database
+
+
+@pytest.fixture(scope="module")
+def itracker_db():
+    from repro.apps import itracker
+
+    db, _ = itracker.build_app()
+    return db
+
+
+@pytest.fixture(scope="module")
+def openmrs_db():
+    from repro.apps import openmrs
+
+    db, _ = openmrs.build_app()
+    return db
+
+
+@pytest.fixture(scope="module")
+def tpcc_db():
+    from repro.apps.tpcc import data
+
+    db = Database("tpcc")
+    data.seed(db)
+    return db
+
+
+def assert_plan(db, sql, expected):
+    assert db.explain(sql) == expected.strip("\n")
+
+
+# ---------------------------------------------------------------------------
+# itracker
+# ---------------------------------------------------------------------------
+
+def test_itracker_project_issue_listing(itracker_db):
+    assert_plan(itracker_db, (
+        "SELECT i.id, i.description, u.login FROM it_issue i "
+        "JOIN it_user u ON i.creator_id = u.id WHERE i.project_id = ?"), """
+Project
+  Join [kind='INNER', table='it_user', strategy='hash'] (~50 rows, ~70 touched)
+    Filter [predicate=BinaryOp(op='=', left=ColumnRef(table='i', column='project_id'), right=Param(index=0))] (~50 rows, ~50 touched)
+      IndexLookup [table='it_issue', candidates=['idx_it_issue_project_id']] (~50 rows, ~50 touched)
+""")
+
+
+def test_itracker_severe_issue_report_reorders_to_project(itracker_db):
+    """Three-way join: the optimizer re-bases the chain on the pinned
+    project (PK lookup), probes issues through the project-id index, then
+    resolves creators per row through the user PK."""
+    assert_plan(itracker_db, (
+        "SELECT p.name, i.id, u.login FROM it_project p "
+        "JOIN it_issue i ON i.project_id = p.id "
+        "JOIN it_user u ON i.creator_id = u.id "
+        "WHERE p.id = ? AND i.severity = ?"), """
+Project
+  Join [kind='INNER', table='it_user', strategy='index', index_name='<pk>'] (~1 rows, ~52 touched)
+    Filter [predicate=BinaryOp(op='=', left=ColumnRef(table='i', column='severity'), right=Param(index=1))] (~1 rows, ~51 touched)
+      Join [kind='INNER', table='it_issue', strategy='index', index_name='idx_it_issue_project_id'] (~1 rows, ~51 touched)
+        Filter [predicate=BinaryOp(op='=', left=ColumnRef(table='p', column='id'), right=Param(index=0))] (~1 rows, ~1 touched)
+          IndexLookup [table='it_project', candidates=['<pk>']] (~1 rows, ~1 touched)
+""")
+
+
+def test_itracker_user_history_audit(itracker_db):
+    assert_plan(itracker_db, (
+        "SELECT h.id, h.action, u.login FROM it_history h "
+        "JOIN it_user u ON h.user_id = u.id WHERE h.user_id = ?"), """
+Project
+  Join [kind='INNER', table='it_user', strategy='hash'] (~50 rows, ~70 touched)
+    Filter [predicate=BinaryOp(op='=', left=ColumnRef(table='h', column='user_id'), right=Param(index=0))] (~50 rows, ~50 touched)
+      IndexLookup [table='it_history', candidates=['idx_it_history_user_id']] (~50 rows, ~50 touched)
+""")
+
+
+def test_itracker_user_by_pk(itracker_db):
+    assert_plan(itracker_db, "SELECT login FROM it_user WHERE id = ?", """
+Project
+  Filter [predicate=BinaryOp(op='=', left=ColumnRef(table=None, column='id'), right=Param(index=0))] (~1 rows, ~1 touched)
+    IndexLookup [table='it_user', candidates=['<pk>']] (~1 rows, ~1 touched)
+""")
+
+
+# ---------------------------------------------------------------------------
+# OpenMRS
+# ---------------------------------------------------------------------------
+
+def test_openmrs_encounter_obs_display(openmrs_db):
+    assert_plan(openmrs_db, (
+        "SELECT o.id, o.value_text, c.name FROM obs o "
+        "JOIN concept c ON o.concept_id = c.id WHERE o.encounter_id = ?"), """
+Project
+  Join [kind='INNER', table='concept', strategy='index', index_name='<pk>'] (~11 rows, ~21 touched)
+    Filter [predicate=BinaryOp(op='=', left=ColumnRef(table='o', column='encounter_id'), right=Param(index=0))] (~11 rows, ~11 touched)
+      IndexLookup [table='obs', candidates=['idx_obs_encounter_id']] (~11 rows, ~11 touched)
+""")
+
+
+def test_openmrs_encounter_concept_numeric_report(openmrs_db):
+    assert_plan(openmrs_db, (
+        "SELECT e.id, o.id, c.name FROM encounter e "
+        "JOIN obs o ON o.encounter_id = e.id "
+        "JOIN concept c ON o.concept_id = c.id "
+        "WHERE e.patient_id = ? AND o.value_numeric >= ?"), """
+Project
+  Join [kind='INNER', table='concept', strategy='index', index_name='<pk>'] (~26 rows, ~118 touched)
+    Filter [predicate=BinaryOp(op='>=', left=ColumnRef(table='o', column='value_numeric'), right=Param(index=1))] (~26 rows, ~93 touched)
+      Join [kind='INNER', table='obs', strategy='index', index_name='idx_obs_encounter_id'] (~26 rows, ~93 touched)
+        Filter [predicate=BinaryOp(op='=', left=ColumnRef(table='e', column='patient_id'), right=Param(index=0))] (~8 rows, ~8 touched)
+          IndexLookup [table='encounter', candidates=['idx_encounter_patient_id']] (~8 rows, ~8 touched)
+""")
+
+
+def test_openmrs_patient_demographics(openmrs_db):
+    assert_plan(openmrs_db, (
+        "SELECT pt.identifier, pe.name FROM patient pt "
+        "JOIN person pe ON pt.person_id = pe.id WHERE pt.id = ?"), """
+Project
+  Join [kind='INNER', table='person', strategy='index', index_name='<pk>'] (~1 rows, ~2 touched)
+    Filter [predicate=BinaryOp(op='=', left=ColumnRef(table='pt', column='id'), right=Param(index=0))] (~1 rows, ~1 touched)
+      IndexLookup [table='patient', candidates=['<pk>']] (~1 rows, ~1 touched)
+""")
+
+
+def test_openmrs_concept_class_listing_probes_fk_index(openmrs_db):
+    assert_plan(openmrs_db, (
+        "SELECT c.id, c.name, k.name FROM concept c "
+        "JOIN concept_class k ON c.class_id = k.id WHERE k.id = ?"), """
+Project
+  Join [kind='INNER', table='concept', strategy='index', index_name='idx_concept_class_id'] (~15 rows, ~16 touched)
+    Filter [predicate=BinaryOp(op='=', left=ColumnRef(table='k', column='id'), right=Param(index=0))] (~1 rows, ~1 touched)
+      IndexLookup [table='concept_class', candidates=['<pk>']] (~1 rows, ~1 touched)
+""")
+
+
+# ---------------------------------------------------------------------------
+# TPC-C
+# ---------------------------------------------------------------------------
+
+def test_tpcc_stock_level_keeps_hash_join(tpcc_db):
+    """No single-column index serves s_i_id, so the stock side stays a hash
+    build; the stock-only WHERE conjuncts split into the residual filter
+    above the equi join."""
+    assert_plan(tpcc_db, (
+        "SELECT COUNT(DISTINCT s_i_id) AS low_stock FROM order_line "
+        "JOIN stock ON s_i_id = ol_i_id "
+        "WHERE ol_d_id = ? AND ol_o_id < ? AND s_w_id = ? "
+        "AND s_quantity < ?"), """
+Aggregate
+  Filter [predicate=BinaryOp(op='AND', left=BinaryOp(op='=', left=ColumnRef(table=None, column='s_w_id'), right=Param(index=2)), right=BinaryOp(op='<', left=ColumnRef(table=None, column='s_quantity'), right=Param(index=3)))] (~1 rows, ~1000 touched)
+    Join [kind='INNER', table='stock', strategy='hash'] (~1 rows, ~1000 touched)
+      Filter [predicate=BinaryOp(op='AND', left=BinaryOp(op='=', left=ColumnRef(table=None, column='ol_d_id'), right=Param(index=0)), right=BinaryOp(op='<', left=ColumnRef(table=None, column='ol_o_id'), right=Param(index=1)))] (~3 rows, ~600 touched)
+        Scan [table='order_line', alias='order_line'] (~600 rows, ~600 touched)
+""")
+
+
+def test_tpcc_orders_customer_pk_probe(tpcc_db):
+    assert_plan(tpcc_db, (
+        "SELECT o_id, c_last FROM orders "
+        "JOIN customer ON c_id = o_c_id WHERE o_d_id = ? ORDER BY o_id"), """
+Sort [order_by=[OrderItem(expr=ColumnRef(table=None, column='o_id'), descending=False)]]
+  Project
+    Join [kind='INNER', table='customer', strategy='index', index_name='<pk>'] (~10 rows, ~210 touched)
+      Filter [predicate=BinaryOp(op='=', left=ColumnRef(table=None, column='o_d_id'), right=Param(index=0))] (~10 rows, ~200 touched)
+        Scan [table='orders', alias='orders'] (~200 rows, ~200 touched)
+""")
+
+
+def test_tpcc_customer_by_last_name(tpcc_db):
+    assert_plan(tpcc_db, (
+        "SELECT c_id, c_balance FROM customer "
+        "WHERE c_last = ? AND c_d_id = ? ORDER BY c_id"), """
+Sort [order_by=[OrderItem(expr=ColumnRef(table=None, column='c_id'), descending=False)]]
+  Project
+    Filter [predicate=BinaryOp(op='AND', left=BinaryOp(op='=', left=ColumnRef(table=None, column='c_last'), right=Param(index=0)), right=BinaryOp(op='=', left=ColumnRef(table=None, column='c_d_id'), right=Param(index=1)))] (~1 rows, ~1 touched)
+      IndexLookup [table='customer', candidates=['idx_customer_last']] (~1 rows, ~1 touched)
+""")

@@ -1,0 +1,209 @@
+"""Differential join oracle.
+
+Hypothesis generates 2–3 table schemas, data (with NULL join keys) and join
+queries (INNER/LEFT, equality and range predicates), then executes each
+query three ways:
+
+1. through the full cost-based pipeline (reordering + index nested-loop
+   joins enabled — the default),
+2. through the pipeline pinned to FROM order with sequential scans under
+   joins (``FROM_ORDER_OPTIONS`` — PR-1 behaviour),
+3. through a brute-force nested-loop **reference evaluator** implemented
+   below, independent of the planner/optimizer/physical operators (it
+   shares only the parser and the expression evaluator).
+
+The oracle asserts byte-identical result multisets across all three and
+that the optimized execution never touches more storage rows than
+FROM-order execution — the adaptivity contract of the index nested-loop
+join and the safety contract of join reordering.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqldb import Database
+from repro.sqldb.expressions import RowContext, evaluate
+from repro.sqldb.parser import parse
+from repro.sqldb.plan import FROM_ORDER_OPTIONS
+
+# ---------------------------------------------------------------------------
+# Reference evaluator (brute force, FROM order, no optimization)
+# ---------------------------------------------------------------------------
+
+
+def reference_eval(tables, sql, params=()):
+    """Evaluate a SELECT over ``tables`` (name -> (columns, rows)) by plain
+    nested loops in FROM order; returns a list of result tuples.
+
+    Supports the oracle's query shape: column select list, INNER/LEFT
+    joins with arbitrary ON conditions, WHERE.  SQL semantics (three-valued
+    logic, NULL never matching) come from ``evaluate``.
+    """
+    stmt = parse(sql)
+    refs = [stmt.table] + [j.table for j in stmt.joins]
+    positions = {}
+    offsets = []
+    offset = 0
+    for ref in refs:
+        columns, _ = tables[ref.name]
+        offsets.append(offset)
+        for i, col in enumerate(columns):
+            positions[(ref.alias, col)] = offset + i
+            positions[(None, col)] = offset + i
+        offset += len(columns)
+    ctx = RowContext(positions)
+
+    def padded(ref, index):
+        columns, rows = tables[ref.name]
+        width = len(columns)
+        for row in rows:
+            values = [None] * offset
+            values[offsets[index]:offsets[index] + width] = row
+            yield values
+
+    current = list(padded(refs[0], 0))
+    for index, join in enumerate(stmt.joins, start=1):
+        columns, rows = tables[join.table.name]
+        width = len(columns)
+        joined = []
+        for left in current:
+            matched = False
+            for row in rows:
+                merged = list(left)
+                merged[offsets[index]:offsets[index] + width] = row
+                ctx.bind(merged)
+                if evaluate(join.condition, ctx, params) is True:
+                    joined.append(merged)
+                    matched = True
+            if not matched and join.kind == "LEFT":
+                joined.append(list(left))
+        current = joined
+    if stmt.where is not None:
+        kept = []
+        for values in current:
+            ctx.bind(values)
+            if evaluate(stmt.where, ctx, params) is True:
+                kept.append(values)
+        current = kept
+    out = []
+    for values in current:
+        ctx.bind(values)
+        out.append(tuple(
+            evaluate(item.expr, ctx, params) for item in stmt.items))
+    return out
+
+
+def canon(rows):
+    """Canonical multiset form: sorted by repr (total order over int/None)."""
+    return sorted([tuple(row) for row in rows], key=repr)
+
+
+# ---------------------------------------------------------------------------
+# Case generation
+# ---------------------------------------------------------------------------
+
+_VALUES = st.one_of(st.none(), st.integers(min_value=0, max_value=4))
+_TABLE_ROWS = st.lists(st.tuples(_VALUES, _VALUES), min_size=0, max_size=10)
+
+
+@st.composite
+def join_cases(draw):
+    n_tables = draw(st.integers(min_value=2, max_value=3))
+    tables = []
+    for i in range(n_tables):
+        rows = draw(_TABLE_ROWS)
+        indexed = draw(st.booleans())
+        tables.append((rows, indexed))
+
+    joins = []
+    for i in range(1, n_tables):
+        kind = draw(st.sampled_from(["JOIN", "LEFT JOIN"]))
+        j = draw(st.integers(min_value=0, max_value=i - 1))
+        left_col = draw(st.sampled_from([f"a{j}", f"b{j}", f"c{j}"]))
+        shape = draw(st.sampled_from(["eq", "eq+extra", "range"]))
+        if shape == "eq":
+            cond = f"t{i}.b{i} = t{j}.{left_col}"
+        elif shape == "eq+extra":
+            lit = draw(st.integers(min_value=0, max_value=4))
+            extra = draw(st.sampled_from(
+                [f"t{i}.c{i} = {lit}", f"t{i}.c{i} > {lit}",
+                 f"t{j}.{left_col} <= {lit}"]))
+            cond = f"t{i}.b{i} = t{j}.{left_col} AND {extra}"
+        else:
+            cond = f"t{i}.b{i} < t{j}.{left_col}"
+        joins.append(f"{kind} t{i} ON {cond}")
+
+    where_parts = []
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        t = draw(st.integers(min_value=0, max_value=n_tables - 1))
+        col = draw(st.sampled_from([f"a{t}", f"b{t}", f"c{t}"]))
+        lit = draw(st.integers(min_value=0, max_value=4))
+        op = draw(st.sampled_from(["=", "<", ">=", "<>"]))
+        where_parts.append(f"t{t}.{col} {op} {lit}")
+
+    items = ", ".join(
+        f"t{i}.a{i}, t{i}.b{i}" for i in range(n_tables))
+    sql = f"SELECT {items} FROM t0 " + " ".join(joins)
+    if where_parts:
+        sql += " WHERE " + " AND ".join(where_parts)
+    return tables, sql
+
+
+def build_db(tables, options=None):
+    db = Database(optimizer_options=options)
+    for i, (rows, indexed) in enumerate(tables):
+        db.execute(f"CREATE TABLE t{i} (a{i} INT PRIMARY KEY, "
+                   f"b{i} INT, c{i} INT)")
+        if indexed:
+            db.execute(f"CREATE INDEX idx_t{i}_b ON t{i} (b{i})")
+        for pk, (b, c) in enumerate(rows):
+            db.execute(f"INSERT INTO t{i} (a{i}, b{i}, c{i}) "
+                       "VALUES (?, ?, ?)", (pk, b, c))
+    return db
+
+
+def reference_tables(tables):
+    out = {}
+    for i, (rows, _) in enumerate(tables):
+        columns = [f"a{i}", f"b{i}", f"c{i}"]
+        out[f"t{i}"] = (columns, [(pk, b, c)
+                                  for pk, (b, c) in enumerate(rows)])
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The oracle
+# ---------------------------------------------------------------------------
+
+
+@given(join_cases())
+@settings(max_examples=220, deadline=None)
+def test_differential_join_oracle(case):
+    """Optimized == FROM-order == brute-force reference, and the optimized
+    plan never touches more rows than FROM-order execution."""
+    tables, sql = case
+    optimized = build_db(tables).execute(sql)
+    from_order = build_db(tables, FROM_ORDER_OPTIONS).execute(sql)
+    reference = reference_eval(reference_tables(tables), sql)
+
+    assert canon(optimized.rows) == canon(reference)
+    assert canon(from_order.rows) == canon(reference)
+    assert optimized.columns == from_order.columns
+    assert optimized.rows_touched <= from_order.rows_touched
+
+
+@given(join_cases(), st.integers(min_value=0, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_oracle_with_parameters(case, needle):
+    """Parameterized WHERE over the generated join keeps all three
+    executions in agreement (plans are cached per statement; key values
+    resolve at execution time)."""
+    tables, sql = case
+    sql += (" AND" if "WHERE" in sql else " WHERE") + " t0.b0 = ?"
+    optimized = build_db(tables).execute(sql, (needle,))
+    from_order = build_db(tables, FROM_ORDER_OPTIONS).execute(sql, (needle,))
+    reference = reference_eval(reference_tables(tables), sql, (needle,))
+
+    assert canon(optimized.rows) == canon(reference)
+    assert canon(from_order.rows) == canon(reference)
+    assert optimized.rows_touched <= from_order.rows_touched

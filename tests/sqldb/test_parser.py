@@ -118,6 +118,17 @@ def test_transaction_statements():
     assert isinstance(parse("ROLLBACK"), A.Rollback)
 
 
+def test_drop_index():
+    stmt = parse("DROP INDEX idx_t_a")
+    assert isinstance(stmt, A.DropIndex)
+    assert stmt.name == "idx_t_a"
+
+
+def test_truncate_with_and_without_table_keyword():
+    assert parse("TRUNCATE TABLE t") == A.Truncate("t")
+    assert parse("TRUNCATE t") == A.Truncate("t")
+
+
 def test_is_read_statement():
     assert is_read_statement("SELECT 1 FROM t")
     assert not is_read_statement("DELETE FROM t")

@@ -1,10 +1,13 @@
-"""Tests for the planner subsystem: logical plans, optimizer rules,
-physical operators, the plan cache, and the batch shared-scan optimizer."""
+"""Tests for the planner subsystem: logical plans, optimizer rules (incl.
+cost-based join reordering and index nested-loop joins), physical operators,
+the plan cache (DDL + stats-epoch invalidation), and the batch shared-scan
+optimizer."""
 
 import pytest
 
 from repro.sqldb import Database
 from repro.sqldb.parser import parse
+from repro.sqldb.plan import FROM_ORDER_OPTIONS
 from repro.sqldb.plan.batch import execute_batch_plan
 
 
@@ -72,6 +75,165 @@ class TestPushdownSemantics:
         assert [r["name"] for r in rows] == ["dave"]
 
 
+class TestJoinOrderingAndIndexJoins:
+    """The cost-based rules added on top of the PR-1 pipeline."""
+
+    @pytest.fixture
+    def chain_db(self):
+        def build(options=None):
+            db = Database(optimizer_options=options)
+            db.execute_script("""
+            CREATE TABLE proj (id INT PRIMARY KEY, name TEXT);
+            CREATE TABLE issue (id INT PRIMARY KEY, project_id INT,
+                                creator_id INT, sev INT);
+            CREATE TABLE usr (id INT PRIMARY KEY, login TEXT);
+            CREATE INDEX idx_issue_proj ON issue (project_id)
+            """)
+            for i in range(5):
+                db.execute("INSERT INTO proj (id, name) VALUES (?, ?)",
+                           (i, f"p{i}"))
+            for u in range(20):
+                db.execute("INSERT INTO usr (id, login) VALUES (?, ?)",
+                           (u, f"u{u}"))
+            for i in range(200):
+                db.execute(
+                    "INSERT INTO issue (id, project_id, creator_id, sev) "
+                    "VALUES (?, ?, ?, ?)", (i, i % 5, i % 20, i % 4))
+            return db
+        return build
+
+    QUERY = ("SELECT u.login, i.id, p.name FROM usr u "
+             "JOIN issue i ON i.creator_id = u.id "
+             "JOIN proj p ON p.id = i.project_id WHERE p.id = 2")
+
+    def test_reorder_rebases_chain_on_selective_table(self, chain_db):
+        plan = chain_db().explain(self.QUERY)
+        lines = plan.splitlines()
+        # proj (pinned by PK) becomes the base of the chain; usr joins last.
+        assert "IndexLookup [table='proj'" in plan
+        assert lines.index(next(l for l in lines if "table='usr'" in l)) < \
+            lines.index(next(l for l in lines if "table='issue'" in l))
+
+    def test_reordered_results_match_from_order(self, chain_db):
+        optimized = chain_db().execute(self.QUERY)
+        baseline = chain_db(FROM_ORDER_OPTIONS).execute(self.QUERY)
+        assert sorted(optimized.rows) == sorted(baseline.rows)
+        assert optimized.rows_touched < baseline.rows_touched
+
+    def test_left_join_is_a_reorder_barrier(self, chain_db):
+        query = ("SELECT u.login FROM usr u "
+                 "LEFT JOIN issue i ON i.creator_id = u.id "
+                 "JOIN proj p ON p.id = i.project_id WHERE p.id < 3")
+        optimized = chain_db().execute(query)
+        baseline = chain_db(FROM_ORDER_OPTIONS).execute(query)
+        assert sorted(optimized.rows) == sorted(baseline.rows)
+        # The LEFT join pins usr as the base: the chain cannot re-base.
+        plan = chain_db().explain(query)
+        assert "Scan [table='usr'" in plan
+
+    def test_index_join_touches_only_probed_rows(self, chain_db):
+        db = chain_db()
+        result = db.execute(
+            "SELECT i.id, p.name FROM proj p "
+            "JOIN issue i ON i.project_id = p.id WHERE p.id = 2")
+        # 1 PK probe on proj + 40 issue rows via the project-id index.
+        assert result.rows_touched == 41
+        assert len(result.rows) == 40
+
+    def test_index_join_falls_back_when_probes_exceed_scan(self):
+        """Duplicate-heavy left keys: the adaptive runtime check must build
+        a hash table instead of re-touching the same right rows."""
+        db = Database()
+        db.execute_script("""
+        CREATE TABLE l (id INT PRIMARY KEY, k INT);
+        CREATE TABLE r (id INT PRIMARY KEY, k INT);
+        CREATE INDEX idx_r_k ON r (k)
+        """)
+        for i in range(50):
+            db.execute("INSERT INTO l (id, k) VALUES (?, ?)", (i, i % 20))
+        for i in range(20):
+            db.execute("INSERT INTO r (id, k) VALUES (?, ?)", (i, i))
+        # The range predicate under-estimates the left stream, so the plan
+        # picks the index strategy; at run time 50 probes of 1 row each
+        # exceed the 20-row table and the operator hashes instead.
+        query = ("SELECT l.id, r.id FROM l "
+                 "JOIN r ON r.k = l.k WHERE l.id >= 0")
+        assert "strategy='index'" in db.explain(query)
+        result = db.execute(query)
+        assert len(result.rows) == 50
+        assert result.rows_touched == 50 + 20  # base scan + hash build
+
+    def test_where_conjunct_follows_rebased_chain(self, people_db):
+        # With the join re-based on pet, the pet-only WHERE conjunct lands
+        # on the new base (below the join) and person is probed by PK.
+        plan = people_db.explain(
+            "SELECT p.name FROM person p JOIN pet q ON p.id = q.owner_id "
+            "WHERE q.species = 'cat'")
+        lines = plan.splitlines()
+        filter_line = next(i for i, l in enumerate(lines)
+                           if "species" in l and "Filter" in l)
+        join_line = next(i for i, l in enumerate(lines) if "Join" in l)
+        assert join_line < filter_line  # filter sits on the re-based scan
+        assert "strategy='index', index_name='<pk>'" in plan
+        rows = people_db.query(
+            "SELECT p.name FROM person p JOIN pet q ON p.id = q.owner_id "
+            "WHERE q.species = 'cat' ORDER BY q.id")
+        assert [r["name"] for r in rows] == ["alice", "bob"]
+
+    def test_cross_join_order_preserved_without_connection(self, people_db):
+        # ON conditions referencing only one side leave no equi edge: the
+        # optimizer must not invent an order that changes semantics.
+        rows = people_db.query(
+            "SELECT p.name, q.id FROM person p "
+            "JOIN pet q ON q.species = 'cat' WHERE p.id = 1")
+        assert sorted(r["id"] for r in rows) == [10, 12]
+
+
+class TestNullJoinKeys:
+    """SQL NULL never equals NULL: join keys that are NULL must not match
+    under any join strategy (hash, index nested-loop, nested loop)."""
+
+    @pytest.fixture
+    def null_db(self):
+        db = Database()
+        db.execute_script("""
+        CREATE TABLE a (id INT PRIMARY KEY, k INT);
+        CREATE TABLE b (id INT PRIMARY KEY, k INT);
+        CREATE INDEX idx_b_k ON b (k)
+        """)
+        for i, k in enumerate([1, 2, None, None]):
+            db.execute("INSERT INTO a (id, k) VALUES (?, ?)", (i, k))
+        for i, k in enumerate([1, None, 3, None]):
+            db.execute("INSERT INTO b (id, k) VALUES (?, ?)", (i, k))
+        return db
+
+    def test_hash_join_null_keys_never_match(self, null_db):
+        null_db.optimizer_options = FROM_ORDER_OPTIONS  # forces hash
+        rows = null_db.query(
+            "SELECT a.id, b.id FROM a JOIN b ON b.k = a.k")
+        assert len(rows) == 1  # only k=1 pairs up
+
+    def test_index_join_null_keys_never_match(self, null_db):
+        query = ("SELECT a.id, b.id FROM a JOIN b ON b.k = a.k "
+                 "WHERE a.id >= 0")
+        assert "strategy='index'" in null_db.explain(query)
+        rows = null_db.query(query)
+        assert len(rows) == 1
+
+    def test_nested_loop_null_keys_never_match(self, null_db):
+        rows = null_db.query(
+            "SELECT a.id, b.id FROM a JOIN b ON b.k = a.k AND b.k < 99 "
+            "OR b.k = a.k AND b.k > 99")  # OR defeats the equi extraction
+        assert len(rows) == 1
+
+    def test_left_join_null_keys_extend_with_nulls(self, null_db):
+        rows = null_db.query(
+            "SELECT a.id AS aid, b.id AS bid FROM a LEFT JOIN b ON b.k = a.k")
+        matched = [r for r in rows if r["bid"] is not None]
+        assert len(matched) == 1
+        assert len(rows) == 4  # every a row survives
+
+
 class TestPlanCache:
     def test_repeated_statement_reuses_plan(self, people_db):
         stmt = parse("SELECT name FROM person WHERE id = ?")
@@ -99,6 +261,89 @@ class TestPlanCache:
         null_param = people_db.execute(sql, (None,))
         assert null_param.rows == []
         assert null_param.rows_touched == 4  # degraded to a scan
+
+    def test_drop_index_invalidates_plans(self, people_db):
+        stmt = parse("SELECT id FROM pet WHERE owner_id = 1")
+        plan1 = people_db.executor.plan_for(stmt)
+        people_db.execute("DROP INDEX idx_pet_owner")
+        plan2 = people_db.executor.plan_for(stmt)
+        assert plan1 is not plan2
+        # Without the index the statement reverts to a full scan.
+        result = people_db.execute("SELECT id FROM pet WHERE owner_id = 1")
+        assert result.rows_touched == 4
+
+    def test_stats_epoch_reoptimizes_after_growth(self, db):
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        stmt = parse("SELECT v FROM t WHERE v = 1")
+        plan1 = db.executor.plan_for(stmt)
+        built = db.executor.plans_built
+        # Growing the table >2x past the baseline ticks the stats epoch;
+        # the cached plan may no longer be reused.
+        for i in range(30):
+            db.execute("INSERT INTO t (id, v) VALUES (?, ?)", (i, i))
+        assert db.catalog.stats_epoch.value > 0
+        plan2 = db.executor.plan_for(stmt)
+        assert plan1 is not plan2
+        assert db.executor.plans_built == built + 1
+
+    def test_truncate_reoptimizes_via_stats_epoch(self, db):
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        for i in range(30):
+            db.execute("INSERT INTO t (id, v) VALUES (?, ?)", (i, i))
+        stmt = parse("SELECT v FROM t WHERE v = 1")
+        plan1 = db.executor.plan_for(stmt)
+        epoch = db.catalog.stats_epoch.value
+        result = db.execute("TRUNCATE TABLE t")
+        assert result.rowcount == 30
+        assert db.table_size("t") == 0
+        assert db.catalog.stats_epoch.value > epoch
+        assert db.executor.plan_for(stmt) is not plan1
+
+    def test_stable_tables_keep_cached_plans(self, people_db):
+        """No DDL, no >2x size shift: the plan must be reused, and the
+        optimizer must not run again (counter stays flat)."""
+        stmt = parse("SELECT name FROM person WHERE id = ?")
+        plan1 = people_db.executor.plan_for(stmt)
+        built = people_db.executor.plans_built
+        people_db.execute("INSERT INTO person (id, name) VALUES (99, 'eve')")
+        people_db.execute("DELETE FROM person WHERE id = 99")
+        assert people_db.executor.plan_for(stmt) is plan1
+        assert people_db.executor.plans_built == built
+
+    def test_changing_optimizer_options_invalidates_plans(self, people_db):
+        stmt = parse(
+            "SELECT p.name FROM person p JOIN pet q ON p.id = q.owner_id")
+        plan1 = people_db.executor.plan_for(stmt)
+        people_db.optimizer_options = FROM_ORDER_OPTIONS
+        plan2 = people_db.executor.plan_for(stmt)
+        assert plan1 is not plan2
+
+    def test_truncate_of_small_table_still_invalidates(self, people_db):
+        # person never crossed the stats-epoch growth floor, but TRUNCATE
+        # must invalidate its plans regardless.
+        stmt = parse("SELECT name FROM person WHERE age > 0")
+        plan1 = people_db.executor.plan_for(stmt)
+        people_db.execute("TRUNCATE person")
+        assert people_db.executor.plan_for(stmt) is not plan1
+
+    def test_stale_plan_reuse_impossible_after_any_invalidation(self, db):
+        """Every invalidation class forces exactly one re-optimization."""
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        stmt = parse("SELECT v FROM t WHERE v = ?")
+        invalidations = [
+            "CREATE INDEX idx_t_v ON t (v)",
+            "DROP INDEX idx_t_v",
+            "CREATE TABLE other (id INT PRIMARY KEY)",
+            "DROP TABLE other",
+        ]
+        db.executor.plan_for(stmt)
+        for ddl in invalidations:
+            before = db.executor.plans_built
+            db.execute(ddl)
+            db.executor.plan_for(stmt)
+            assert db.executor.plans_built == before + 1, ddl
+            db.executor.plan_for(stmt)
+            assert db.executor.plans_built == before + 1, ddl
 
 
 class TestSharedScanBatch:

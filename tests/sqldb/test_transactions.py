@@ -66,3 +66,15 @@ def test_autocommit_outside_transaction(people_db):
     assert not people_db.transactions.in_transaction
     assert people_db.query(
         "SELECT age FROM person WHERE id = 1")[0]["age"] == 50
+
+
+def test_rollback_undoes_truncate(people_db):
+    people_db.execute("BEGIN")
+    assert people_db.execute("TRUNCATE TABLE pet").rowcount == 4
+    assert people_db.table_size("pet") == 0
+    people_db.execute("ROLLBACK")
+    assert people_db.table_size("pet") == 4
+    # Secondary indexes are restored along with the rows.
+    result = people_db.execute("SELECT id FROM pet WHERE owner_id = ?", (1,))
+    assert result.rowcount == 2
+    assert result.rows_touched == 2  # still index-served
