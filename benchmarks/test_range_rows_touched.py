@@ -1,0 +1,41 @@
+"""Ordered-index rows-touched deltas over the seeded app databases.
+
+Runs the :mod:`repro.bench.experiments.range_scan` experiment — the
+range/ORDER BY report queries of itracker, OpenMRS and TPC-C, executed
+through the full pipeline and through a baseline with ordered access paths
+disabled (sequential scans + explicit sorts) — and asserts that
+
+- every query returns the identical result multiset under both pipelines
+  (the experiment records the comparison),
+- no query touches more rows with ordered access than without, and
+- in aggregate per app the ordered plans touch at most half the rows —
+  the headline claim for range-predicate report pages.
+"""
+
+import pytest
+
+from repro.bench.experiments import range_scan
+
+
+@pytest.fixture(scope="module")
+def result():
+    return range_scan.run()
+
+
+def test_results_identical_and_never_worse(result):
+    for app, per_app in result.items():
+        for name, numbers in per_app["queries"].items():
+            assert numbers["match"], f"{app}:{name} results diverge"
+            assert numbers["optimized"] <= numbers["baseline"], (
+                f"{app}:{name} touched more rows with ordered access")
+
+
+def test_range_reports_touch_half_the_rows(result):
+    print()
+    print(range_scan.format_result(result))
+    for app, per_app in result.items():
+        totals = per_app["totals"]
+        # The headline claim: ordered-index range scans cut the range
+        # report pages' row touches by more than half per app.
+        assert totals["optimized"] * 2 < totals["baseline"], (
+            f"{app}: {totals['optimized']} vs {totals['baseline']}")

@@ -35,6 +35,8 @@ def seed(db, projects=DEFAULT_PROJECTS, users=DEFAULT_USERS,
     """Create the itracker schema and populate it; returns summary counts."""
     for ddl in schema_ddl(S.ENTITIES):
         db.execute(ddl)
+    for ddl in S.EXTRA_DDL:
+        db.execute(ddl)
     _seed_users(db, users)
     _seed_projects(db, projects, users, issues_per_project)
     _seed_static(db, users)

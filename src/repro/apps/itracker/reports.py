@@ -47,3 +47,39 @@ REPORT_QUERIES = (
         (5,),
     ),
 )
+
+# Range/ORDER BY report queries: the "changed since", "stale issues" and
+# top-N-by-date pages the ordered indexes exist for.
+# ``benchmarks/test_range_rows_touched.py`` (and the range_scan experiment
+# behind the CI artifact) executes them with and without ordered access
+# paths to measure the rows-touched deltas.
+RANGE_REPORT_QUERIES = (
+    (
+        "issues_changed_since",
+        "SELECT i.id, i.description, u.login FROM it_issue i "
+        "JOIN it_user u ON i.creator_id = u.id "
+        "WHERE i.last_modified >= ? ORDER BY i.last_modified",
+        ("2014-07-01",),
+    ),
+    (
+        "stale_project_issues",
+        "SELECT i.id, i.description FROM it_issue i "
+        "WHERE i.project_id = ? AND i.last_modified < ? "
+        "ORDER BY i.last_modified",
+        (3, "2014-03-01"),
+    ),
+    (
+        "issues_in_window",
+        "SELECT i.id, i.severity FROM it_issue i "
+        "WHERE i.last_modified BETWEEN ? AND ?",
+        ("2014-04-01", "2014-05-01"),
+    ),
+    (
+        "latest_issues_page",
+        "SELECT i.id, i.description, u.login FROM it_issue i "
+        "JOIN it_user u ON i.creator_id = u.id "
+        "WHERE i.last_modified >= ? "
+        "ORDER BY i.last_modified DESC LIMIT 10",
+        ("2014-08-01",),
+    ),
+)

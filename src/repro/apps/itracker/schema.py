@@ -184,3 +184,15 @@ class WorkflowScript(Entity):
     name = Column(TEXT)
     event = Column(TEXT)
     script = Column(TEXT)
+
+
+# Ordered indexes beyond the ORM's equality FK indexes: the issue listing
+# and report pages range over modification dates ("changed since", "stale
+# issues of project P") and sort by them, which an ordered index serves
+# without a full scan or an explicit sort.
+EXTRA_DDL = [
+    "CREATE INDEX idx_it_issue_modified ON it_issue (last_modified) "
+    "USING ORDERED",
+    "CREATE INDEX idx_it_issue_proj_modified ON it_issue "
+    "(project_id, last_modified) USING ORDERED",
+]

@@ -31,6 +31,8 @@ def seed(db, patients=PATIENTS, obs_per_encounter=OBS_PER_ENCOUNTER):
     """Create the OpenMRS schema and populate it; returns summary counts."""
     for ddl in schema_ddl(S.ENTITIES):
         db.execute(ddl)
+    for ddl in S.EXTRA_DDL:
+        db.execute(ddl)
     _seed_dictionary(db)
     _seed_admin(db)
     _seed_clinical(db, patients, obs_per_encounter)

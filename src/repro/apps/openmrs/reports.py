@@ -44,3 +44,39 @@ REPORT_QUERIES = (
         (1, 50),
     ),
 )
+
+# Range/ORDER BY report queries over the clinical timeline columns the
+# ordered indexes cover (encounter/visit dates, numeric obs values).
+# ``benchmarks/test_range_rows_touched.py`` (and the range_scan experiment
+# behind the CI artifact) executes them with and without ordered access
+# paths to measure the rows-touched deltas.
+RANGE_REPORT_QUERIES = (
+    (
+        "encounters_in_period",
+        "SELECT e.id, e.encounter_date, pe.name FROM encounter e "
+        "JOIN patient pt ON e.patient_id = pt.id "
+        "JOIN person pe ON pt.person_id = pe.id "
+        "WHERE e.encounter_date BETWEEN ? AND ? "
+        "ORDER BY e.encounter_date",
+        ("2013-02-01", "2013-03-31"),
+    ),
+    (
+        "high_value_obs",
+        "SELECT o.id, o.value_numeric, c.name FROM obs o "
+        "JOIN concept c ON o.concept_id = c.id "
+        "WHERE o.value_numeric >= ? ORDER BY o.value_numeric DESC",
+        (180,),
+    ),
+    (
+        "recent_visits_page",
+        "SELECT v.id, v.start_date FROM visit v "
+        "WHERE v.start_date >= ? ORDER BY v.start_date DESC LIMIT 20",
+        ("2013-10-15",),
+    ),
+    (
+        "obs_value_band",
+        "SELECT o.id, o.value_numeric FROM obs o "
+        "WHERE o.value_numeric BETWEEN ? AND ?",
+        (40, 60),
+    ),
+)

@@ -409,3 +409,16 @@ class SchedulerTask(Entity):
     name = Column(TEXT)
     schedule = Column(TEXT)
     started = Column(BOOLEAN)
+
+
+# Ordered indexes beyond the ORM's equality FK indexes: clinical report
+# pages range over encounter/visit dates and numeric observation values
+# ("encounters this quarter", "obs above threshold") and sort by them —
+# ordered indexes serve the range predicate and the ORDER BY directly.
+EXTRA_DDL = [
+    "CREATE INDEX idx_encounter_date ON encounter (encounter_date) "
+    "USING ORDERED",
+    "CREATE INDEX idx_visit_start ON visit (start_date) USING ORDERED",
+    "CREATE INDEX idx_obs_value_numeric ON obs (value_numeric) "
+    "USING ORDERED",
+]

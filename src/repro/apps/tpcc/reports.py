@@ -1,0 +1,33 @@
+"""TPC-C range report queries.
+
+The stock-level transaction is the canonical range workload: it inspects
+the order lines of the district's last ~20 orders (``ol_o_id`` between the
+next-order counter minus 20 and the counter).  These hand-written forms of
+that pattern — plus an order-status page sorting by order id — are executed
+by ``benchmarks/test_range_rows_touched.py`` (and the range_scan experiment
+behind the CI artifact) with and without ordered access paths to measure
+the rows-touched deltas.
+
+Each entry is ``(name, sql, params)`` over the seeded TPC-C database.
+"""
+
+RANGE_REPORT_QUERIES = (
+    (
+        "stock_level_order_lines",
+        "SELECT COUNT(DISTINCT ol_i_id) AS items FROM order_line "
+        "WHERE ol_o_id >= ? AND ol_o_id < ?",
+        (81, 101),
+    ),
+    (
+        "order_window_amounts",
+        "SELECT ol_id, ol_amount FROM order_line "
+        "WHERE ol_o_id BETWEEN ? AND ?",
+        (40, 60),
+    ),
+    (
+        "latest_orders_page",
+        "SELECT o_id, o_c_id, o_entry_d FROM orders "
+        "WHERE o_id >= ? ORDER BY o_id DESC LIMIT 5",
+        (150,),
+    ),
+)

@@ -34,7 +34,12 @@ DDL = [
     "CREATE INDEX idx_orders_wd ON orders (o_w_id, o_d_id)",
     "CREATE INDEX idx_orders_cust ON orders (o_c_id)",
     "CREATE INDEX idx_new_order_wd ON new_order (no_w_id, no_d_id)",
-    "CREATE INDEX idx_order_line_o ON order_line (ol_o_id)",
+    # Ordered: stock-level checks range over recent order ids
+    # (ol_o_id < next_o_id AND ol_o_id >= next_o_id - 20) and order status
+    # pages sort by order id — ordered indexes serve both the range
+    # predicate and the ORDER BY without scanning or sorting.
+    "CREATE INDEX idx_order_line_o ON order_line (ol_o_id) USING ORDERED",
+    "CREATE INDEX idx_orders_id ON orders (o_id) USING ORDERED",
     "CREATE INDEX idx_stock_wi ON stock (s_w_id, s_i_id)",
 ]
 

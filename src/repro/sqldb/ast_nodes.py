@@ -246,13 +246,18 @@ class CreateTable(Node):
 
 
 class CreateIndex(Node):
-    _fields = ("name", "table", "columns", "unique")
+    """``CREATE [UNIQUE] INDEX ... [USING ORDERED]``; ``method`` is
+    ``"hash"`` (the default, equality-only) or ``"ordered"`` (sorted keys,
+    serving range scans and ORDER BY)."""
 
-    def __init__(self, name, table, columns, unique=False):
+    _fields = ("name", "table", "columns", "unique", "method")
+
+    def __init__(self, name, table, columns, unique=False, method="hash"):
         self.name = name
         self.table = table
         self.columns = columns
         self.unique = unique
+        self.method = method
 
 
 class DropTable(Node):

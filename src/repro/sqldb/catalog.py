@@ -39,15 +39,48 @@ class TableStats:
     cardinality current cached plans were optimized against).
     """
 
-    __slots__ = ("row_count", "_baseline", "_epoch")
+    __slots__ = ("row_count", "_baseline", "_epoch", "order_stats")
 
     def __init__(self):
         self.row_count = 0
         self._baseline = 0
         self._epoch = None
+        # Key-order statistics: leading column name -> live OrderedIndex.
+        # Registered by storage when an ordered index is (dropped) created;
+        # the sorted key list doubles as a full-resolution histogram, so
+        # the cost model prices range predicates by bisecting it
+        # (see range_fraction) instead of falling back to constants.
+        self.order_stats = {}
 
     def bind_epoch(self, epoch):
         self._epoch = epoch
+
+    def register_order_stats(self, index):
+        """Adopt an ordered index as the key-order statistic for its
+        leading column (first registration wins)."""
+        self.order_stats.setdefault(index.info.columns[0], index)
+
+    def unregister_order_stats(self, index):
+        for column, registered in list(self.order_stats.items()):
+            if registered is index:
+                del self.order_stats[column]
+
+    def range_fraction(self, column, low, high, low_incl=True,
+                       high_incl=True):
+        """Estimated fraction of rows with ``column`` in the given range,
+        from the column's key-order statistic; None when no ordered index
+        leads with ``column`` or the bounds cannot be compared against the
+        stored keys (caller falls back to a heuristic constant — the type
+        error, if real, surfaces at execution with the engine's usual
+        SqlTypeError, exactly as it would without the statistic).
+        """
+        index = self.order_stats.get(column)
+        if index is None:
+            return None
+        try:
+            return index.range_fraction(low, high, low_incl, high_incl)
+        except TypeError:
+            return None
 
     def note_mutation(self, row_count):
         """Record the table's new size; tick the epoch on a >2x shift."""
@@ -121,15 +154,20 @@ class TableSchema:
 
 
 class IndexInfo:
-    """Metadata for a secondary index."""
+    """Metadata for a secondary index.
 
-    __slots__ = ("name", "table", "columns", "unique")
+    ``method`` selects the structure: ``"hash"`` (equality-only buckets)
+    or ``"ordered"`` (sorted keys serving range scans and ORDER BY).
+    """
 
-    def __init__(self, name, table, columns, unique=False):
+    __slots__ = ("name", "table", "columns", "unique", "method")
+
+    def __init__(self, name, table, columns, unique=False, method="hash"):
         self.name = name
         self.table = table
         self.columns = tuple(columns)
         self.unique = unique
+        self.method = method
 
 
 class Catalog:

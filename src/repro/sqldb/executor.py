@@ -130,7 +130,8 @@ class Executor:
         return ExecResult()
 
     def _exec_create_index(self, stmt):
-        info = IndexInfo(stmt.name, stmt.table, stmt.columns, stmt.unique)
+        info = IndexInfo(stmt.name, stmt.table, stmt.columns, stmt.unique,
+                         method=stmt.method)
         self.db.catalog.register_index(info)
         self.db.tables[stmt.table].add_index(info)
         self._invalidate_plans()

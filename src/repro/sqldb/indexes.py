@@ -1,12 +1,50 @@
 """Secondary index structures.
 
-A :class:`HashIndex` maps a tuple of column values to the set of row ids that
-carry those values.  Rows containing NULL in any indexed column are not
-indexed (matching standard SQL lookup semantics where ``col = NULL`` never
-matches).
+Two index flavours serve the planner's two access-path families:
+
+- :class:`HashIndex` maps a tuple of column values to the set of row ids
+  carrying those values — equality lookups only.  Rows containing NULL in
+  any indexed column are not indexed (matching standard SQL lookup
+  semantics where ``col = NULL`` never matches).
+
+- :class:`OrderedIndex` keeps its keys in sorted order (``CREATE INDEX ...
+  USING ORDERED``) and additionally serves **range scans** (``BETWEEN``,
+  ``<``, ``<=``, ``>``, ``>=``, equality-prefix + range suffix) and
+  **ordered walks** that let the planner elide an ORDER BY sort.  Unlike
+  the hash index it indexes every row, NULL key parts included, so a full
+  in-order walk reproduces the engine's sort semantics exactly (NULLs
+  first ascending, last descending); equality lookups still never match
+  NULL, and the unique constraint ignores keys with NULL parts (as in
+  standard SQL).
+
+Both flavours expose the same equality surface (``covers`` / ``lookup`` /
+``distinct_keys``), so everything built on equality — index lookups, index
+nested-loop join probes, NDV statistics — works against either.
 """
 
+from bisect import bisect_left, insort
+
 from repro.sqldb.errors import ConstraintError
+
+# Key parts are wrapped so heterogeneous parts stay comparable: NULL wraps
+# to ``_NULL_PART`` (sorting before every real value, the engine's
+# ascending NULLs-first order) and real values to ``(1, value)``.  The
+# sentinels bound bisect searches: ``_AFTER_NULLS`` sits between the NULL
+# region and the smallest real value, ``_AFTER_ALL`` after every real
+# value.
+_NULL_PART = (0, None)
+_AFTER_NULLS = (1,)
+_AFTER_ALL = (2,)
+
+
+def wrap_part(value):
+    """Order-preserving wrapper for one key part (NULLs sort first)."""
+    return _NULL_PART if value is None else (1, value)
+
+
+def wrap_key(values):
+    """Order-preserving wrapper for a whole key tuple."""
+    return tuple(wrap_part(v) for v in values)
 
 
 class HashIndex:
@@ -61,3 +99,134 @@ class HashIndex:
 
     def __len__(self):
         return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class OrderedIndex:
+    """Sorted-key index over one or more columns of a table.
+
+    Keys (wrapped via :func:`wrap_key`) live in a sorted list maintained by
+    binary insertion; a parallel dict maps each key to its row-id set.  The
+    sorted list is what makes this index more than a hash index: bisecting
+    it answers range queries and yields rows in key order, and the position
+    of a bound within it *is* a key-order statistic — the cost model reads
+    range selectivities straight off :meth:`range_fraction`.
+    """
+
+    method = "ordered"
+
+    def __init__(self, info, ordinals):
+        self.info = info
+        self.ordinals = tuple(ordinals)
+        self._keys = []  # sorted list of wrapped keys
+        self._rows = {}  # wrapped key -> set of row ids
+
+    def key_for(self, row):
+        return tuple(row[i] for i in self.ordinals)
+
+    def insert(self, row_id, row):
+        key = wrap_key(self.key_for(row))
+        bucket = self._rows.get(key)
+        if bucket is None:
+            self._rows[key] = bucket = set()
+            insort(self._keys, key)
+        elif self.info.unique and bucket and all(
+                part is not _NULL_PART for part in key):
+            # SQL unique semantics: NULL-bearing keys never conflict.
+            raise ConstraintError(
+                f"unique index {self.info.name!r} violated for key "
+                f"{self.key_for(row)!r}")
+        bucket.add(row_id)
+
+    def delete(self, row_id, row):
+        key = wrap_key(self.key_for(row))
+        bucket = self._rows.get(key)
+        if bucket is None:
+            return
+        bucket.discard(row_id)
+        if not bucket:
+            del self._rows[key]
+            pos = bisect_left(self._keys, key)
+            if pos < len(self._keys) and self._keys[pos] == key:
+                self._keys.pop(pos)
+
+    # -- equality surface (shared with HashIndex) ---------------------------
+
+    def covers(self, pinned):
+        """Equality cover test, identical to :meth:`HashIndex.covers`."""
+        return all(col in pinned for col in self.info.columns)
+
+    def lookup(self, key):
+        """Row ids equal to ``key``; NULL key parts never match."""
+        key = tuple(key)
+        if any(part is None for part in key):
+            return set()
+        return self._rows.get(wrap_key(key), set())
+
+    @property
+    def distinct_keys(self):
+        """Live distinct-key count (NULL-bearing keys included)."""
+        return len(self._rows)
+
+    def __len__(self):
+        return sum(len(bucket) for bucket in self._rows.values())
+
+    # -- ordered access ------------------------------------------------------
+
+    def _region(self, prefix_values, low, high, low_incl, high_incl):
+        """``(start, end)`` slice of ``_keys`` for an equality prefix plus
+        an optional range on the next key column.
+
+        Range bounds never admit NULL parts (``col < x`` is UNKNOWN for
+        NULL); an unbounded side of an explicit range therefore starts
+        after the NULL region, while a pure prefix walk (no range at all)
+        spans it — that is what lets a bound-free walk serve ORDER BY.
+        """
+        wprefix = wrap_key(prefix_values)
+        if low is not None:
+            bound = (wprefix + (wrap_part(low),) if low_incl
+                     else wprefix + (wrap_part(low), _AFTER_ALL))
+            start = bisect_left(self._keys, bound)
+        elif high is not None:
+            start = bisect_left(self._keys, wprefix + (_AFTER_NULLS,))
+        else:
+            start = bisect_left(self._keys, wprefix)
+        if high is not None:
+            bound = (wprefix + (wrap_part(high), _AFTER_ALL) if high_incl
+                     else wprefix + (wrap_part(high),))
+            end = bisect_left(self._keys, bound)
+        elif wprefix:
+            end = bisect_left(self._keys, wprefix + (_AFTER_ALL,))
+        else:
+            end = len(self._keys)
+        return start, max(start, end)  # crossed bounds (low > high) = empty
+
+    def scan(self, prefix_values=(), low=None, high=None, low_incl=True,
+             high_incl=True, descending=False):
+        """Yield row ids in key order for the equality prefix + range.
+
+        Within one key, row ids come out ascending (insertion order), which
+        matches the stable tie order of the engine's explicit sort — so an
+        ordered walk is byte-identical to scan-then-sort, not merely
+        multiset-equal.  ``descending`` reverses the key order (the
+        engine's DESC semantics: NULLs last), keeping the ascending
+        within-key tie order.
+        """
+        start, end = self._region(prefix_values, low, high, low_incl,
+                                  high_incl)
+        keys = self._keys[start:end]
+        if descending:
+            keys = reversed(keys)
+        for key in keys:
+            for row_id in sorted(self._rows[key]):
+                yield row_id
+
+    def range_fraction(self, low, high, low_incl=True, high_incl=True):
+        """Fraction of distinct keys whose *first* column falls in the
+        range — the key-order statistic the cost model uses for range
+        selectivity (resolution: one key, i.e. exact over distinct keys).
+        """
+        total = len(self._keys)
+        if total == 0:
+            return 0.0
+        start, end = self._region((), low, high, low_incl, high_incl)
+        return (end - start) / total

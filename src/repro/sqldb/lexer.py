@@ -23,7 +23,7 @@ KEYWORDS = frozenset(
     GROUP BY HAVING ORDER ASC DESC LIMIT OFFSET DISTINCT INSERT INTO VALUES
     UPDATE SET DELETE CREATE TABLE INDEX UNIQUE DROP PRIMARY KEY NOT
     BEGIN COMMIT ROLLBACK TRUE FALSE BETWEEN EXISTS COUNT SUM AVG MIN MAX
-    TRUNCATE
+    TRUNCATE USING ORDERED
     """.split()
 )
 

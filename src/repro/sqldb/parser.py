@@ -12,6 +12,8 @@ ORM, the benchmark applications and the TPC workloads:
                   [GROUP BY exprs] [HAVING expr] [ORDER BY order_items]
                   [LIMIT n [OFFSET m]]
     join       := [INNER | LEFT [OUTER]] JOIN table_ref ON expr
+    create_index := CREATE [UNIQUE] INDEX name ON table (columns)
+                    [USING ORDERED]
     expr       := or_expr with the usual precedence
                   (OR < AND < NOT < comparison < additive < multiplicative)
 
@@ -306,7 +308,11 @@ class _Parser:
         while self._accept(OP, ","):
             columns.append(self._expect_ident())
         self._expect(OP, ")")
-        return A.CreateIndex(name, table, columns, unique)
+        method = "hash"
+        if self._accept(KEYWORD, "USING"):
+            self._expect(KEYWORD, "ORDERED")
+            method = "ordered"
+        return A.CreateIndex(name, table, columns, unique, method)
 
     def _parse_create_table(self):
         name = self._expect_ident()

@@ -5,8 +5,9 @@ The classic optimizer pipeline, in miniature:
 1. :mod:`repro.sqldb.plan.planner` translates a parsed ``SELECT`` into a tree
    of **logical** plan nodes (:mod:`repro.sqldb.plan.logical`).
 2. :mod:`repro.sqldb.plan.optimizer` rewrites the logical tree with
-   rule-based transformations: predicate pushdown below joins, access-path
-   (index) selection, and join-strategy choice.
+   rule-based transformations: cost-based join reordering, predicate
+   pushdown below joins, access-path (index) selection, ordered-index
+   range scans with sort elision, and join-strategy choice.
 3. :mod:`repro.sqldb.plan.physical` lowers the logical tree into
    Volcano-style physical operators and runs them, producing an
    :class:`repro.sqldb.result.ExecResult`.

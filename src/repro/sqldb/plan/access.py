@@ -1,20 +1,24 @@
 """Access-path selection: resolving a WHERE clause to index lookups.
 
-Shared by the SELECT pipeline (``IndexLookup`` physical operator) and by the
-``UPDATE``/``DELETE`` candidate-row search in the executor facade.
+Shared by the SELECT pipeline (``IndexLookup`` / ``IndexRangeScan``
+physical operators) and by the ``UPDATE``/``DELETE`` candidate-row search
+in the executor facade.
 
 Index choice has a structural half and a runtime half.  At *plan* time,
 :func:`pinned_columns` and :func:`candidate_indexes` decide whether the
 predicate's shape (equality conjuncts over the primary key or an index's
-columns) could ever use an index — if not, the optimizer keeps a plain scan.
-At *execution* time, :func:`resolve_index_lookup` re-derives the key values
+columns) could ever use an index — if not, the optimizer keeps a plain scan
+— and :func:`ordered_scan_candidates` does the analogous analysis for
+ordered indexes (equality prefix + range suffix + ORDER BY potential).  At
+*execution* time, :func:`resolve_index_lookup` re-derives the key values
 from the actual parameters; a key that resolves to NULL or a missing
 parameter drops out of the conjunct set, which can disqualify the index and
 fall back to a full scan (SQL semantics: ``col = NULL`` never matches).
 """
 
 from repro.sqldb import ast_nodes as A
-from repro.sqldb.expressions import split_conjuncts
+from repro.sqldb.errors import SqlTypeError
+from repro.sqldb.expressions import RowContext, evaluate, split_conjuncts
 
 
 def _equality_shapes(where):
@@ -111,11 +115,185 @@ def resolve_index_lookup(table, where, params):
 def candidate_row_ids(table, where, params):
     """Row ids that may satisfy ``where`` plus a rows-touched count.
 
-    Used by UPDATE/DELETE: index lookup when the predicate pins indexed
-    columns, full scan otherwise.
+    Used by UPDATE/DELETE: equality index lookup when the predicate pins
+    indexed columns, ordered-index range scan when it bounds an ordered
+    index's key, full scan otherwise.  The executor re-checks the full
+    WHERE per candidate row, so any superset is safe.
     """
     lookup = resolve_index_lookup(table, where, params)
+    if lookup is None:
+        lookup = resolve_range_lookup(table, where, params)
     if lookup is not None:
         return list(lookup), len(lookup)
     row_ids = [row_id for row_id, _ in table.scan()]
     return row_ids, len(row_ids)
+
+
+# ---------------------------------------------------------------------------
+# Ordered (range) access paths
+# ---------------------------------------------------------------------------
+
+# Comparison operators as seen from the other side of the expression
+# (``5 < col`` is ``col > 5``); shared with the cost model's range
+# selectivity shapes.
+FLIPPED_OPS = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}
+
+
+def _range_shapes(where):
+    """Yield ``(column name, op, constant node)`` for every top-level AND
+    conjunct shaped like a one-sided range over a column: ``col < C``
+    (either side order, op flipped as needed) or a non-negated
+    ``col BETWEEN C1 AND C2`` (yielded as its two bounds).
+
+    The single filter both plan-time candidate search and runtime bound
+    resolution build on — the range-path analogue of
+    :func:`_equality_shapes`.
+    """
+    for node in split_conjuncts(where):
+        if isinstance(node, A.BinaryOp) and node.op in FLIPPED_OPS:
+            left, right = node.left, node.right
+            if isinstance(left, A.ColumnRef) and isinstance(
+                    right, (A.Literal, A.Param)):
+                yield left.column, node.op, right
+            elif isinstance(right, A.ColumnRef) and isinstance(
+                    left, (A.Literal, A.Param)):
+                yield right.column, FLIPPED_OPS[node.op], left
+        elif isinstance(node, A.Between) and not node.negated:
+            if isinstance(node.expr, A.ColumnRef):
+                if isinstance(node.low, (A.Literal, A.Param)):
+                    yield node.expr.column, ">=", node.low
+                if isinstance(node.high, (A.Literal, A.Param)):
+                    yield node.expr.column, "<=", node.high
+
+
+def column_range_bounds(where):
+    """Per-column range bounds from the WHERE conjuncts.
+
+    Returns ``column -> [low node, low inclusive, high node, high
+    inclusive]`` (either side may be ``None`` = unbounded).  When several
+    conjuncts bound the same side the first is kept — a looser bound only
+    widens the scanned superset, and the filter above the scan applies the
+    full predicate anyway.
+    """
+    bounds = {}
+    if where is None:
+        return bounds
+    for column, op, constant in _range_shapes(where):
+        entry = bounds.setdefault(column, [None, True, None, True])
+        if op in (">", ">=") and entry[0] is None:
+            entry[0] = constant
+            entry[1] = op == ">="
+        elif op in ("<", "<=") and entry[2] is None:
+            entry[2] = constant
+            entry[3] = op == "<="
+    return bounds
+
+
+class RangeCandidate:
+    """One ordered index's applicability to a predicate.
+
+    ``n_prefix`` leading index columns are pinned by equality conjuncts
+    (``prefix_exprs`` holds their constant nodes); ``low``/``high`` bound
+    the next index column when the predicate ranges over it.  A candidate
+    with neither a prefix nor bounds is still meaningful: a full in-order
+    walk can satisfy an ORDER BY.
+    """
+
+    __slots__ = ("index_name", "columns", "ordinals", "n_prefix",
+                 "prefix_exprs", "low", "low_incl", "high", "high_incl")
+
+    def __init__(self, index, n_prefix, prefix_exprs, bounds):
+        self.index_name = index.info.name
+        self.columns = index.info.columns
+        self.ordinals = index.ordinals
+        self.n_prefix = n_prefix
+        self.prefix_exprs = tuple(prefix_exprs)
+        if bounds is not None:
+            self.low, self.low_incl, self.high, self.high_incl = bounds
+        else:
+            self.low = self.high = None
+            self.low_incl = self.high_incl = True
+
+    @property
+    def has_bounds(self):
+        return self.low is not None or self.high is not None
+
+    @property
+    def range_column(self):
+        """The index column the range applies to (None without bounds)."""
+        if not self.has_bounds:
+            return None
+        return self.columns[self.n_prefix]
+
+
+def ordered_scan_candidates(table, where):
+    """A :class:`RangeCandidate` per ordered index of ``table``, matching
+    the longest equality prefix and a range on the following column."""
+    eq = {}
+    if where is not None:
+        for column, constant in _equality_shapes(where):
+            eq.setdefault(column, constant)
+    bounds = column_range_bounds(where)
+    candidates = []
+    for index in table.ordered_indexes():
+        columns = index.info.columns
+        n_prefix = 0
+        while n_prefix < len(columns) and columns[n_prefix] in eq:
+            n_prefix += 1
+        prefix_exprs = [eq[c] for c in columns[:n_prefix]]
+        rng = (bounds.get(columns[n_prefix])
+               if n_prefix < len(columns) else None)
+        candidates.append(RangeCandidate(index, n_prefix, prefix_exprs, rng))
+    return candidates
+
+
+def range_scan_ids(index, shape, params, descending=False):
+    """Row ids for one resolved ordered-index scan, shared by the SELECT
+    operator (``IndexRangeScanOp``) and the UPDATE/DELETE candidate search.
+
+    ``shape`` carries the plan-time scan description (``prefix_exprs``,
+    ``low``/``high`` + inclusivity, ``index_name`` — a
+    :class:`RangeCandidate` or the logical ``IndexRangeScan`` node, which
+    share the attribute protocol).  A prefix or bound constant that
+    resolves to NULL yields no rows — the conjunct it came from is UNKNOWN
+    for every row.
+    """
+    ctx = RowContext({}).bind(())
+    prefix = tuple(evaluate(e, ctx, params) for e in shape.prefix_exprs)
+    if any(v is None for v in prefix):
+        return []
+    low = high = None
+    if shape.low is not None:
+        low = evaluate(shape.low, ctx, params)
+        if low is None:
+            return []
+    if shape.high is not None:
+        high = evaluate(shape.high, ctx, params)
+        if high is None:
+            return []
+    try:
+        return list(index.scan(prefix, low, high, shape.low_incl,
+                               shape.high_incl, descending))
+    except TypeError:
+        # Mismatched bound type (e.g. a numeric bound on a TEXT column):
+        # surface the same error a scan-and-filter would.
+        raise SqlTypeError(
+            f"cannot compare range bound {low!r}/{high!r} against "
+            f"index {shape.index_name!r}") from None
+
+
+def resolve_range_lookup(table, where, params):
+    """Resolve WHERE to row ids via an ordered-index range scan.
+
+    The UPDATE/DELETE counterpart of :func:`resolve_index_lookup`: picks
+    the candidate with the longest pinned prefix (bounds required — a
+    bound-free walk is no cheaper than the scan it replaces) and returns
+    the row ids in the range via :func:`range_scan_ids`.  Returns None
+    when no bounded ordered candidate exists.
+    """
+    candidates = [c for c in ordered_scan_candidates(table, where)
+                  if c.has_bounds]
+    if not candidates:
+        return None
+    best = max(candidates, key=lambda c: c.n_prefix)
+    return range_scan_ids(table.indexes[best.index_name], best, params)

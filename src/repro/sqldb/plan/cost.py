@@ -4,14 +4,30 @@ The cost model works in the same currency the physical operators charge at
 execution time: **storage rows touched** (which the simulated server's
 :class:`repro.net.clock.CostModel` converts to database time).  Estimates
 come from live catalog statistics — :class:`repro.sqldb.catalog.TableStats`
-row counts maintained on every INSERT/DELETE/TRUNCATE, and exact per-index
-distinct-key counts read from the hash indexes — plus standard textbook
-selectivity heuristics for predicate shapes the stats cannot resolve.
+row counts maintained on every INSERT/DELETE/TRUNCATE, exact per-index
+distinct-key counts read from the indexes, and **key-order statistics**
+(the sorted key list of an ordered index, bisected for the position of
+literal range bounds) — plus standard textbook selectivity heuristics for
+predicate shapes the stats cannot resolve (notably parameter bounds, which
+are unknown at plan time by design: one cached plan serves every parameter
+value).
+
+Public API (documented formulas in ``docs/cost-model.md``):
+
+- :func:`table_rows`, :func:`column_ndv` — base statistics;
+- :func:`selectivity` — estimated fraction of rows satisfying a predicate;
+- :func:`access_estimate`, :func:`range_scan_estimate` — base-table access
+  paths (sequential / equality-index / ordered range);
+- :func:`join_step`, :func:`probe_index_name` — one join of a chain, with
+  the cost-chosen physical strategy.
 
 Consumers:
 
 - the optimizer's **join reordering** rule costs candidate join orders and
-  keeps the cheapest (:func:`join_step` composed over a chain);
+  keeps the cheapest (:func:`join_step` composed over a chain, with
+  range-aware base estimates);
+- the **ordered access** rule compares range-scan candidates against the
+  current access path (:func:`range_scan_estimate`);
 - the **join-strategy** rule compares an index nested-loop probe against a
   hash build for equi joins (:func:`probe_index_name`, :func:`join_step`);
 - ``Database.explain`` renders the per-node ``est_rows``/``est_cost``
@@ -25,6 +41,7 @@ planning quality but never correctness or a rows-touched regression.
 
 from repro.sqldb import ast_nodes as A
 from repro.sqldb.expressions import expr_columns, split_conjuncts
+from repro.sqldb.plan.access import FLIPPED_OPS
 
 # Fallback selectivities for predicate shapes the statistics cannot price.
 EQ_SELECTIVITY = 0.1
@@ -116,14 +133,14 @@ def selectivity(db, table_name, expr):
         if expr.op == "<>":
             return 1.0 - _equality_selectivity(db, table_name, expr)
         if expr.op in ("<", ">", "<=", ">="):
-            return RANGE_SELECTIVITY
+            return _range_op_selectivity(db, table_name, expr)
         return DEFAULT_SELECTIVITY
     if isinstance(expr, A.UnaryOp) and expr.op == "NOT":
         return 1.0 - selectivity(db, table_name, expr.operand)
     if isinstance(expr, A.IsNull):
         return 1.0 - NULL_SELECTIVITY if expr.negated else NULL_SELECTIVITY
     if isinstance(expr, A.Between):
-        sel = BETWEEN_SELECTIVITY
+        sel = _between_selectivity(db, table_name, expr)
         return 1.0 - sel if expr.negated else sel
     if isinstance(expr, A.Like):
         return 1.0 - LIKE_SELECTIVITY if expr.negated else LIKE_SELECTIVITY
@@ -137,6 +154,60 @@ def selectivity(db, table_name, expr):
             return 0.0
         return DEFAULT_SELECTIVITY
     return DEFAULT_SELECTIVITY
+
+
+def _order_stats_fraction(db, table_name, column, low, high, low_incl,
+                          high_incl):
+    """Range fraction from the column's key-order statistic (an ordered
+    index whose sorted key list is bisected for the bound positions), or
+    None when the table carries no such statistic for ``column``."""
+    if table_name is None:
+        return None
+    schema = db.catalog.table(table_name)
+    if not schema.has_column(column):
+        return None
+    return schema.stats.range_fraction(column, low, high, low_incl,
+                                       high_incl)
+
+
+def _range_op_selectivity(db, table_name, expr):
+    """Selectivity of ``col <op> constant``: the key-order statistic when
+    the bound is a literal over an ordered-indexed column, the
+    RANGE_SELECTIVITY constant otherwise (parameters are unknown at plan
+    time by design — plans are cached across parameter values)."""
+    for a, b, op in ((expr.left, expr.right, expr.op),
+                     (expr.right, expr.left, FLIPPED_OPS[expr.op])):
+        if isinstance(a, A.ColumnRef) and isinstance(b, A.Literal):
+            if b.value is None:
+                return 0.0  # col < NULL is UNKNOWN for every row
+            if op in ("<", "<="):
+                fraction = _order_stats_fraction(
+                    db, table_name, a.column, None, b.value,
+                    True, op == "<=")
+            else:
+                fraction = _order_stats_fraction(
+                    db, table_name, a.column, b.value, None,
+                    op == ">=", True)
+            if fraction is not None:
+                return fraction
+            break
+    return RANGE_SELECTIVITY
+
+
+def _between_selectivity(db, table_name, expr):
+    """Selectivity of (non-negated) BETWEEN via the key-order statistic
+    when both bounds are literals, BETWEEN_SELECTIVITY otherwise."""
+    if (isinstance(expr.expr, A.ColumnRef)
+            and isinstance(expr.low, A.Literal)
+            and isinstance(expr.high, A.Literal)):
+        if expr.low.value is None or expr.high.value is None:
+            return 0.0
+        fraction = _order_stats_fraction(
+            db, table_name, expr.expr.column, expr.low.value,
+            expr.high.value, True, True)
+        if fraction is not None:
+            return fraction
+    return BETWEEN_SELECTIVITY
 
 
 def _equality_selectivity(db, table_name, expr):
@@ -163,6 +234,57 @@ def access_estimate(db, table_name, predicate, indexed):
         out *= selectivity(db, table_name, predicate)
     out = _floor(out, rows)
     return Estimate(out, out if indexed else float(rows))
+
+
+def range_scan_estimate(db, table_name, candidate, predicate=None):
+    """Estimate for one ordered-index range scan.
+
+    ``candidate`` is a :class:`repro.sqldb.plan.access.RangeCandidate` (or
+    the :class:`repro.sqldb.plan.logical.IndexRangeScan` node built from
+    one — they share the attribute protocol).  The scan *touches* only the
+    rows inside the equality prefix + range region:
+
+        cost = rows × Π 1/NDV(prefix column) × range fraction
+
+    where the range fraction comes from the key-order statistic for
+    literal bounds and from the RANGE/BETWEEN constants for parameter
+    bounds.  The *output* cardinality applies the full predicate's
+    selectivity (the Filter above the scan re-applies every conjunct),
+    clamped to never exceed the rows touched.
+    """
+    rows = table_rows(db, table_name)
+    touch_sel = 1.0
+    for column in candidate.columns[:candidate.n_prefix]:
+        touch_sel /= column_ndv(db, table_name, column)
+    if candidate.low is not None or candidate.high is not None:
+        touch_sel *= _bound_fraction(db, table_name, candidate)
+    touched = _floor(rows * touch_sel, rows)
+    out = touched
+    if predicate is not None:
+        out = min(_floor(rows * selectivity(db, table_name, predicate),
+                         rows), touched)
+    return Estimate(out, touched)
+
+
+def _bound_fraction(db, table_name, candidate):
+    """Fraction of the prefix region the range bounds keep."""
+    low, high = candidate.low, candidate.high
+    low_lit = isinstance(low, A.Literal) or low is None
+    high_lit = isinstance(high, A.Literal) or high is None
+    if low_lit and high_lit and candidate.n_prefix == 0:
+        low_value = low.value if low is not None else None
+        high_value = high.value if high is not None else None
+        if (low is not None and low_value is None) or (
+                high is not None and high_value is None):
+            return 0.0
+        fraction = _order_stats_fraction(
+            db, table_name, candidate.columns[0], low_value, high_value,
+            candidate.low_incl, candidate.high_incl)
+        if fraction is not None:
+            return fraction
+    if low is not None and high is not None:
+        return BETWEEN_SELECTIVITY
+    return RANGE_SELECTIVITY
 
 
 def join_step(db, sctx, left, table_index, condition, kind,

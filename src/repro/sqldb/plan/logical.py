@@ -8,8 +8,10 @@ the algorithms used to compute it.  The planner builds the canonical tree
     Limit(Sort(Distinct(Project|Aggregate(Filter(Join(... Scan))))))
 
 and the optimizer rewrites it (pushing filters below joins, replacing a
-``Scan`` with an ``IndexLookup``, annotating ``Join`` nodes with a physical
-strategy).  :func:`explain` renders a tree for debugging and tests.
+``Scan`` with an ``IndexLookup`` or ``IndexRangeScan``, removing a ``Sort``
+an ordered scan already satisfies, annotating ``Join`` nodes with a
+physical strategy).  :func:`explain` renders a tree for debugging and
+tests.
 """
 
 
@@ -72,6 +74,83 @@ class IndexLookup(LogicalNode):
         self.alias = alias
         self.where = where
         self.candidates = candidates  # e.g. ["<pk>"] or index names
+
+
+class IndexRangeScan(LogicalNode):
+    """Ordered-index access to the base table, in key order.
+
+    The scan resolves ``prefix_exprs`` (equality constants for the leading
+    ``n_prefix`` index columns) and the ``low``/``high`` bounds on the next
+    column against the statement parameters at execution time and walks the
+    ordered index between them; rows stream out sorted by the index key,
+    which is what lets the optimizer's order-propagation pass elide a
+    ``Sort`` above.  ``where`` is the full predicate the bounds were drawn
+    from (the ``Filter`` above re-applies it; the scanned range is a
+    superset).
+    """
+
+    _show = ("table", "index_name")
+
+    def __init__(self, table_index, table, alias, where, candidate):
+        self.table_index = table_index
+        self.table = table
+        self.alias = alias
+        self.where = where
+        self.index_name = candidate.index_name
+        self.columns = candidate.columns
+        self.ordinals = candidate.ordinals
+        self.n_prefix = candidate.n_prefix
+        self.prefix_exprs = candidate.prefix_exprs
+        self.low = candidate.low
+        self.low_incl = candidate.low_incl
+        self.high = candidate.high
+        self.high_incl = candidate.high_incl
+        self.descending = False
+        self.sort_elided = False
+        self.order_columns = ()  # set when a Sort was elided (for explain)
+
+    def label(self):
+        parts = [f"table={self.table!r}", f"index={self.index_name!r}"]
+        if self.n_prefix:
+            eq = " AND ".join(
+                f"{col} = {_render_const(expr)}"
+                for col, expr in zip(self.columns, self.prefix_exprs))
+            parts.append(f"eq='{eq}'")
+        bounds = self._render_bounds()
+        if bounds:
+            parts.append(f"bounds='{bounds}'")
+        if self.sort_elided:
+            keys = ", ".join(self.order_columns)
+            direction = "DESC" if self.descending else "ASC"
+            parts.append(f"order='{keys} {direction} (sort elided)'")
+        suffix = f" [{', '.join(parts)}]"
+        if self.est_rows is not None:
+            suffix += (f" (~{round(self.est_rows)} rows, "
+                       f"~{round(self.est_cost)} touched)")
+        return f"{type(self).__name__}{suffix}"
+
+    def _render_bounds(self):
+        column = (self.columns[self.n_prefix]
+                  if self.n_prefix < len(self.columns) else None)
+        if self.low is not None and self.high is not None:
+            lo = "<=" if self.low_incl else "<"
+            hi = "<=" if self.high_incl else "<"
+            return (f"{_render_const(self.low)} {lo} {column} "
+                    f"{hi} {_render_const(self.high)}")
+        if self.low is not None:
+            op = ">=" if self.low_incl else ">"
+            return f"{column} {op} {_render_const(self.low)}"
+        if self.high is not None:
+            op = "<=" if self.high_incl else "<"
+            return f"{column} {op} {_render_const(self.high)}"
+        return None
+
+
+def _render_const(node):
+    """Compact rendering of a Literal/Param bound for explain output."""
+    if hasattr(node, "value"):
+        return repr(node.value)
+    return "?"
 
 
 class Filter(LogicalNode):

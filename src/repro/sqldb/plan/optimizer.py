@@ -16,11 +16,21 @@ Rule families run in order:
    LEFT-joined tables must stay above the chain (WHERE filters after
    NULL-extension), as must multi-table, ambiguous or aggregate conjuncts.
 3. **Access-path selection** — a ``Filter(Scan)`` whose predicate pins the
-   primary key or a secondary index becomes ``Filter(IndexLookup)``.  Since
-   this PR the rule also applies to the base access *below* joins (gated by
+   primary key or a secondary index becomes ``Filter(IndexLookup)``.  The
+   rule also applies to the base access *below* joins (gated by
    ``OptimizerOptions.index_joins``); the final index decision still
    happens at execution time against actual parameter values.
-4. **Join-strategy choice** — equi joins compare an index nested-loop probe
+4. **Ordered access + order propagation** — the chain's base access is
+   compared against the table's ordered indexes: an equality prefix plus a
+   range conjunct (``BETWEEN``/``<``/``<=``/``>``/``>=``) over an index's
+   columns becomes an ``IndexRangeScan`` when its estimated rows-touched
+   beats the current access, and when the scan's key order (after constant
+   equality-pinned columns) covers the statement's ORDER BY — every join
+   operator preserves its left input's order, so base-table order survives
+   the chain — the ``Sort`` node is **elided** and the scan direction set
+   from the ORDER BY.  Gated by ``OptimizerOptions.range_scans`` /
+   ``sort_elision``.
+5. **Join-strategy choice** — equi joins compare an index nested-loop probe
    (per-left-row PK/secondary-index lookup) against a hash build and keep
    the cheaper estimate; non-equi joins fall back to a nested loop.  For
    INNER joins an ON condition with extra conjuncts is split into the equi
@@ -36,7 +46,11 @@ from repro.sqldb import ast_nodes as A
 from repro.sqldb.expressions import conjoin, split_conjuncts
 from repro.sqldb.plan import cost as C
 from repro.sqldb.plan import logical as L
-from repro.sqldb.plan.access import candidate_indexes
+from repro.sqldb.plan.access import (
+    candidate_indexes,
+    ordered_scan_candidates,
+    pinned_columns,
+)
 from repro.sqldb.plan.planner import contains_aggregate
 
 
@@ -44,20 +58,26 @@ class OptimizerOptions:
     """Feature gates for the cost-based rules.
 
     ``FROM_ORDER_OPTIONS`` reproduces the PR-1 planner exactly: joins
-    execute in FROM order, base scans under joins stay sequential, and equi
-    joins only ever hash — the baseline the differential join oracle and
-    the rows-touched benchmarks compare against.
+    execute in FROM order, base scans under joins stay sequential, equi
+    joins only ever hash, and neither range scans nor sort elision apply —
+    the baseline the differential join oracle and the rows-touched
+    benchmarks compare against.
     """
 
-    __slots__ = ("reorder_joins", "index_joins")
+    __slots__ = ("reorder_joins", "index_joins", "range_scans",
+                 "sort_elision")
 
-    def __init__(self, reorder_joins=True, index_joins=True):
+    def __init__(self, reorder_joins=True, index_joins=True,
+                 range_scans=True, sort_elision=True):
         self.reorder_joins = reorder_joins
         self.index_joins = index_joins
+        self.range_scans = range_scans
+        self.sort_elision = sort_elision
 
 
 DEFAULT_OPTIONS = OptimizerOptions()
-FROM_ORDER_OPTIONS = OptimizerOptions(reorder_joins=False, index_joins=False)
+FROM_ORDER_OPTIONS = OptimizerOptions(reorder_joins=False, index_joins=False,
+                                      range_scans=False, sort_elision=False)
 
 
 def optimize(node, sctx, db, options=None):
@@ -68,6 +88,8 @@ def optimize(node, sctx, db, options=None):
         node = reorder_joins(node, sctx, db, options)
     node = push_down_predicates(node, sctx)
     node = select_access_path(node, sctx, db, options)
+    if options.range_scans or options.sort_elision:
+        node = select_ordered_access(node, sctx, db, options)
     node = choose_join_strategies(node, sctx, db, options)
     return node
 
@@ -211,6 +233,26 @@ def _condition_tables(conjunct, sctx):
     return None if None in tables else tables
 
 
+def _best_base_estimate(db, table_name, predicate, options):
+    """The cheapest access estimate for a chain base: sequential scan,
+    equality index lookup, or (when enabled) an ordered-index range scan.
+    Keeps the reorder rule's arithmetic in agreement with the access-path
+    rules that later pick the base's actual operator."""
+    indexed = bool(options.index_joins and predicate is not None
+                   and candidate_indexes(db.tables_get(table_name),
+                                         predicate))
+    best = C.access_estimate(db, table_name, predicate, indexed)
+    if options.range_scans and predicate is not None:
+        for cand in ordered_scan_candidates(db.tables_get(table_name),
+                                            predicate):
+            if not cand.has_bounds:
+                continue
+            est = C.range_scan_estimate(db, table_name, cand, predicate)
+            if est.cost < best.cost:
+                best = est
+    return best
+
+
 def _entry_estimate(entry, left, sctx, db, options, where_by_table):
     """Fold one fixed (non-reordered) chain entry into the running estimate.
 
@@ -223,10 +265,7 @@ def _entry_estimate(entry, left, sctx, db, options, where_by_table):
         table_name = sctx.tables[table_index].name
         predicate = conjoin(own + ([condition] if condition is not None
                                    else []))
-        indexed = bool(options.index_joins and predicate is not None
-                       and candidate_indexes(db.tables_get(table_name),
-                                             predicate))
-        return C.access_estimate(db, table_name, predicate, indexed)
+        return _best_base_estimate(db, table_name, predicate, options)
     merged = condition
     if kind == "INNER" and own:
         merged = conjoin([condition] + own)
@@ -274,10 +313,8 @@ def _greedy_run(run, outer_available, outer_left, sctx, db, options,
             table_name = sctx.tables[start].name
             bound = conjuncts_bound(start)
             estimate_pred = conjoin(own + bound)
-            indexed = bool(options.index_joins and estimate_pred is not None
-                           and candidate_indexes(db.tables_get(table_name),
-                                                 estimate_pred))
-            left = C.access_estimate(db, table_name, estimate_pred, indexed)
+            left = _best_base_estimate(db, table_name, estimate_pred,
+                                       options)
             attached.update(id(c) for c in bound)
             # Rebuilt base carries only the ON conjuncts bound here; the
             # table's WHERE conjuncts arrive via the pushdown rule.
@@ -405,7 +442,190 @@ def _to_index_lookup(node, db):
 
 
 # ---------------------------------------------------------------------------
-# Rule 4: join-strategy choice (+ cost annotation)
+# Rule 4: ordered access paths + order propagation (sort elision)
+# ---------------------------------------------------------------------------
+
+def select_ordered_access(root, sctx, db, options):
+    """Consider the base table's ordered indexes for the chain's access
+    path, and elide the Sort when the chosen scan already delivers the
+    ORDER BY keys.
+
+    Two wins, evaluated together because they interact: a bounded range
+    scan touches only the rows inside the key region (cheaper than both a
+    sequential scan and, sometimes, an equality lookup), and a scan whose
+    key order covers the ORDER BY makes the explicit sort redundant — the
+    row-source operators all preserve their left/child input order, so the
+    base table's delivery order survives joins, filters, projection and
+    DISTINCT unchanged.
+    """
+    top = _row_source_top(root)
+    where_filter, joins, base = _chain_nodes(top.child)
+    if isinstance(base, L.Filter):
+        pred_holder, access = base, base.child
+    elif not joins:
+        pred_holder, access = where_filter, base
+    else:
+        pred_holder, access = None, base
+    if not isinstance(access, (L.Scan, L.IndexLookup)):
+        return root
+    predicate = pred_holder.predicate if pred_holder is not None else None
+    table = db.tables_get(access.table)
+    candidates = ordered_scan_candidates(table, predicate)
+    if not candidates:
+        return root
+
+    order_spec = None
+    if (options.sort_elision and isinstance(top, L.Project)
+            and not sctx.stmt.distinct):
+        # DISTINCT keeps *first* occurrences before the Sort would have
+        # run, so eliding the Sort would change which representative rows
+        # (and row order) survive dedup — keep the explicit sort.
+        order_spec = _base_order_requirement(sctx, access.table_index)
+    pinned_ordinals = {
+        table.schema.ordinal_of(c)
+        for c in (pinned_columns(predicate) if predicate is not None else ())
+        if table.schema.has_column(c)}
+
+    current = C.access_estimate(db, access.table, predicate,
+                                indexed=isinstance(access, L.IndexLookup))
+    best = None
+    for cand in candidates:
+        if cand.has_bounds and not options.range_scans:
+            continue  # a bounded walk IS a range scan: the gate covers it
+        est = C.range_scan_estimate(db, access.table, cand, predicate)
+        satisfies = (order_spec is not None
+                     and _order_satisfied(cand, pinned_ordinals,
+                                          order_spec[0]))
+        if cand.has_bounds:
+            useful = est.cost < current.cost or (satisfies
+                                                 and est.cost <= current.cost)
+        else:
+            useful = satisfies and est.cost <= current.cost
+        if not useful:
+            continue
+        rank = (est.cost, not satisfies)
+        if best is None or rank < best[0]:
+            best = (rank, cand, est, satisfies)
+    if best is None:
+        return root
+
+    _, cand, est, satisfies = best
+    scan = L.IndexRangeScan(access.table_index, access.table, access.alias,
+                            predicate, cand)
+    if pred_holder is not None:
+        pred_holder.child = scan
+    elif joins:
+        joins[-1].child = scan
+    else:
+        top.child = scan
+    if satisfies:
+        ordinals, descending = order_spec
+        scan.descending = descending
+        scan.sort_elided = True
+        scan.order_columns = tuple(
+            table.schema.columns[o].name for o in ordinals)
+        root = _remove_sort(root)
+    return root
+
+
+def _base_order_requirement(sctx, base_table_index):
+    """The ORDER BY as base-table column ordinals, or None when any key
+    does not resolve to a plain base-table column.
+
+    Mirrors ``SortOp``'s key resolution exactly: an unqualified name that
+    matches an output column sorts by that output value (elidable only
+    when the output column passes a base column through untouched), an
+    integer literal sorts by output position, anything else evaluates
+    against the source row.  Mixed ASC/DESC directions cannot be served by
+    one index walk, so they disqualify the requirement.
+    """
+    stmt = sctx.stmt
+    if not stmt.order_by:
+        return None
+    offset = sctx.offsets[base_table_index]
+    width = sctx.widths[base_table_index]
+    sources, names = _output_passthrough(sctx)
+    alias_positions = {name: i for i, name in enumerate(names)}
+    ordinals = []
+    direction = None
+    for item in stmt.order_by:
+        expr = item.expr
+        if (isinstance(expr, A.ColumnRef) and expr.table is None
+                and expr.column in alias_positions):
+            pos = sources[alias_positions[expr.column]]
+        elif isinstance(expr, A.ColumnRef):
+            if expr.table is None and expr.column in sctx.context.ambiguous:
+                return None
+            pos = sctx.context.positions.get((expr.table, expr.column))
+        elif isinstance(expr, A.Literal) and isinstance(expr.value, int):
+            index = expr.value - 1
+            pos = sources[index] if 0 <= index < len(sources) else None
+        else:
+            return None
+        if pos is None or not offset <= pos < offset + width:
+            return None
+        if direction is None:
+            direction = item.descending
+        elif item.descending != direction:
+            return None
+        ordinals.append(pos - offset)
+    return ordinals, direction
+
+
+def _output_passthrough(sctx):
+    """Per output column: the flat source position it passes through
+    unmodified (None for computed expressions), plus the output names."""
+    from repro.sqldb.plan.physical import _expand_stars, _output_columns
+
+    expansions = _expand_stars(sctx.stmt, sctx.context)
+    names = _output_columns(sctx.stmt, expansions)
+    sources = []
+    for item, expansion in zip(sctx.stmt.items, expansions):
+        if expansion is not None:
+            sources.extend(pos for pos, _ in expansion)
+            continue
+        expr = item.expr
+        pos = None
+        if isinstance(expr, A.ColumnRef) and not (
+                expr.table is None
+                and expr.column in sctx.context.ambiguous):
+            pos = sctx.context.positions.get((expr.table, expr.column))
+        sources.append(pos)
+    return sources, names
+
+
+def _order_satisfied(cand, pinned_ordinals, order_ordinals):
+    """Whether the candidate's key order covers the ORDER BY ordinals.
+
+    Equality-pinned columns are constant across the emitted rows, so an
+    ORDER BY key over one is vacuous and skippable; the remaining keys
+    must equal the index columns after the equality prefix, in order.
+    """
+    position = cand.n_prefix
+    for ordinal in order_ordinals:
+        if (position < len(cand.ordinals)
+                and cand.ordinals[position] == ordinal):
+            position += 1
+            continue
+        if ordinal in pinned_ordinals:
+            continue
+        return False
+    return True
+
+
+def _remove_sort(root):
+    """Unlink the Sort node (Limit may sit above it)."""
+    if isinstance(root, L.Sort):
+        return root.child
+    parent = root
+    while not isinstance(parent.child, L.Sort):
+        parent = parent.child
+    parent.child = parent.child.child
+    return root
+
+
+# ---------------------------------------------------------------------------
+# Rule 5: join-strategy choice (+ cost annotation)
 # ---------------------------------------------------------------------------
 
 def choose_join_strategies(node, sctx, db, options):
@@ -422,6 +642,10 @@ def _annotate_node(node, sctx, db, options):
         return node
     if isinstance(node, L.IndexLookup):
         est = C.access_estimate(db, node.table, node.where, indexed=True)
+        _set_estimate(node, est)
+        return node
+    if isinstance(node, L.IndexRangeScan):
+        est = C.range_scan_estimate(db, node.table, node, node.where)
         _set_estimate(node, est)
         return node
     if isinstance(node, L.Filter):
@@ -457,7 +681,8 @@ def _annotate_filter(node, sctx, db):
     if child_est is None:
         return node
     child = node.child
-    if isinstance(child, L.IndexLookup) and child.where is node.predicate:
+    if (isinstance(child, (L.IndexLookup, L.IndexRangeScan))
+            and child.where is node.predicate):
         _set_estimate(node, child_est)  # selectivity already applied
         return node
     t = _single_table_of(node.predicate, sctx)

@@ -20,11 +20,14 @@ Two operator flavours mirror the two halves of a SELECT:
 :class:`repro.sqldb.result.ExecResult`.
 """
 
+from itertools import groupby, islice
+
 from repro.sqldb import ast_nodes as A
 from repro.sqldb.errors import SqlError, SqlTypeError
 from repro.sqldb.expressions import evaluate, RowContext
+from repro.sqldb.indexes import OrderedIndex, wrap_key
 from repro.sqldb.plan import logical as L
-from repro.sqldb.plan.access import resolve_index_lookup
+from repro.sqldb.plan.access import range_scan_ids, resolve_index_lookup
 from repro.sqldb.plan.planner import _AGGREGATE_NAMES
 from repro.sqldb.result import ExecResult
 
@@ -114,6 +117,63 @@ class IndexLookupOp:
                 yield _pad(row, offset, total)
             return
         for row_id in sorted(lookup):
+            row = table.rows.get(row_id)
+            if row is None:
+                continue
+            run.rows_touched += 1
+            yield _pad(row, offset, total)
+
+
+class IndexRangeScanOp:
+    """Ordered-index range scan: stream the base table's rows in index key
+    order, touching only the equality-prefix + range region.
+
+    Prefix and bound constants resolve against the statement parameters at
+    execution time.  A prefix or bound that resolves to NULL yields no
+    rows — the conjunct it came from is UNKNOWN for every row, so the
+    Filter above would reject everything anyway.  Unlike ``IndexLookupOp``
+    this operator never degrades to an *unordered* scan (a Sort may have
+    been elided on the strength of its ordering): if the index vanished
+    underneath a cached plan (only possible by editing storage behind the
+    catalog's back), it falls back to scanning and sorting by the key
+    columns, preserving the order contract.
+    """
+
+    def __init__(self, node, offset=0):
+        self.table_name = node.table
+        self.index_name = node.index_name
+        self.ordinals = node.ordinals
+        self.n_prefix = node.n_prefix
+        self.prefix_exprs = node.prefix_exprs
+        self.low = node.low
+        self.low_incl = node.low_incl
+        self.high = node.high
+        self.high_incl = node.high_incl
+        self.descending = node.descending
+        self.offset = offset
+
+    def _row_ids(self, table, params):
+        index = table.indexes.get(self.index_name)
+        if not isinstance(index, OrderedIndex):
+            return self._sorted_fallback(table)
+        return range_scan_ids(index, self, params, self.descending)
+
+    def _sorted_fallback(self, table):
+        """Full scan in key order (see class docstring)."""
+        keyed = sorted(
+            ((wrap_key(tuple(row[i] for i in self.ordinals)), row_id)
+             for row_id, row in table.rows.items()))
+        groups = [[row_id for _, row_id in group] for _, group in
+                  groupby(keyed, key=lambda pair: pair[0])]
+        if self.descending:
+            groups.reverse()
+        return [row_id for group in groups for row_id in group]
+
+    def iter_rows(self, run):
+        table = run.db.tables_get(self.table_name)
+        total = run.sctx.total_width
+        offset = self.offset
+        for row_id in self._row_ids(table, run.params):
             row = table.rows.get(row_id)
             if row is None:
                 continue
@@ -496,12 +556,18 @@ class PhysicalPlan:
     cache instead of re-walking the AST on every batch flush.
     """
 
-    __slots__ = ("source", "result_ops", "sctx", "shared_scan_table")
+    __slots__ = ("source", "result_ops", "sctx", "shared_scan_table",
+                 "limit_hint")
 
-    def __init__(self, source, result_ops, sctx):
+    def __init__(self, source, result_ops, sctx, limit_hint=None):
         self.source = source
         self.result_ops = result_ops
         self.sctx = sctx
+        # Set only when a Sort was elided under a LIMIT (see
+        # build_physical): the first limit+offset source rows are the
+        # final answer, so stop pulling once they have streamed out —
+        # top-N-by-key pages touch ~N rows instead of the whole range.
+        self.limit_hint = limit_hint
         op = source
         while isinstance(op, FilterOp):
             op = op.child
@@ -512,12 +578,30 @@ class PhysicalPlan:
         """Run the plan; returns an :class:`ExecResult`."""
         run = PlanRun(db, params, self.sctx,
                       prefetched_base_rows=prefetched_base_rows)
-        run.source_rows = list(self.source.iter_rows(run))
+        rows = self.source.iter_rows(run)
+        cutoff = self._resolve_limit_hint(run.params)
+        if cutoff is not None:
+            rows = islice(rows, cutoff)
+        run.source_rows = list(rows)
         for op in self.result_ops:
             op.apply(run)
         return ExecResult(run.out_columns, run.out_rows,
                           rowcount=len(run.out_rows),
                           rows_touched=run.rows_touched)
+
+    def _resolve_limit_hint(self, params):
+        if self.limit_hint is None:
+            return None
+        limit_expr, offset_expr = self.limit_hint
+        ctx = RowContext({}).bind(())
+        limit = evaluate(limit_expr, ctx, params)
+        offset = (evaluate(offset_expr, ctx, params)
+                  if offset_expr is not None else 0)
+        if (isinstance(limit, int) and not isinstance(limit, bool)
+                and limit >= 0 and isinstance(offset, int)
+                and not isinstance(offset, bool) and offset >= 0):
+            return limit + offset
+        return None  # malformed LIMIT: let LimitOp surface the error
 
 
 def build_physical(node, sctx):
@@ -546,7 +630,22 @@ def build_physical(node, sctx):
             raise SqlError(f"unexpected plan node above projection: {node!r}")
     result_ops.reverse()
     source = _build_source(node, sctx)
-    return PhysicalPlan(source, result_ops, sctx)
+    return PhysicalPlan(source, result_ops, sctx,
+                        limit_hint=_limit_hint(result_ops, sctx))
+
+
+def _limit_hint(result_ops, sctx):
+    """``(limit expr, offset expr)`` when the source's first limit+offset
+    rows are provably the final answer: the statement has an ORDER BY whose
+    Sort was elided (rows already stream in order), no DISTINCT, a plain
+    projection (1:1 with source rows), and a LIMIT to stop at."""
+    stmt = sctx.stmt
+    if not stmt.order_by or stmt.limit is None or stmt.distinct:
+        return None
+    shapes = [type(op) for op in result_ops]
+    if shapes != [ProjectOp, LimitOp]:
+        return None  # SortOp present (not elided), DistinctOp, or Aggregate
+    return stmt.limit, stmt.offset
 
 
 def _build_source(node, sctx):
@@ -555,6 +654,8 @@ def _build_source(node, sctx):
     if isinstance(node, L.IndexLookup):
         return IndexLookupOp(node.table, node.where,
                              sctx.offsets[node.table_index])
+    if isinstance(node, L.IndexRangeScan):
+        return IndexRangeScanOp(node, sctx.offsets[node.table_index])
     if isinstance(node, L.Filter):
         return FilterOp(_build_source(node.child, sctx), node.predicate)
     if isinstance(node, L.Join):

@@ -6,7 +6,7 @@ undo hooks used by :mod:`repro.sqldb.transactions` for rollback.
 """
 
 from repro.sqldb.errors import ConstraintError
-from repro.sqldb.indexes import HashIndex
+from repro.sqldb.indexes import HashIndex, OrderedIndex
 from repro.sqldb.types import coerce_value
 
 
@@ -24,14 +24,30 @@ class Table:
 
     def add_index(self, info):
         ordinals = [self.schema.ordinal_of(c) for c in info.columns]
-        index = HashIndex(info, ordinals)
+        structure = OrderedIndex if info.method == "ordered" else HashIndex
+        index = structure(info, ordinals)
         for row_id, row in self.rows.items():
             index.insert(row_id, row)
         self.indexes[info.name] = index
+        if info.method == "ordered":
+            self.schema.stats.register_order_stats(index)
         return index
 
     def drop_index(self, name):
-        self.indexes.pop(name, None)
+        index = self.indexes.pop(name, None)
+        if isinstance(index, OrderedIndex):
+            self.schema.stats.unregister_order_stats(index)
+            # Another ordered index may still provide key-order stats for
+            # its leading column.
+            for other in self.indexes.values():
+                if isinstance(other, OrderedIndex):
+                    self.schema.stats.register_order_stats(other)
+
+    def ordered_indexes(self):
+        """The table's ordered indexes (the planner's range-scan and
+        sort-elision candidates), in creation order."""
+        return [index for index in self.indexes.values()
+                if isinstance(index, OrderedIndex)]
 
     def index_on(self, columns):
         """Find an index whose column list equals ``columns``, or None."""

@@ -88,6 +88,38 @@ Project
 """)
 
 
+def test_itracker_stale_project_issues_prefix_plus_range(itracker_db):
+    """Equality prefix + range suffix on the two-column ordered index:
+    project_id pins the prefix, the date bound walks the suffix, and the
+    delivered order makes the ORDER BY sort redundant."""
+    assert_plan(itracker_db, (
+        "SELECT i.id, i.description FROM it_issue i "
+        "WHERE i.project_id = ? AND i.last_modified < ? "
+        "ORDER BY i.last_modified"), """
+Project
+  Filter [predicate=BinaryOp(op='AND', left=BinaryOp(op='=', left=ColumnRef(table='i', column='project_id'), right=Param(index=0)), right=BinaryOp(op='<', left=ColumnRef(table='i', column='last_modified'), right=Param(index=1)))] (~15 rows, ~15 touched)
+    IndexRangeScan [table='it_issue', index='idx_it_issue_proj_modified', eq='project_id = ?', bounds='last_modified < ?', order='last_modified ASC (sort elided)'] (~15 rows, ~15 touched)
+""")
+
+
+def test_itracker_latest_issues_page_descending_top_n(itracker_db):
+    """Top-N-by-date page: a literal-bounded range scan (the key-order
+    statistic prices the bound), walked descending so the DESC sort is
+    elided; with the Sort gone and a LIMIT above, execution stops after
+    the first limit+offset rows."""
+    assert_plan(itracker_db, (
+        "SELECT i.id, i.description, u.login FROM it_issue i "
+        "JOIN it_user u ON i.creator_id = u.id "
+        "WHERE i.last_modified >= '2014-07-01' "
+        "ORDER BY i.last_modified DESC LIMIT 10"), """
+Limit
+  Project
+    Join [kind='INNER', table='it_user', strategy='hash'] (~167 rows, ~187 touched)
+      Filter [predicate=BinaryOp(op='>=', left=ColumnRef(table='i', column='last_modified'), right=Literal(value='2014-07-01'))] (~167 rows, ~167 touched)
+        IndexRangeScan [table='it_issue', index='idx_it_issue_modified', bounds='last_modified >= '2014-07-01'', order='last_modified DESC (sort elided)'] (~167 rows, ~167 touched)
+""")
+
+
 def test_itracker_user_by_pk(itracker_db):
     assert_plan(itracker_db, "SELECT login FROM it_user WHERE id = ?", """
 Project
@@ -148,36 +180,59 @@ Project
 """)
 
 
+def test_openmrs_encounters_in_period_rebases_onto_range_scan(openmrs_db):
+    """Range-aware join reordering: the BETWEEN over encounter_date makes
+    encounter the cheapest chain base (via its ordered index), so the
+    chain re-bases onto it and the ORDER BY rides the index order through
+    both joins."""
+    assert_plan(openmrs_db, (
+        "SELECT e.id, e.encounter_date, pe.name FROM encounter e "
+        "JOIN patient pt ON e.patient_id = pt.id "
+        "JOIN person pe ON pt.person_id = pe.id "
+        "WHERE e.encounter_date BETWEEN ? AND ? "
+        "ORDER BY e.encounter_date"), """
+Project
+  Join [kind='INNER', table='person', strategy='hash'] (~100 rows, ~222 touched)
+    Join [kind='INNER', table='patient', strategy='hash'] (~100 rows, ~150 touched)
+      Filter [predicate=Between(expr=ColumnRef(table='e', column='encounter_date'), low=Param(index=0), high=Param(index=1), negated=False)] (~100 rows, ~100 touched)
+        IndexRangeScan [table='encounter', index='idx_encounter_date', bounds='? <= encounter_date <= ?', order='encounter_date ASC (sort elided)'] (~100 rows, ~100 touched)
+""")
+
+
 # ---------------------------------------------------------------------------
 # TPC-C
 # ---------------------------------------------------------------------------
 
-def test_tpcc_stock_level_keeps_hash_join(tpcc_db):
-    """No single-column index serves s_i_id, so the stock side stays a hash
-    build; the stock-only WHERE conjuncts split into the residual filter
-    above the equi join."""
+def test_tpcc_stock_level_range_scans_order_lines(tpcc_db):
+    """The ``ol_o_id < ?`` conjunct turns the order-line access into an
+    ordered-index range scan (rendered bounds included); no single-column
+    index serves s_i_id, so the stock side stays a hash build and the
+    stock-only WHERE conjuncts split into the residual filter above the
+    equi join."""
     assert_plan(tpcc_db, (
         "SELECT COUNT(DISTINCT s_i_id) AS low_stock FROM order_line "
         "JOIN stock ON s_i_id = ol_i_id "
         "WHERE ol_d_id = ? AND ol_o_id < ? AND s_w_id = ? "
         "AND s_quantity < ?"), """
 Aggregate
-  Filter [predicate=BinaryOp(op='AND', left=BinaryOp(op='=', left=ColumnRef(table=None, column='s_w_id'), right=Param(index=2)), right=BinaryOp(op='<', left=ColumnRef(table=None, column='s_quantity'), right=Param(index=3)))] (~1 rows, ~1000 touched)
-    Join [kind='INNER', table='stock', strategy='hash'] (~1 rows, ~1000 touched)
-      Filter [predicate=BinaryOp(op='AND', left=BinaryOp(op='=', left=ColumnRef(table=None, column='ol_d_id'), right=Param(index=0)), right=BinaryOp(op='<', left=ColumnRef(table=None, column='ol_o_id'), right=Param(index=1)))] (~3 rows, ~600 touched)
-        Scan [table='order_line', alias='order_line'] (~600 rows, ~600 touched)
+  Filter [predicate=BinaryOp(op='AND', left=BinaryOp(op='=', left=ColumnRef(table=None, column='s_w_id'), right=Param(index=2)), right=BinaryOp(op='<', left=ColumnRef(table=None, column='s_quantity'), right=Param(index=3)))] (~1 rows, ~580 touched)
+    Join [kind='INNER', table='stock', strategy='hash'] (~1 rows, ~580 touched)
+      Filter [predicate=BinaryOp(op='AND', left=BinaryOp(op='=', left=ColumnRef(table=None, column='ol_d_id'), right=Param(index=0)), right=BinaryOp(op='<', left=ColumnRef(table=None, column='ol_o_id'), right=Param(index=1)))] (~3 rows, ~180 touched)
+        IndexRangeScan [table='order_line', index='idx_order_line_o', bounds='ol_o_id < ?'] (~3 rows, ~180 touched)
 """)
 
 
-def test_tpcc_orders_customer_pk_probe(tpcc_db):
+def test_tpcc_orders_customer_pk_probe_elides_sort(tpcc_db):
+    """ORDER BY o_id rides the ordered index on orders: the walk delivers
+    o_id order, the per-row customer PK probe preserves its left input's
+    order, and the Sort node disappears from the plan."""
     assert_plan(tpcc_db, (
         "SELECT o_id, c_last FROM orders "
         "JOIN customer ON c_id = o_c_id WHERE o_d_id = ? ORDER BY o_id"), """
-Sort [order_by=[OrderItem(expr=ColumnRef(table=None, column='o_id'), descending=False)]]
-  Project
-    Join [kind='INNER', table='customer', strategy='index', index_name='<pk>'] (~10 rows, ~210 touched)
-      Filter [predicate=BinaryOp(op='=', left=ColumnRef(table=None, column='o_d_id'), right=Param(index=0))] (~10 rows, ~200 touched)
-        Scan [table='orders', alias='orders'] (~200 rows, ~200 touched)
+Project
+  Join [kind='INNER', table='customer', strategy='index', index_name='<pk>'] (~10 rows, ~210 touched)
+    Filter [predicate=BinaryOp(op='=', left=ColumnRef(table=None, column='o_d_id'), right=Param(index=0))] (~10 rows, ~200 touched)
+      IndexRangeScan [table='orders', index='idx_orders_id', order='o_id ASC (sort elided)'] (~10 rows, ~200 touched)
 """)
 
 

@@ -1,21 +1,27 @@
 """Differential join oracle.
 
-Hypothesis generates 2–3 table schemas, data (with NULL join keys) and join
-queries (INNER/LEFT, equality and range predicates), then executes each
+Hypothesis generates 2–3 table schemas, data (with NULL join keys and NULL
+range columns), hash *and* ordered secondary indexes, and join queries
+(INNER/LEFT, equality and range predicates — one-sided comparisons and
+BETWEEN with possibly crossed bounds — plus ORDER BY), then executes each
 query three ways:
 
 1. through the full cost-based pipeline (reordering + index nested-loop
-   joins enabled — the default),
+   joins + ordered-index range scans + sort elision — the default),
 2. through the pipeline pinned to FROM order with sequential scans under
-   joins (``FROM_ORDER_OPTIONS`` — PR-1 behaviour),
+   joins and no ordered access paths (``FROM_ORDER_OPTIONS`` — PR-1
+   behaviour),
 3. through a brute-force nested-loop **reference evaluator** implemented
    below, independent of the planner/optimizer/physical operators (it
    shares only the parser and the expression evaluator).
 
-The oracle asserts byte-identical result multisets across all three and
-that the optimized execution never touches more storage rows than
+The oracle asserts byte-identical result multisets across all three, that
+both pipelines' outputs respect the generated ORDER BY (NULLs first
+ascending / last descending — the contract an elided sort must uphold),
+and that the optimized execution never touches more storage rows than
 FROM-order execution — the adaptivity contract of the index nested-loop
-join and the safety contract of join reordering.
+join, the safety contract of join reordering, and the superset contract of
+range scans.
 """
 
 from hypothesis import given, settings
@@ -112,8 +118,8 @@ def join_cases(draw):
     tables = []
     for i in range(n_tables):
         rows = draw(_TABLE_ROWS)
-        indexed = draw(st.booleans())
-        tables.append((rows, indexed))
+        index_method = draw(st.sampled_from([None, "hash", "ordered"]))
+        tables.append((rows, index_method))
 
     joins = []
     for i in range(1, n_tables):
@@ -137,29 +143,80 @@ def join_cases(draw):
     for _ in range(draw(st.integers(min_value=0, max_value=2))):
         t = draw(st.integers(min_value=0, max_value=n_tables - 1))
         col = draw(st.sampled_from([f"a{t}", f"b{t}", f"c{t}"]))
-        lit = draw(st.integers(min_value=0, max_value=4))
-        op = draw(st.sampled_from(["=", "<", ">=", "<>"]))
-        where_parts.append(f"t{t}.{col} {op} {lit}")
+        shape = draw(st.sampled_from(["cmp", "cmp", "between"]))
+        if shape == "between":
+            # Bounds drawn independently, so low > high (an empty range)
+            # and low == high both occur.
+            low = draw(st.integers(min_value=0, max_value=4))
+            high = draw(st.integers(min_value=0, max_value=4))
+            where_parts.append(f"t{t}.{col} BETWEEN {low} AND {high}")
+        else:
+            lit = draw(st.integers(min_value=0, max_value=4))
+            op = draw(st.sampled_from(["=", "<", "<=", ">", ">=", "<>"]))
+            where_parts.append(f"t{t}.{col} {op} {lit}")
+
+    order_items = []
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        t = draw(st.integers(min_value=0, max_value=n_tables - 1))
+        col = draw(st.sampled_from([f"a{t}", f"b{t}"]))  # in the select list
+        direction = draw(st.sampled_from(["ASC", "DESC"]))
+        order_items.append((t, col, direction))
 
     items = ", ".join(
         f"t{i}.a{i}, t{i}.b{i}" for i in range(n_tables))
     sql = f"SELECT {items} FROM t0 " + " ".join(joins)
     if where_parts:
         sql += " WHERE " + " AND ".join(where_parts)
-    return tables, sql
+    if order_items:
+        sql += " ORDER BY " + ", ".join(
+            f"t{t}.{col} {direction}" for t, col, direction in order_items)
+    return tables, sql, order_items
 
 
 def build_db(tables, options=None):
     db = Database(optimizer_options=options)
-    for i, (rows, indexed) in enumerate(tables):
+    for i, (rows, index_method) in enumerate(tables):
         db.execute(f"CREATE TABLE t{i} (a{i} INT PRIMARY KEY, "
                    f"b{i} INT, c{i} INT)")
-        if indexed:
+        if index_method == "hash":
             db.execute(f"CREATE INDEX idx_t{i}_b ON t{i} (b{i})")
+        elif index_method == "ordered":
+            db.execute(f"CREATE INDEX idx_t{i}_b ON t{i} (b{i}) "
+                       "USING ORDERED")
         for pk, (b, c) in enumerate(rows):
             db.execute(f"INSERT INTO t{i} (a{i}, b{i}, c{i}) "
                        "VALUES (?, ?, ?)", (pk, b, c))
     return db
+
+
+def _order_key_positions(order_items):
+    """Output positions of the ORDER BY keys (the select list is
+    ``t0.a0, t0.b0, t1.a1, ...`` so ``tK.aK`` sits at 2K, ``tK.bK`` at
+    2K+1)."""
+    positions = []
+    for t, col, direction in order_items:
+        positions.append((2 * t + (1 if col.startswith("b") else 0),
+                          direction == "DESC"))
+    return positions
+
+
+def assert_ordered(rows, order_items):
+    """Every adjacent pair respects the ORDER BY keys with the engine's
+    NULL placement (first ascending, last descending)."""
+    def rank(row):
+        key = []
+        for pos, descending in _order_key_positions(order_items):
+            value = row[pos]
+            if descending:
+                key.append((value is None, -value if value is not None
+                            else 0))
+            else:
+                key.append((value is not None, value if value is not None
+                            else 0))
+        return key
+
+    ranks = [rank(row) for row in rows]
+    assert all(a <= b for a, b in zip(ranks, ranks[1:]))
 
 
 def reference_tables(tables):
@@ -171,6 +228,10 @@ def reference_tables(tables):
     return out
 
 
+# The reference evaluator ignores ORDER BY (it compares multisets), so the
+# ordering contract is asserted separately via assert_ordered.
+
+
 # ---------------------------------------------------------------------------
 # The oracle
 # ---------------------------------------------------------------------------
@@ -179,9 +240,10 @@ def reference_tables(tables):
 @given(join_cases())
 @settings(max_examples=220, deadline=None)
 def test_differential_join_oracle(case):
-    """Optimized == FROM-order == brute-force reference, and the optimized
-    plan never touches more rows than FROM-order execution."""
-    tables, sql = case
+    """Optimized == FROM-order == brute-force reference, both pipelines
+    honor the ORDER BY, and the optimized plan never touches more rows
+    than FROM-order execution."""
+    tables, sql, order_items = case
     optimized = build_db(tables).execute(sql)
     from_order = build_db(tables, FROM_ORDER_OPTIONS).execute(sql)
     reference = reference_eval(reference_tables(tables), sql)
@@ -190,6 +252,9 @@ def test_differential_join_oracle(case):
     assert canon(from_order.rows) == canon(reference)
     assert optimized.columns == from_order.columns
     assert optimized.rows_touched <= from_order.rows_touched
+    if order_items:
+        assert_ordered(optimized.rows, order_items)
+        assert_ordered(from_order.rows, order_items)
 
 
 @given(join_cases(), st.integers(min_value=0, max_value=4))
@@ -198,8 +263,10 @@ def test_oracle_with_parameters(case, needle):
     """Parameterized WHERE over the generated join keeps all three
     executions in agreement (plans are cached per statement; key values
     resolve at execution time)."""
-    tables, sql = case
-    sql += (" AND" if "WHERE" in sql else " WHERE") + " t0.b0 = ?"
+    tables, sql, order_items = case
+    where, sep, order_by = sql.partition(" ORDER BY ")
+    where += (" AND" if "WHERE" in where else " WHERE") + " t0.b0 = ?"
+    sql = where + sep + order_by
     optimized = build_db(tables).execute(sql, (needle,))
     from_order = build_db(tables, FROM_ORDER_OPTIONS).execute(sql, (needle,))
     reference = reference_eval(reference_tables(tables), sql, (needle,))
@@ -207,3 +274,29 @@ def test_oracle_with_parameters(case, needle):
     assert canon(optimized.rows) == canon(reference)
     assert canon(from_order.rows) == canon(reference)
     assert optimized.rows_touched <= from_order.rows_touched
+    if order_items:
+        assert_ordered(optimized.rows, order_items)
+
+
+@given(join_cases(), st.integers(min_value=0, max_value=4),
+       st.integers(min_value=0, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_oracle_with_parameterized_range(case, low, high):
+    """A parameterized BETWEEN (bounds drawn independently, so crossed
+    low > high ranges occur) keeps all three executions in agreement and
+    the range scan inside the FROM-order rows-touched envelope."""
+    tables, sql, order_items = case
+    where, sep, order_by = sql.partition(" ORDER BY ")
+    where += ((" AND" if "WHERE" in where else " WHERE")
+              + " t0.b0 BETWEEN ? AND ?")
+    sql = where + sep + order_by
+    params = (low, high)
+    optimized = build_db(tables).execute(sql, params)
+    from_order = build_db(tables, FROM_ORDER_OPTIONS).execute(sql, params)
+    reference = reference_eval(reference_tables(tables), sql, params)
+
+    assert canon(optimized.rows) == canon(reference)
+    assert canon(from_order.rows) == canon(reference)
+    assert optimized.rows_touched <= from_order.rows_touched
+    if order_items:
+        assert_ordered(optimized.rows, order_items)

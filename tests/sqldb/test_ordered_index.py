@@ -1,0 +1,396 @@
+"""Ordered (range) indexes and sort-aware planning.
+
+Covers the whole vertical: ``USING ORDERED`` grammar, the sorted-key index
+structure (NULL placement, unique semantics, transactional maintenance),
+the ``IndexRangeScan`` access path (bounds, equality prefix, parameter and
+NULL bounds), sort elision (including the cases that must *not* elide), the
+top-N limit hint, UPDATE/DELETE range candidates, and plan-cache pickup.
+"""
+
+import pytest
+
+from repro.sqldb import Database
+from repro.sqldb import ast_nodes as A
+from repro.sqldb.errors import ConstraintError, SqlParseError
+from repro.sqldb.indexes import OrderedIndex
+from repro.sqldb.parser import parse
+from repro.sqldb.plan import FROM_ORDER_OPTIONS, OptimizerOptions
+
+
+@pytest.fixture
+def events_db():
+    db = Database()
+    db.execute("CREATE TABLE ev (id INT PRIMARY KEY, day INT, kind TEXT, "
+               "val INT)")
+    db.execute("CREATE INDEX idx_ev_day ON ev (day) USING ORDERED")
+    db.execute("CREATE INDEX idx_ev_kind_day ON ev (kind, day) USING ORDERED")
+    rows = [
+        (0, 7, "a", 10), (1, 3, "b", 20), (2, None, "a", 30),
+        (3, 3, "a", 40), (4, 9, None, 50), (5, 1, "b", 60),
+        (6, 7, "b", 70), (7, 5, "a", 80),
+    ]
+    for row in rows:
+        db.execute("INSERT INTO ev (id, day, kind, val) "
+                   "VALUES (?, ?, ?, ?)", row)
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Grammar
+# ---------------------------------------------------------------------------
+
+class TestGrammar:
+    def test_using_ordered_parses(self):
+        stmt = parse("CREATE INDEX i ON t (a, b) USING ORDERED")
+        assert isinstance(stmt, A.CreateIndex)
+        assert stmt.method == "ordered"
+        assert stmt.columns == ["a", "b"]
+
+    def test_default_method_is_hash(self):
+        assert parse("CREATE INDEX i ON t (a)").method == "hash"
+
+    def test_unique_ordered(self):
+        stmt = parse("CREATE UNIQUE INDEX i ON t (a) USING ORDERED")
+        assert stmt.unique and stmt.method == "ordered"
+
+    def test_using_requires_ordered(self):
+        with pytest.raises(SqlParseError):
+            parse("CREATE INDEX i ON t (a) USING btree")
+
+
+# ---------------------------------------------------------------------------
+# The index structure
+# ---------------------------------------------------------------------------
+
+class TestOrderedIndexStructure:
+    def test_catalog_records_method(self, events_db):
+        info = events_db.catalog.table("ev").indexes["idx_ev_day"]
+        assert info.method == "ordered"
+        index = events_db.tables_get("ev").indexes["idx_ev_day"]
+        assert isinstance(index, OrderedIndex)
+
+    def test_indexes_null_keys_unlike_hash(self, events_db):
+        index = events_db.tables_get("ev").indexes["idx_ev_day"]
+        assert len(index) == 8  # the NULL-day row is indexed too
+
+    def test_full_walk_orders_nulls_first(self, events_db):
+        index = events_db.tables_get("ev").indexes["idx_ev_day"]
+        table = events_db.tables_get("ev")
+        days = [table.rows[rid][1] for rid in index.scan()]
+        assert days == [None, 1, 3, 3, 5, 7, 7, 9]
+
+    def test_bounded_scan_excludes_nulls(self, events_db):
+        index = events_db.tables_get("ev").indexes["idx_ev_day"]
+        table = events_db.tables_get("ev")
+        days = [table.rows[rid][1] for rid in index.scan((), None, 5)]
+        assert days == [1, 3, 3, 5]
+
+    def test_crossed_bounds_are_empty(self, events_db):
+        index = events_db.tables_get("ev").indexes["idx_ev_day"]
+        assert list(index.scan((), 9, 3)) == []
+
+    def test_equality_lookup_matches_hash_semantics(self, events_db):
+        index = events_db.tables_get("ev").indexes["idx_ev_day"]
+        assert index.lookup((3,)) == {2, 4}  # row ids of day=3
+        assert index.lookup((None,)) == set()
+
+    def test_unique_allows_multiple_nulls(self, db):
+        db.execute("CREATE TABLE u (id INT PRIMARY KEY, k INT)")
+        db.execute("CREATE UNIQUE INDEX uk ON u (k) USING ORDERED")
+        db.execute("INSERT INTO u (id, k) VALUES (1, NULL), (2, NULL)")
+        db.execute("INSERT INTO u (id, k) VALUES (3, 5)")
+        with pytest.raises(ConstraintError):
+            db.execute("INSERT INTO u (id, k) VALUES (4, 5)")
+
+    def test_rollback_restores_ordered_index(self, events_db):
+        index = events_db.tables_get("ev").indexes["idx_ev_day"]
+        before = list(index.scan())
+        events_db.execute("BEGIN")
+        events_db.execute("DELETE FROM ev WHERE day >= 5")
+        events_db.execute("INSERT INTO ev (id, day, kind, val) "
+                          "VALUES (99, 2, 'z', 0)")
+        events_db.execute("ROLLBACK")
+        assert list(index.scan()) == before
+
+    def test_update_moves_key(self, events_db):
+        events_db.execute("UPDATE ev SET day = 100 WHERE id = 5")
+        index = events_db.tables_get("ev").indexes["idx_ev_day"]
+        table = events_db.tables_get("ev")
+        days = [table.rows[rid][1] for rid in index.scan()]
+        assert days == [None, 3, 3, 5, 7, 7, 9, 100]
+
+    def test_range_fraction_tracks_data(self, events_db):
+        stats = events_db.catalog.table("ev").stats
+        # distinct day keys: None, 1, 3, 5, 7, 9 -> [3, 7] covers 3 of 6
+        assert stats.range_fraction("day", 3, 7) == pytest.approx(0.5)
+        assert stats.range_fraction("val", 0, 100) is None  # no stats
+
+    def test_drop_index_unregisters_stats(self, events_db):
+        events_db.execute("DROP INDEX idx_ev_day")
+        stats = events_db.catalog.table("ev").stats
+        assert stats.range_fraction("day", 3, 7) is None
+        # the (kind, day) index still covers kind
+        assert stats.range_fraction("kind", "a", "b") is not None
+
+
+# ---------------------------------------------------------------------------
+# Range-scan access path
+# ---------------------------------------------------------------------------
+
+class TestRangeScanPath:
+    def test_between_uses_range_scan(self, events_db):
+        plan = events_db.explain(
+            "SELECT id FROM ev WHERE day BETWEEN 3 AND 7")
+        assert "IndexRangeScan" in plan and "3 <= day <= 7" in plan
+        result = events_db.execute(
+            "SELECT id FROM ev WHERE day BETWEEN 3 AND 7")
+        assert sorted(r[0] for r in result.rows) == [0, 1, 3, 6, 7]
+        assert result.rows_touched == 5
+
+    def test_open_range_with_params(self, events_db):
+        result = events_db.execute(
+            "SELECT id FROM ev WHERE day > ?", (5,))
+        assert sorted(r[0] for r in result.rows) == [0, 4, 6]
+        assert result.rows_touched == 3
+
+    def test_null_param_bound_yields_empty(self, events_db):
+        result = events_db.execute(
+            "SELECT id FROM ev WHERE day > ?", (None,))
+        assert result.rows == []
+        assert result.rows_touched == 0
+
+    def test_equality_prefix_plus_range(self, events_db):
+        plan = events_db.explain(
+            "SELECT id FROM ev WHERE kind = ? AND day >= ?")
+        assert "idx_ev_kind_day" in plan and "eq='kind = ?'" in plan
+        result = events_db.execute(
+            "SELECT id FROM ev WHERE kind = ? AND day >= ?", ("a", 5))
+        assert sorted(r[0] for r in result.rows) == [0, 7]
+        assert result.rows_touched == 2
+
+    def test_mixed_between_bounds_empty(self, events_db):
+        result = events_db.execute(
+            "SELECT id FROM ev WHERE day BETWEEN ? AND ?", (8, 2))
+        assert result.rows == [] and result.rows_touched == 0
+
+    def test_seq_scan_baseline_never_range_scans(self, events_db):
+        events_db.optimizer_options = FROM_ORDER_OPTIONS
+        plan = events_db.explain("SELECT id FROM ev WHERE day BETWEEN 3 AND 7")
+        assert "IndexRangeScan" not in plan
+
+    def test_equality_still_prefers_hash_lookup(self, events_db):
+        events_db.execute("CREATE INDEX idx_ev_val ON ev (val)")
+        plan = events_db.explain("SELECT id FROM ev WHERE val = ?")
+        assert "IndexLookup" in plan and "IndexRangeScan" not in plan
+
+
+# ---------------------------------------------------------------------------
+# Sort elision
+# ---------------------------------------------------------------------------
+
+class TestSortElision:
+    def test_order_by_indexed_column_elides_sort(self, events_db):
+        plan = events_db.explain("SELECT id, day FROM ev ORDER BY day")
+        assert "sort elided" in plan and "Sort" not in plan.split("elided")[1]
+        result = events_db.execute("SELECT id, day FROM ev ORDER BY day")
+        explicit = Database()  # same data, no ordered index
+        explicit.execute(
+            "CREATE TABLE ev (id INT PRIMARY KEY, day INT, kind TEXT, "
+            "val INT)")
+        for row in events_db.execute("SELECT * FROM ev").rows:
+            explicit.execute("INSERT INTO ev (id, day, kind, val) "
+                             "VALUES (?, ?, ?, ?)", row)
+        reference = explicit.execute("SELECT id, day FROM ev ORDER BY day")
+        # byte-identical, not just multiset-equal: ties keep row order
+        assert result.rows == reference.rows
+
+    def test_descending_walk(self, events_db):
+        result = events_db.execute("SELECT day FROM ev ORDER BY day DESC")
+        assert [r[0] for r in result.rows] == [9, 7, 7, 5, 3, 3, 1, None]
+
+    def test_pinned_prefix_column_is_skippable(self, events_db):
+        plan = events_db.explain(
+            "SELECT id FROM ev WHERE kind = ? ORDER BY kind, day")
+        assert "sort elided" in plan
+
+    def test_mixed_directions_keep_sort(self, events_db):
+        plan = events_db.explain(
+            "SELECT id FROM ev ORDER BY kind, day DESC")
+        assert "Sort" in plan
+
+    def test_unindexed_order_keeps_sort(self, events_db):
+        plan = events_db.explain("SELECT id FROM ev ORDER BY val")
+        assert "Sort" in plan and "sort elided" not in plan
+
+    def test_alias_shadowing_keeps_sort(self, events_db):
+        # ORDER BY day binds to the *output* column named day (= val), so
+        # the index order over the day column must not be trusted.
+        plan = events_db.explain(
+            "SELECT id, val AS day FROM ev ORDER BY day")
+        assert "Sort" in plan and "sort elided" not in plan
+
+    def test_distinct_keeps_sort(self, events_db):
+        # DISTINCT dedups by first occurrence *before* the Sort would run;
+        # eliding the Sort would change the final row order, so DISTINCT
+        # queries must keep the explicit sort.
+        events_db.execute("CREATE INDEX idx_ev_kind ON ev (kind) "
+                          "USING ORDERED")
+        sql = "SELECT DISTINCT kind FROM ev WHERE day >= 1 ORDER BY kind"
+        assert "sort elided" not in events_db.explain(sql)
+        baseline = Database()
+        baseline.optimizer_options = FROM_ORDER_OPTIONS
+        baseline.execute("CREATE TABLE ev (id INT PRIMARY KEY, day INT, "
+                         "kind TEXT, val INT)")
+        for row in events_db.execute("SELECT * FROM ev").rows:
+            baseline.execute("INSERT INTO ev (id, day, kind, val) "
+                             "VALUES (?, ?, ?, ?)", row)
+        assert events_db.execute(sql).rows == baseline.execute(sql).rows
+
+    def test_aggregate_order_keeps_sort(self, events_db):
+        plan = events_db.explain(
+            "SELECT day, COUNT(*) AS n FROM ev GROUP BY day ORDER BY day")
+        assert "Sort" in plan and "sort elided" not in plan
+
+    def test_elision_survives_join(self, events_db):
+        events_db.execute("CREATE TABLE kinds (kind TEXT PRIMARY KEY, "
+                          "label TEXT)")
+        for kind in ("a", "b"):
+            events_db.execute("INSERT INTO kinds (kind, label) "
+                              "VALUES (?, ?)", (kind, kind.upper()))
+        sql = ("SELECT e.id, e.day, k.label FROM ev e "
+               "JOIN kinds k ON e.kind = k.kind WHERE e.day >= 3 "
+               "ORDER BY e.day")
+        assert "sort elided" in events_db.explain(sql)
+        result = events_db.execute(sql)
+        days = [r[1] for r in result.rows]
+        assert days == sorted(days)
+
+    def test_order_by_output_position_elides(self, events_db):
+        plan = events_db.explain("SELECT day, id FROM ev ORDER BY 1")
+        assert "sort elided" in plan
+
+
+# ---------------------------------------------------------------------------
+# Top-N limit hint
+# ---------------------------------------------------------------------------
+
+class TestLimitHint:
+    def test_top_n_touches_only_n_rows(self, events_db):
+        result = events_db.execute(
+            "SELECT id, day FROM ev ORDER BY day DESC LIMIT 2")
+        assert [r[1] for r in result.rows] == [9, 7]
+        assert result.rows_touched == 2
+
+    def test_offset_included_in_cutoff(self, events_db):
+        result = events_db.execute(
+            "SELECT day FROM ev ORDER BY day DESC LIMIT 2 OFFSET 1")
+        assert [r[0] for r in result.rows] == [7, 7]
+        assert result.rows_touched == 3
+
+    def test_limit_without_elision_unchanged(self, events_db):
+        result = events_db.execute(
+            "SELECT id FROM ev ORDER BY val LIMIT 2")
+        assert result.rows_touched == 8  # full scan + explicit sort
+
+    def test_distinct_disables_hint(self, events_db):
+        result = events_db.execute(
+            "SELECT DISTINCT day FROM ev ORDER BY day LIMIT 2")
+        assert [r[0] for r in result.rows] == [None, 1]
+        assert result.rows_touched == 8
+
+
+# ---------------------------------------------------------------------------
+# UPDATE / DELETE range candidates
+# ---------------------------------------------------------------------------
+
+class TestWriteRangeCandidates:
+    def test_update_touches_only_range(self, events_db):
+        result = events_db.execute(
+            "UPDATE ev SET val = 0 WHERE day BETWEEN 3 AND 5")
+        assert result.rowcount == 3
+        assert result.rows_touched == 3
+
+    def test_delete_touches_only_range(self, events_db):
+        result = events_db.execute("DELETE FROM ev WHERE day > ?", (7,))
+        assert result.rowcount == 1
+        assert result.rows_touched == 1
+        assert events_db.table_size("ev") == 7
+
+    def test_residual_conjuncts_still_checked(self, events_db):
+        result = events_db.execute(
+            "DELETE FROM ev WHERE day >= 3 AND val > ?", (50,))
+        # range candidates: the six day>=3 rows; only ids 6 and 7 pass the
+        # residual val conjunct
+        assert result.rowcount == 2
+        assert result.rows_touched == 6
+
+
+# ---------------------------------------------------------------------------
+# Plan cache pickup
+# ---------------------------------------------------------------------------
+
+class TestPlanCache:
+    def test_creating_ordered_index_reoptimizes(self, db):
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, k INT)")
+        for i in range(20):
+            db.execute("INSERT INTO t (id, k) VALUES (?, ?)", (i, i % 5))
+        stmt = parse("SELECT id FROM t WHERE k BETWEEN ? AND ?")
+        before = db.executor.plan_for(stmt)
+        db.execute("CREATE INDEX idx_k ON t (k) USING ORDERED")
+        after = db.executor.plan_for(stmt)
+        assert after is not before
+        result = db.execute_parsed(stmt, (1, 2))
+        assert result.rows_touched == 8  # 2 of 5 key groups
+
+    def test_dropping_ordered_index_reoptimizes(self, events_db):
+        stmt = parse("SELECT id FROM ev WHERE day > ?")
+        ranged = events_db.executor.plan_for(stmt)
+        events_db.execute("DROP INDEX idx_ev_day")
+        replanned = events_db.executor.plan_for(stmt)
+        assert replanned is not ranged
+        result = events_db.execute_parsed(stmt, (5,))
+        assert sorted(r[0] for r in result.rows) == [0, 4, 6]
+
+    def test_options_object_feature_gates(self, events_db):
+        events_db.optimizer_options = OptimizerOptions(sort_elision=False)
+        plan = events_db.explain("SELECT id FROM ev ORDER BY day")
+        assert "Sort" in plan and "sort elided" not in plan
+        events_db.optimizer_options = OptimizerOptions(range_scans=False)
+        plan = events_db.explain("SELECT id FROM ev WHERE day > 3")
+        assert "IndexRangeScan" not in plan
+
+    def test_range_scans_gate_holds_under_sort_elision(self, events_db):
+        # A bounded walk IS a range scan: sort_elision alone must not
+        # smuggle one in through the order-satisfaction branch.
+        events_db.optimizer_options = OptimizerOptions(
+            range_scans=False, sort_elision=True)
+        plan = events_db.explain(
+            "SELECT id FROM ev WHERE day >= 5 ORDER BY day")
+        assert "bounds=" not in plan
+        # a bound-free ordered walk is still allowed for elision
+        assert "sort elided" in events_db.explain(
+            "SELECT id FROM ev ORDER BY day")
+
+
+# ---------------------------------------------------------------------------
+# Type-mismatched bounds
+# ---------------------------------------------------------------------------
+
+class TestBoundTypeMismatch:
+    def test_literal_mismatch_raises_sql_type_error(self, events_db):
+        # Planning must not crash (the key-order statistic falls back to
+        # the heuristic constant); execution surfaces the engine's usual
+        # SqlTypeError, exactly as a scan-and-filter would.
+        from repro.sqldb.errors import SqlTypeError
+        with pytest.raises(SqlTypeError):
+            events_db.execute("SELECT id FROM ev WHERE day < 'oops'")
+
+    def test_param_mismatch_raises_sql_type_error(self, events_db):
+        from repro.sqldb.errors import SqlTypeError
+        with pytest.raises(SqlTypeError):
+            events_db.execute("SELECT id FROM ev WHERE day < ?", ("oops",))
+
+    def test_mismatch_on_empty_table_is_harmless(self, db):
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, k INT)")
+        db.execute("CREATE INDEX ik ON t (k) USING ORDERED")
+        assert db.execute("SELECT id FROM t WHERE k < 'oops'").rows == []

@@ -1,0 +1,66 @@
+"""Check intra-repository markdown links.
+
+Scans the given markdown files (default: README.md, ARCHITECTURE.md and
+everything under docs/) for ``[text](target)`` links, ignores external
+URLs and pure anchors, and verifies every file-path target exists relative
+to the linking file.  Exits non-zero listing the broken links — the CI
+docs job runs this so documentation cannot drift from the tree.
+
+Usage:  python tools/check_md_links.py [file.md ...]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) — target captured without surrounding whitespace; images
+# (![alt](target)) match too via the optional leading '!'.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def default_files():
+    files = [REPO_ROOT / "README.md", REPO_ROOT / "ARCHITECTURE.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("**/*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_file(path):
+    broken = []
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        # Strip an anchor suffix: FILE.md#section links to FILE.md.
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            line = text.count("\n", 0, match.start()) + 1
+            broken.append((path, line, target))
+    return broken
+
+
+def main(argv):
+    files = ([Path(arg).resolve() for arg in argv[1:]]
+             if len(argv) > 1 else default_files())
+    broken = []
+    for path in files:
+        broken.extend(check_file(path))
+    if broken:
+        for path, line, target in broken:
+            rel = path.relative_to(REPO_ROOT) if path.is_relative_to(
+                REPO_ROOT) else path
+            print(f"BROKEN {rel}:{line}: {target}")
+        return 1
+    print(f"checked {len(files)} file(s): all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
