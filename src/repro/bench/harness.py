@@ -41,12 +41,26 @@ class PageComparison:
 
 
 def load_page(db, dispatcher, url, cost_model=None, mode=MODE_SLOTH,
-              optimizations=None, params=None):
-    """Load one page on a fresh app server; returns PageLoadResult."""
+              optimizations=None, params=None, result_cache=False):
+    """Load one page on a fresh app server; returns PageLoadResult.
+
+    By default the database's cross-request result cache is suspended for
+    the load: the figure experiments measure cold page loads (the paper
+    restarts servers between measurements), and several of them load the
+    same URL repeatedly on one database under different flags — cached
+    rows would flatten exactly the deltas they report.  The hot-page cache
+    experiment (``repro.bench.experiments.hot_page_cache``) passes
+    ``result_cache=True`` to measure the cache instead.
+    """
     cost_model = cost_model or CostModel()
     server = AppServer(db, dispatcher, cost_model, mode=mode,
                        optimizations=optimizations)
-    return server.load_page(Request(url, params or {}))
+    was_enabled = db.result_cache.enabled
+    db.result_cache.enabled = result_cache and was_enabled
+    try:
+        return server.load_page(Request(url, params or {}))
+    finally:
+        db.result_cache.enabled = was_enabled
 
 
 def compare_pages(db, dispatcher, urls, cost_model=None, optimizations=None):
@@ -75,7 +89,10 @@ def measure_tpc_overhead(seed_fn, runner_factory, schedule, cost_model=None):
     cost_model = cost_model or CostModel()
 
     def run_original():
-        db = Database()
+        # Result cache off, like load_page: the overhead figures measure
+        # cold execution (TPC schedules repeat identical reads, which the
+        # cache would otherwise serve at the flat hit cost).
+        db = Database(result_cache_size=0)
         seed_fn(db)
         clock = SimClock()
         driver = Driver(DatabaseServer(db, cost_model), clock, cost_model)
@@ -84,7 +101,7 @@ def measure_tpc_overhead(seed_fn, runner_factory, schedule, cost_model=None):
         return clock.now
 
     def run_sloth():
-        db = Database()
+        db = Database(result_cache_size=0)
         seed_fn(db)
         clock = SimClock()
         driver = BatchDriver(DatabaseServer(db, cost_model), clock,

@@ -76,6 +76,7 @@ class CostModel:
         force_ms=0.02,
         serialization_per_query_ms=0.01,
         driver_call_app_ms=0.1,
+        cache_hit_cost_ms=0.012,
     ):
         self.round_trip_ms = round_trip_ms
         # Fixed cost of dispatching one statement inside the db server
@@ -97,6 +98,11 @@ class CostModel:
         # syscalls, thread wakeup).  Paid once per round trip, so batching
         # reduces app-side time as well as network time.
         self.driver_call_app_ms = driver_call_app_ms
+        # Database cost of serving a statement from the cross-request
+        # result cache: no parsing, no planning, no buffer setup, no rows
+        # — only the cache probe and result hand-off (~10x cheaper than
+        # the dispatch overhead the hit avoids).
+        self.cache_hit_cost_ms = cache_hit_cost_ms
 
     def copy(self, **overrides):
         """A copy of this model with some constants replaced."""
@@ -110,10 +116,18 @@ class CostModel:
             "force_ms": self.force_ms,
             "serialization_per_query_ms": self.serialization_per_query_ms,
             "driver_call_app_ms": self.driver_call_app_ms,
+            "cache_hit_cost_ms": self.cache_hit_cost_ms,
         }
         values.update(overrides)
         return CostModel(**values)
 
-    def query_cost_ms(self, rows_touched):
-        """Database execution cost of one statement."""
+    def query_cost_ms(self, rows_touched, from_cache=False):
+        """Database execution cost of one statement.
+
+        A statement served from the cross-request result cache skipped
+        parsing, planning and execution entirely, so it pays the flat
+        cache-hit cost instead of the dispatch overhead.
+        """
+        if from_cache:
+            return self.cache_hit_cost_ms
         return self.per_query_overhead_ms + self.per_row_ms * rows_touched

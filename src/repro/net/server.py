@@ -48,10 +48,17 @@ class DatabaseServer:
         # Batch-plan path counters (shared-scan optimizer).
         self.shared_scan_groups = 0
         self.shared_scan_rows_saved = 0
+        # Cross-request result cache hits served through this server
+        # (single statements and batch members alike); the cache itself
+        # lives on the database and is shared by every server over it.
+        self.result_cache_hits = 0
 
     def execute_one(self, sql, params=()):
         """Execute a single statement; returns a :class:`StatementOutcome`."""
+        hits_before = self.database.result_cache.hits
         outcome = self._run(sql, params)
+        self.result_cache_hits += (
+            self.database.result_cache.hits - hits_before)
         self.statements_executed += 1
         self.batches_executed += 1
         self.largest_batch = max(self.largest_batch, 1)
@@ -63,17 +70,27 @@ class DatabaseServer:
 
         Returns ``(outcomes, elapsed_ms)`` where ``elapsed_ms`` models
         parallel execution of reads.  With ``batch_optimize`` the batch
-        runs through the shared-scan planner first.
+        runs through the shared-scan planner first.  Either path consults
+        the database's cross-request result cache per statement: cached
+        SELECTs cost zero rows touched and, on the batch-plan path, drop
+        out of shared-scan grouping.
         """
+        hits_before = self.database.result_cache.hits
         if batch_optimize:
             outcomes, elapsed_ms = self._execute_batch_plan(statements)
         else:
             outcomes, elapsed_ms = self._execute_batch_direct(statements)
+        self.result_cache_hits += (
+            self.database.result_cache.hits - hits_before)
         self.batches_executed += 1
         self.statements_executed += len(statements)
         self.largest_batch = max(self.largest_batch, len(statements))
         self.total_db_time_ms += elapsed_ms
         return outcomes, elapsed_ms
+
+    def result_cache_stats(self):
+        """The underlying database's result-cache counters."""
+        return self.database.result_cache_stats()
 
     # -- the two batch paths --------------------------------------------------
 
@@ -115,7 +132,8 @@ class DatabaseServer:
                 cost = 0.0
                 outcomes.append(StatementOutcome(sql, result, cost))
                 continue
-            cost = self.cost_model.query_cost_ms(result.rows_touched)
+            cost = self.cost_model.query_cost_ms(result.rows_touched,
+                                                 from_cache=result.from_cache)
             outcomes.append(StatementOutcome(sql, result, cost))
             if is_read_statement(sql):
                 read_costs.append(cost)
@@ -127,7 +145,8 @@ class DatabaseServer:
 
     def _run(self, sql, params):
         result = self.database.execute(sql, params)
-        cost = self.cost_model.query_cost_ms(result.rows_touched)
+        cost = self.cost_model.query_cost_ms(result.rows_touched,
+                                             from_cache=result.from_cache)
         return StatementOutcome(sql, result, cost)
 
 

@@ -14,6 +14,8 @@ paper's evaluation.  It provides:
   join-strategy choice) and executes Volcano-style physical operators,
 - a thin execution facade dispatching statements through the pipeline
   (:mod:`repro.sqldb.executor`),
+- a cross-request result cache keyed by table write versions
+  (:mod:`repro.sqldb.result_cache`),
 - simple transactions with rollback (:mod:`repro.sqldb.transactions`),
 - the top-level :class:`repro.sqldb.database.Database` facade.
 
@@ -31,10 +33,12 @@ from repro.sqldb.errors import (
     TransactionError,
 )
 from repro.sqldb.result import ExecResult
+from repro.sqldb.result_cache import ResultCache
 
 __all__ = [
     "Database",
     "ExecResult",
+    "ResultCache",
     "SqlError",
     "SqlParseError",
     "SqlTypeError",

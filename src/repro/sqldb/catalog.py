@@ -50,6 +50,10 @@ class TableStats:
         # the sorted key list doubles as a full-resolution histogram, so
         # the cost model prices range predicates by bisecting it
         # (see range_fraction) instead of falling back to constants.
+        # Composite (equality prefix + suffix bound) pricing needs no
+        # registry: a range candidate names its own index, whose
+        # OrderedIndex.prefix_range_fraction bisects within the prefix's
+        # key region.
         self.order_stats = {}
 
     def bind_epoch(self, epoch):

@@ -10,6 +10,7 @@ from repro.sqldb.catalog import Catalog
 from repro.sqldb.errors import CatalogError
 from repro.sqldb.executor import Executor
 from repro.sqldb.parser import parse
+from repro.sqldb.result_cache import DEFAULT_RESULT_CACHE_LIMIT, ResultCache
 from repro.sqldb.transactions import TransactionManager
 
 
@@ -22,14 +23,20 @@ class Database:
     ``FROM_ORDER_OPTIONS`` to get PR-1 behaviour (joins in FROM order,
     sequential scans under joins), the baseline the differential join
     oracle measures against.
+
+    ``result_cache_size`` bounds the cross-request result cache
+    (:mod:`repro.sqldb.result_cache`); pass ``0`` to disable caching
+    entirely (differential baselines, re-execution-counting tests).
     """
 
-    def __init__(self, name="main", optimizer_options=None):
+    def __init__(self, name="main", optimizer_options=None,
+                 result_cache_size=DEFAULT_RESULT_CACHE_LIMIT):
         self.name = name
         self.catalog = Catalog()
         self.tables = {}
         self.transactions = TransactionManager()
         self.optimizer_options = optimizer_options
+        self.result_cache = ResultCache(result_cache_size)
         self.executor = Executor(self)
         self.statements_executed = 0
         self.total_rows_touched = 0
@@ -78,10 +85,16 @@ class Database:
         result = self.execute(sql, params)
         return [dict(zip(result.columns, row)) for row in result.rows]
 
-    def explain(self, sql):
+    def explain(self, sql, params=None):
         """The optimized logical plan for a SELECT, as an indented tree —
         join order (tree nesting), join strategy (hash / index / nested)
         and per-node cost estimates included.
+
+        With ``params`` the output gains a trailing ``ResultCache`` line
+        reporting whether this exact (statement, parameters) execution
+        would currently be served from the cross-request result cache,
+        plus the cache's cumulative counters; the probe is side-effect
+        free (counters and LRU order stay untouched).
 
         For non-SELECT statements, returns the statement repr.
         """
@@ -92,7 +105,21 @@ class Database:
         if not isinstance(stmt, A.Select):
             return repr(stmt)
         logical, sctx = build_select_plan(self, stmt)
-        return explain(optimize(logical, sctx, self))
+        rendered = explain(optimize(logical, sctx, self))
+        if params is not None:
+            status = ("hit" if self.executor.cached_select(
+                stmt, params, peek=True) is not None else "miss")
+            cache = self.result_cache
+            rendered += (
+                f"\nResultCache [status={status!r}, hits={cache.hits}, "
+                f"misses={cache.misses}, "
+                f"invalidations={cache.invalidations}]")
+        return rendered
+
+    def result_cache_stats(self):
+        """Hit/miss/invalidation/store counters for the cross-request
+        result cache (plus current size)."""
+        return self.result_cache.stats()
 
     def table_size(self, name):
         return len(self.tables_get(name))

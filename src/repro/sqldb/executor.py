@@ -7,7 +7,12 @@ join-strategy choice) and lowered to Volcano-style physical operators.
 Optimized plans are cached per parsed statement and invalidated when DDL
 changes the catalog — parameters never affect plan shape (index-key values
 resolve at execution time), so one plan serves every execution of a
-prepared statement.
+prepared statement.  On top of the plan cache sits the database's
+cross-request **result cache** (:mod:`repro.sqldb.result_cache`): a SELECT
+whose (statement, parameters) pair was executed before, against the same
+catalog/stats/options and unchanged write versions of every referenced
+table, returns its cached rows without building a plan or touching
+storage.
 
 Writes and DDL are interpreted directly here; UPDATE/DELETE share the
 planner's access-path machinery (:mod:`repro.sqldb.plan.access`) for their
@@ -96,7 +101,45 @@ class Executor:
     # -- SELECT: the plan pipeline --------------------------------------------
 
     def _exec_select(self, stmt, params):
-        return self.plan_for(stmt).execute(self.db, params)
+        cached = self.cached_select(stmt, params)
+        if cached is not None:
+            return cached
+        return self.execute_select(stmt, params)
+
+    def execute_select(self, stmt, params):
+        """Plan, execute and cache-store one SELECT, *without* probing the
+        result cache first — for callers that already probed (the batch
+        shared-scan planner), so a miss is counted exactly once."""
+        plan = self.plan_for(stmt)
+        result = plan.execute(self.db, params)
+        self.store_select(stmt, params, plan, result)
+        return result
+
+    # -- the cross-request result cache ---------------------------------------
+
+    def result_key(self, stmt, params):
+        """The result-cache key for one SELECT execution: the plan-cache
+        key components plus the parameter tuple (parameters decide the
+        rows even though they never decide the plan)."""
+        return (id(stmt), tuple(params), self._catalog_version,
+                self.db.catalog.stats_epoch.value,
+                id(self.db.optimizer_options))
+
+    def cached_select(self, stmt, params, peek=False):
+        """Probe the database's result cache for a SELECT; None on miss.
+
+        A hit needs no plan (``plans_built`` stays flat) and touches no
+        storage rows.  Also used directly by the batch shared-scan planner
+        so fully cached statements drop out of scan groups.
+        """
+        return self.db.result_cache.lookup(
+            self.result_key(stmt, params), self.db, peek=peek)
+
+    def store_select(self, stmt, params, plan, result):
+        """Record a freshly executed SELECT in the result cache."""
+        self.db.result_cache.store(
+            self.result_key(stmt, params), stmt, plan.referenced_tables,
+            result, self.db)
 
     def plan_for(self, stmt):
         """The cached optimized physical plan for a SELECT statement."""

@@ -225,8 +225,24 @@ class OrderedIndex:
         range — the key-order statistic the cost model uses for range
         selectivity (resolution: one key, i.e. exact over distinct keys).
         """
-        total = len(self._keys)
-        if total == 0:
+        return self.prefix_range_fraction((), low, high, low_incl,
+                                          high_incl)
+
+    def prefix_range_fraction(self, prefix_values, low, high, low_incl=True,
+                              high_incl=True):
+        """Fraction of the equality-prefix key region whose *next* column
+        falls in the range — the composite-key generalization of
+        :meth:`range_fraction` (``prefix_values = ()`` prices the leading
+        column over the whole key list).
+
+        Bisecting within the prefix region makes suffix-column bounds
+        exact over distinct keys, where a leading-column-only statistic
+        would have to fall back to heuristic constants.  Returns 0.0 when
+        the prefix region is empty.
+        """
+        p_start, p_end = self._region(prefix_values, None, None, True, True)
+        if p_end <= p_start:
             return 0.0
-        start, end = self._region((), low, high, low_incl, high_incl)
-        return (end - start) / total
+        start, end = self._region(prefix_values, low, high, low_incl,
+                                  high_incl)
+        return (end - start) / (p_end - p_start)

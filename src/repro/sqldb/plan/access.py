@@ -171,22 +171,60 @@ def column_range_bounds(where):
 
     Returns ``column -> [low node, low inclusive, high node, high
     inclusive]`` (either side may be ``None`` = unbounded).  When several
-    conjuncts bound the same side the first is kept — a looser bound only
-    widens the scanned superset, and the filter above the scan applies the
-    full predicate anyway.
+    conjuncts bound the same side, literal bounds are **intersected** — the
+    tightest is kept, so ``x > 5 AND x > 10`` scans the ``x > 10`` region
+    (and crossed literal bounds collapse the region to empty).  Parameter
+    bounds are unknown at plan time: a literal is preferred over a
+    parameter, two parameters keep the first.  Whichever bound is chosen,
+    the chosen region is a superset of the rows matching the full
+    conjunction, and every leftover bound remains in the predicate the
+    filter above the scan re-applies — a residual filter, never dropped.
     """
     bounds = {}
     if where is None:
         return bounds
     for column, op, constant in _range_shapes(where):
         entry = bounds.setdefault(column, [None, True, None, True])
-        if op in (">", ">=") and entry[0] is None:
-            entry[0] = constant
-            entry[1] = op == ">="
-        elif op in ("<", "<=") and entry[2] is None:
-            entry[2] = constant
-            entry[3] = op == "<="
+        if op in (">", ">="):
+            entry[0], entry[1] = _tighter_bound(
+                entry[0], entry[1], constant, op == ">=", lower=True)
+        else:
+            entry[2], entry[3] = _tighter_bound(
+                entry[2], entry[3], constant, op == "<=", lower=False)
     return bounds
+
+
+def _tighter_bound(current, current_incl, new, new_incl, lower):
+    """Intersect two bounds on the same side of a column's range.
+
+    Only literal-vs-literal comparisons can be decided at plan time;
+    anything undecidable keeps the bound already chosen (safe: the region
+    stays a superset and the residual filter applies the rest).  A NULL
+    literal bound dominates — its conjunct is UNKNOWN for every row, so
+    the matching region is empty and the scan may collapse to nothing.
+    """
+    if current is None:
+        return new, new_incl
+    current_lit = isinstance(current, A.Literal)
+    new_lit = isinstance(new, A.Literal)
+    if not new_lit:
+        return current, current_incl  # parameter: keep what we have
+    if not current_lit:
+        return new, new_incl  # literal beats parameter (known at plan time)
+    a, b = current.value, new.value
+    if a is None:
+        return current, current_incl
+    if b is None:
+        return new, new_incl
+    try:
+        if a == b:
+            # Equal values: the intersection is inclusive only when both
+            # bounds are (x >= 5 AND x > 5 is x > 5).
+            return current, current_incl and new_incl
+        tighter = (b > a) if lower else (b < a)
+    except TypeError:
+        return current, current_incl  # incomparable literals: keep first
+    return (new, new_incl) if tighter else (current, current_incl)
 
 
 class RangeCandidate:

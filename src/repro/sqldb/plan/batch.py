@@ -108,19 +108,37 @@ def _flush_segment(db, segment, results, groups):
     """
     if not segment:
         return
+    # Cross-request result cache first: a cached member needs neither a
+    # private execution nor a slot in a scan group (the whole segment sees
+    # one snapshot, so probing ahead of batch order is safe — probes have
+    # no side effects).  Grouping decisions then run over the misses only:
+    # a fully cached hot batch does not scan at all.
+    fresh = []
+    for index, stmt, params in segment:
+        cached = db.executor.cached_select(stmt, params)
+        if cached is not None:
+            results[index] = cached
+            db.record_statement(cached.rows_touched)  # zero by contract
+        else:
+            fresh.append((index, stmt, params))
+
     member_counts = {}
     eligible = {}
-    for index, stmt, params in segment:
+    for index, stmt, params in fresh:
         table = _shared_scan_table(db, stmt)
         if table is not None:
             eligible[index] = table
             member_counts[table] = member_counts.get(table, 0) + 1
 
     open_groups = {}  # table -> (SharedScanGroup, shared_rows)
-    for index, stmt, params in segment:
+    for index, stmt, params in fresh:
         table = eligible.get(index)
         if table is None or member_counts[table] < 2:
-            results[index] = db.execute_parsed(stmt, params)
+            # Already probed above: execute without a second cache lookup
+            # (the store still happens) so the miss counts exactly once.
+            result = db.executor.execute_select(stmt, params)
+            results[index] = result
+            db.record_statement(result.rows_touched)
             continue
         entry = open_groups.get(table)
         if entry is None:
@@ -136,6 +154,7 @@ def _flush_segment(db, segment, results, groups):
             else 0
         group.member_indices.append(index)
         results[index] = result
+        db.executor.store_select(stmt, params, plan, result)
         db.record_statement(result.rows_touched)
 
 

@@ -41,6 +41,7 @@ planning quality but never correctness or a rows-touched regression.
 
 from repro.sqldb import ast_nodes as A
 from repro.sqldb.expressions import expr_columns, split_conjuncts
+from repro.sqldb.indexes import OrderedIndex
 from repro.sqldb.plan.access import FLIPPED_OPS
 
 # Fallback selectivities for predicate shapes the statistics cannot price.
@@ -267,24 +268,53 @@ def range_scan_estimate(db, table_name, candidate, predicate=None):
 
 
 def _bound_fraction(db, table_name, candidate):
-    """Fraction of the prefix region the range bounds keep."""
+    """Fraction of the prefix region the range bounds keep.
+
+    Literal bounds are priced exactly off the candidate's *own* ordered
+    index (it names it — no registry needed): a leading-column range
+    bisects the whole sorted key list, and a suffix-column range under an
+    **all-literal** equality prefix bisects within that prefix's key
+    region (composite key-order statistics).  Parameter bounds or prefixes
+    are unknown at plan time by design (one cached plan serves every
+    parameter value) and keep the heuristic constants.
+    """
     low, high = candidate.low, candidate.high
     low_lit = isinstance(low, A.Literal) or low is None
     high_lit = isinstance(high, A.Literal) or high is None
-    if low_lit and high_lit and candidate.n_prefix == 0:
+    if low_lit and high_lit and table_name is not None:
         low_value = low.value if low is not None else None
         high_value = high.value if high is not None else None
         if (low is not None and low_value is None) or (
                 high is not None and high_value is None):
-            return 0.0
-        fraction = _order_stats_fraction(
-            db, table_name, candidate.columns[0], low_value, high_value,
-            candidate.low_incl, candidate.high_incl)
-        if fraction is not None:
-            return fraction
+            return 0.0  # a NULL bound is UNKNOWN for every row
+        prefix_values = _literal_prefix(candidate)
+        if prefix_values is not None:
+            if any(value is None for value in prefix_values):
+                return 0.0  # col = NULL never matches: empty region
+            index = db.tables_get(table_name).indexes.get(
+                candidate.index_name)
+            if isinstance(index, OrderedIndex):
+                try:
+                    return index.prefix_range_fraction(
+                        prefix_values, low_value, high_value,
+                        candidate.low_incl, candidate.high_incl)
+                except TypeError:
+                    pass  # incomparable bound: heuristic constants below
     if low is not None and high is not None:
         return BETWEEN_SELECTIVITY
     return RANGE_SELECTIVITY
+
+
+def _literal_prefix(candidate):
+    """The candidate's equality-prefix values when every prefix constant
+    is a literal (None when any is a parameter — unpriceable at plan
+    time).  An empty prefix yields ``()``."""
+    values = []
+    for expr in candidate.prefix_exprs:
+        if not isinstance(expr, A.Literal):
+            return None
+        values.append(expr.value)
+    return tuple(values)
 
 
 def join_step(db, sctx, left, table_index, condition, kind,

@@ -557,12 +557,16 @@ class PhysicalPlan:
     """
 
     __slots__ = ("source", "result_ops", "sctx", "shared_scan_table",
-                 "limit_hint")
+                 "limit_hint", "referenced_tables")
 
     def __init__(self, source, result_ops, sctx, limit_hint=None):
         self.source = source
         self.result_ops = result_ops
         self.sctx = sctx
+        # Every base table the plan reads (deduplicated, FROM order) — the
+        # result cache snapshots these tables' write versions per entry.
+        self.referenced_tables = tuple(
+            dict.fromkeys(ref.name for ref in sctx.tables))
         # Set only when a Sort was elided under a LIMIT (see
         # build_physical): the first limit+offset source rows are the
         # final answer, so stop pulling once they have streamed out —

@@ -13,18 +13,22 @@ class ExecResult:
     ``rowcount`` — rows returned for reads, rows affected for writes.
     ``rows_touched`` — storage rows examined (cost-model input).
     ``last_insert_id`` — primary key of the last inserted row, if integral.
+    ``from_cache`` — True when the rows came from the cross-request result
+    cache (the server charges the flat cache-hit cost instead of the
+    per-statement dispatch overhead).
     """
 
     __slots__ = ("columns", "rows", "rowcount", "rows_touched",
-                 "last_insert_id")
+                 "last_insert_id", "from_cache")
 
     def __init__(self, columns=(), rows=(), rowcount=0, rows_touched=0,
-                 last_insert_id=None):
+                 last_insert_id=None, from_cache=False):
         self.columns = list(columns)
         self.rows = [tuple(r) for r in rows]
         self.rowcount = rowcount
         self.rows_touched = rows_touched
         self.last_insert_id = last_insert_id
+        self.from_cache = from_cache
 
     def __repr__(self):
         return (f"ExecResult(columns={self.columns!r}, "

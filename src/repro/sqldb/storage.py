@@ -19,6 +19,28 @@ class Table:
         self._next_row_id = 1
         self._pk_index = {}  # pk value -> row_id
         self.indexes = {}  # index name -> HashIndex
+        # Monotonically increasing committed-write counter: bumped once per
+        # auto-committed mutation and once per table per COMMIT — never by
+        # rolled-back work (rollback restores the pre-transaction contents,
+        # so results computed against them are still valid).  The
+        # cross-request result cache keys cached rows on a snapshot of
+        # these versions (see repro.sqldb.result_cache).
+        self.write_version = 0
+
+    def bump_write_version(self):
+        """Mark the table's committed contents as changed.
+
+        Called by the transaction manager at COMMIT for every table the
+        undo log touched; auto-committed mutations bump inline.
+        """
+        self.write_version += 1
+
+    def _note_write(self, undo_log):
+        """Version bookkeeping for one mutation: bump now when
+        auto-committing, defer to COMMIT when a transaction is open (the
+        undo log records which tables it touched)."""
+        if undo_log is None:
+            self.write_version += 1
 
     # -- index management ---------------------------------------------------
 
@@ -93,19 +115,27 @@ class Table:
             index.insert(row_id, row)
         if undo_log is not None:
             undo_log.append(("insert", self, row_id))
+        self._note_write(undo_log)
         self.schema.stats.note_mutation(len(self.rows))
         return row_id
 
     def delete_row(self, row_id, undo_log=None):
+        row = self._remove_row(row_id)
+        if undo_log is not None:
+            undo_log.append(("delete", self, row_id, row))
+        self._note_write(undo_log)
+        self.schema.stats.note_mutation(len(self.rows))
+        return row
+
+    def _remove_row(self, row_id):
+        """Unlink one row from storage and every index (no undo entry, no
+        version bump — shared by delete_row and the rollback path)."""
         row = self.rows.pop(row_id)
         pk = self.schema.primary_key
         if pk is not None:
             self._pk_index.pop(row[pk.ordinal], None)
         for index in self.indexes.values():
             index.delete(row_id, row)
-        if undo_log is not None:
-            undo_log.append(("delete", self, row_id, row))
-        self.schema.stats.note_mutation(len(self.rows))
         return row
 
     def truncate(self, undo_log=None):
@@ -143,13 +173,15 @@ class Table:
             index.insert(row_id, new_row)
         if undo_log is not None:
             undo_log.append(("update", self, row_id, old_row))
+        self._note_write(undo_log)
         return new_row
 
     # -- undo hooks (used by transactions) -----------------------------------
 
     def undo_insert(self, row_id):
         if row_id in self.rows:
-            self.delete_row(row_id)
+            self._remove_row(row_id)
+            self.schema.stats.note_mutation(len(self.rows))
 
     def undo_delete(self, row_id, row):
         self.rows[row_id] = row

@@ -9,12 +9,28 @@ each statement).
 from repro.sqldb.errors import TransactionError
 
 
+class UndoLog(list):
+    """The undo list table mutations append to, tracking the distinct
+    tables it touches as entries arrive — so the result cache's
+    pending-write check is O(touched tables), not O(log entries)."""
+
+    __slots__ = ("tables",)
+
+    def __init__(self):
+        super().__init__()
+        self.tables = set()
+
+    def append(self, entry):
+        super().append(entry)
+        self.tables.add(entry[1])
+
+
 class TransactionManager:
     """Tracks the open-transaction state and the undo log for rollback."""
 
     def __init__(self):
         self._in_transaction = False
-        self._undo_log = []
+        self._undo_log = UndoLog()
 
     @property
     def in_transaction(self):
@@ -25,17 +41,37 @@ class TransactionManager:
         auto-committing (no undo needed)."""
         return self._undo_log if self._in_transaction else None
 
+    def pending_table_names(self):
+        """Names of tables with uncommitted writes in the open transaction
+        (empty when auto-committing).
+
+        The result cache bypasses statements touching these tables: their
+        storage reflects in-flight work whose write versions have not been
+        bumped yet, so cached rows would be stale against it — and rows
+        computed from it must not be stored under pre-commit versions.
+        """
+        if not self._in_transaction or not self._undo_log:
+            return frozenset()
+        return frozenset(
+            table.schema.name for table in self._undo_log.tables)
+
     def begin(self):
         if self._in_transaction:
             raise TransactionError("transaction already in progress")
         self._in_transaction = True
-        self._undo_log = []
+        self._undo_log = UndoLog()
 
     def commit(self):
         if not self._in_transaction:
             raise TransactionError("no transaction in progress")
+        # The transaction's writes become durable now: bump each touched
+        # table's write version exactly once, so result-cache entries that
+        # depend on it stop validating.  Rollback never reaches this —
+        # restored contents keep their pre-transaction versions.
+        for table in self._undo_log.tables:
+            table.bump_write_version()
         self._in_transaction = False
-        self._undo_log = []
+        self._undo_log = UndoLog()
 
     def rollback(self):
         if not self._in_transaction:
@@ -52,4 +88,4 @@ class TransactionManager:
                 _, table, row_id, old_row = entry
                 table.undo_update(row_id, old_row)
         self._in_transaction = False
-        self._undo_log = []
+        self._undo_log = UndoLog()

@@ -81,7 +81,7 @@ class PageLoadResult:
 
     def __init__(self, url, html, time_ms, phases, round_trips,
                  queries_issued, largest_batch, queries_registered,
-                 shared_scan_rows_saved=0):
+                 shared_scan_rows_saved=0, result_cache_hits=0):
         self.url = url
         self.html = html
         self.time_ms = time_ms
@@ -93,6 +93,9 @@ class PageLoadResult:
         # Storage-row touches avoided by the batch shared-scan optimizer
         # (0 unless OptimizationFlags.shared_scans is on).
         self.shared_scan_rows_saved = shared_scan_rows_saved
+        # SELECTs served from the database's cross-request result cache
+        # during this load (a hot repeated page executes nothing).
+        self.result_cache_hits = result_cache_hits
 
     def __repr__(self):
         return (f"PageLoadResult({self.url!r}, {self.time_ms:.2f} ms, "
@@ -127,6 +130,7 @@ class AppServer:
             request.user = dict(self.DEFAULT_USER)
         controller, template = self.dispatcher.route(request.url)
         checkpoint = self.clock.checkpoint()
+        cache_hits_before = self.database.result_cache.hits
 
         if self.mode == MODE_SLOTH:
             driver = BatchDriver(self.db_server, self.clock, self.cost_model)
@@ -176,4 +180,6 @@ class AppServer:
             largest_batch=driver.stats.largest_batch,
             queries_registered=registered,
             shared_scan_rows_saved=driver.stats.shared_scan_rows_saved,
+            result_cache_hits=(
+                self.database.result_cache.hits - cache_hits_before),
         )

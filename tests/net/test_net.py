@@ -85,6 +85,11 @@ class TestDrivers:
 
     def test_batch_reads_execute_in_parallel(self, sim_stack):
         db, clock, server, driver, batch = sim_stack
+        # Result cache off: this test measures the virtual workers'
+        # parallel makespan against serial re-execution of the *same*
+        # statements — with caching on, the re-runs would be served from
+        # the cache instead of executed (covered in test_result_cache.py).
+        db.result_cache.enabled = False
         db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
         for i in range(60):
             db.execute("INSERT INTO t (id, v) VALUES (?, ?)", (i, i))

@@ -349,7 +349,11 @@ class TestPlanCache:
 class TestSharedScanBatch:
     @pytest.fixture
     def batch_db(self):
-        db = Database()
+        # Result cache off: these tests measure the shared-scan machinery
+        # itself, and several execute the same statements independently
+        # first — cached rows would short-circuit the groups under test
+        # (cache-vs-group interplay is covered in test_result_cache.py).
+        db = Database(result_cache_size=0)
         db.execute("CREATE TABLE item (id INT PRIMARY KEY, kind TEXT, "
                    "price INT)")
         for i in range(50):

@@ -1,0 +1,394 @@
+"""Cross-request result cache: hits, versioned invalidation, transactions.
+
+Covers the whole vertical: table write versions in storage (auto-commit
+and COMMIT bumps, rollback neutrality), the per-database
+:class:`repro.sqldb.result_cache.ResultCache` (keying, LRU bound, stats
+counters, ``EXPLAIN`` status line), invalidation by committed writes and
+DDL, the transaction bypass (no stale hits, no spurious bumps, nothing
+cached from uncommitted state), the server batch paths (cached members
+drop out of shared-scan groups), hot repeated page loads through the app
+server in both modes, and a seeded differential oracle interleaving
+writer/reader sessions against a cache-disabled twin.
+"""
+
+import random
+
+import pytest
+
+from repro.net.clock import CostModel, SimClock
+from repro.net.driver import BatchDriver, Driver
+from repro.net.server import DatabaseServer
+from repro.sqldb import Database
+
+
+@pytest.fixture
+def cached_db():
+    db = Database()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    db.execute("CREATE TABLE u (id INT PRIMARY KEY, w INT)")
+    for i in range(20):
+        db.execute("INSERT INTO t (id, v) VALUES (?, ?)", (i, i * 2))
+        db.execute("INSERT INTO u (id, w) VALUES (?, ?)", (i, i * 3))
+    return db
+
+
+class TestWriteVersions:
+    def test_autocommit_bumps_per_statement(self, cached_db):
+        table = cached_db.tables["t"]
+        before = table.write_version
+        cached_db.execute("UPDATE t SET v = 1 WHERE id = 1")
+        assert table.write_version == before + 1
+
+    def test_commit_bumps_once_per_table(self, cached_db):
+        t, u = cached_db.tables["t"], cached_db.tables["u"]
+        t_before, u_before = t.write_version, u.write_version
+        cached_db.execute("BEGIN")
+        cached_db.execute("UPDATE t SET v = 1 WHERE id = 1")
+        cached_db.execute("UPDATE t SET v = 2 WHERE id = 2")
+        cached_db.execute("DELETE FROM t WHERE id = 3")
+        # No bump until COMMIT.
+        assert t.write_version == t_before
+        cached_db.execute("COMMIT")
+        assert t.write_version == t_before + 1
+        assert u.write_version == u_before  # untouched table
+
+    def test_rollback_never_bumps(self, cached_db):
+        table = cached_db.tables["t"]
+        before = table.write_version
+        cached_db.execute("BEGIN")
+        cached_db.execute("UPDATE t SET v = 1 WHERE id = 1")
+        cached_db.execute("INSERT INTO t (id, v) VALUES (100, 0)")
+        cached_db.execute("ROLLBACK")
+        assert table.write_version == before
+        # ...and the data really was restored.
+        rows = cached_db.query("SELECT v FROM t WHERE id = 1")
+        assert rows == [{"v": 2}]
+
+    def test_empty_transaction_commit_bumps_nothing(self, cached_db):
+        before = cached_db.tables["t"].write_version
+        cached_db.execute("BEGIN")
+        cached_db.execute("COMMIT")
+        assert cached_db.tables["t"].write_version == before
+
+
+class TestCacheHits:
+    SQL = "SELECT v FROM t WHERE id = ?"
+
+    def test_second_execution_hits(self, cached_db):
+        first = cached_db.execute(self.SQL, (3,))
+        built = cached_db.executor.plans_built
+        second = cached_db.execute(self.SQL, (3,))
+        assert second.rows == first.rows
+        assert second.columns == first.columns
+        assert second.rowcount == first.rowcount
+        assert second.rows_touched == 0
+        assert cached_db.executor.plans_built == built  # no plan build
+        stats = cached_db.result_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_parameters_key_distinct_entries(self, cached_db):
+        cached_db.execute(self.SQL, (3,))
+        other = cached_db.execute(self.SQL, (4,))
+        assert other.rows == [(8,)]
+        assert other.rows_touched == 1  # different params: a real execution
+        assert cached_db.result_cache_stats()["hits"] == 0
+
+    def test_hit_returns_fresh_result_object(self, cached_db):
+        first = cached_db.execute(self.SQL, (3,))
+        first.rows.append(("tampered",))  # caller mutates its copy
+        second = cached_db.execute(self.SQL, (3,))
+        assert second.rows == [(6,)]
+
+    def test_disabled_cache_never_hits(self):
+        db = Database(result_cache_size=0)
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        db.execute("INSERT INTO t (id, v) VALUES (1, 2)")
+        db.execute("SELECT v FROM t WHERE id = 1")
+        result = db.execute("SELECT v FROM t WHERE id = 1")
+        assert result.rows_touched == 1
+        stats = db.result_cache_stats()
+        assert stats["hits"] == 0 and stats["size"] == 0
+        assert not stats["enabled"]
+
+    def test_lru_bound_evicts_oldest(self, cached_db):
+        cached_db.result_cache.limit = 4
+        for i in range(6):
+            cached_db.execute(self.SQL, (i,))
+        assert len(cached_db.result_cache) == 4
+        # The oldest entries fell out; the newest still hit.
+        assert cached_db.execute(self.SQL, (5,)).rows_touched == 0
+        assert cached_db.execute(self.SQL, (0,)).rows_touched == 1
+
+    def test_explain_reports_cache_status(self, cached_db):
+        plan = cached_db.explain(self.SQL, params=(3,))
+        assert "ResultCache [status='miss'" in plan
+        cached_db.execute(self.SQL, (3,))
+        plan = cached_db.explain(self.SQL, params=(3,))
+        assert "ResultCache [status='hit'" in plan
+        # The peek is side-effect free.
+        assert cached_db.result_cache_stats()["hits"] == 0
+        # Without params, the plan tree is unchanged from the classic form.
+        assert "ResultCache" not in cached_db.explain(self.SQL)
+
+    def test_unhashable_params_bypass(self, cached_db):
+        # Defensive: an unhashable parameter value cannot key an entry.
+        result = cached_db.executor.cached_select(
+            __import__("repro.sqldb.parser", fromlist=["parse"]).parse(
+                self.SQL), ([1],))
+        assert result is None
+
+
+class TestInvalidation:
+    def test_committed_write_invalidates_exactly_dependents(self, cached_db):
+        cached_db.execute("SELECT v FROM t WHERE id = ?", (3,))
+        cached_db.execute("SELECT w FROM u WHERE id = ?", (3,))
+        cached_db.execute("UPDATE t SET v = 99 WHERE id = 3")
+        fresh = cached_db.execute("SELECT v FROM t WHERE id = ?", (3,))
+        assert fresh.rows == [(99,)]        # new data, really re-executed
+        assert fresh.rows_touched == 1
+        other = cached_db.execute("SELECT w FROM u WHERE id = ?", (3,))
+        assert other.rows_touched == 0      # the u entry survived
+        stats = cached_db.result_cache_stats()
+        assert stats["invalidations"] == 1
+        assert stats["hits"] == 1
+
+    def test_join_entry_depends_on_both_tables(self, cached_db):
+        sql = ("SELECT t.v, u.w FROM t JOIN u ON u.id = t.id "
+               "WHERE t.id = ?")
+        cached_db.execute(sql, (3,))
+        assert cached_db.execute(sql, (3,)).rows_touched == 0
+        cached_db.execute("UPDATE u SET w = 0 WHERE id = 3")
+        refreshed = cached_db.execute(sql, (3,))
+        assert refreshed.rows_touched > 0
+        assert refreshed.rows == [(6, 0)]
+
+    def test_ddl_changes_the_key(self, cached_db):
+        sql = "SELECT v FROM t WHERE v = ?"
+        cached_db.execute(sql, (6,))
+        cached_db.execute("CREATE INDEX idx_t_v ON t (v)")
+        # New catalog version: the old entry is unreachable, the statement
+        # re-plans and re-executes (now through the index).
+        result = cached_db.execute(sql, (6,))
+        assert result.rows_touched == 1
+
+    def test_truncate_invalidates_via_stats_epoch(self, cached_db):
+        sql = "SELECT COUNT(*) AS n FROM t"
+        assert cached_db.execute(sql).scalar() == 20
+        cached_db.execute("TRUNCATE t")
+        assert cached_db.execute(sql).scalar() == 0
+
+    def test_insert_and_delete_invalidate(self, cached_db):
+        sql = "SELECT COUNT(*) AS n FROM t"
+        assert cached_db.execute(sql).scalar() == 20
+        cached_db.execute("INSERT INTO t (id, v) VALUES (100, 1)")
+        assert cached_db.execute(sql).scalar() == 21
+        cached_db.execute("DELETE FROM t WHERE id = 100")
+        assert cached_db.execute(sql).scalar() == 20
+
+
+class TestTransactions:
+    SQL = "SELECT v FROM t WHERE id = ?"
+
+    def test_no_stale_hit_inside_transaction(self, cached_db):
+        cached_db.execute(self.SQL, (1,))  # cached pre-transaction
+        cached_db.execute("BEGIN")
+        cached_db.execute("UPDATE t SET v = 77 WHERE id = 1")
+        inside = cached_db.execute(self.SQL, (1,))
+        assert inside.rows == [(77,)]  # sees its own uncommitted write
+        cached_db.execute("COMMIT")
+        after = cached_db.execute(self.SQL, (1,))
+        assert after.rows == [(77,)]
+
+    def test_uncommitted_rows_never_cached(self, cached_db):
+        cached_db.execute("BEGIN")
+        cached_db.execute("UPDATE t SET v = 77 WHERE id = 1")
+        cached_db.execute(self.SQL, (1,))  # reads uncommitted state
+        cached_db.execute("ROLLBACK")
+        restored = cached_db.execute(self.SQL, (1,))
+        assert restored.rows == [(2,)]  # not the in-flight 77
+
+    def test_rolled_back_write_preserves_entries(self, cached_db):
+        cached_db.execute(self.SQL, (1,))
+        cached_db.execute("BEGIN")
+        cached_db.execute("UPDATE t SET v = 77 WHERE id = 1")
+        cached_db.execute("ROLLBACK")
+        # The pre-transaction entry is still valid: same committed data,
+        # same versions — a hit, not an invalidation.
+        result = cached_db.execute(self.SQL, (1,))
+        assert result.rows == [(2,)] and result.rows_touched == 0
+        assert cached_db.result_cache_stats()["invalidations"] == 0
+
+    def test_clean_tables_still_cache_during_transaction(self, cached_db):
+        cached_db.execute("BEGIN")
+        cached_db.execute("UPDATE t SET v = 77 WHERE id = 1")
+        cached_db.execute("SELECT w FROM u WHERE id = ?", (2,))
+        hit = cached_db.execute("SELECT w FROM u WHERE id = ?", (2,))
+        assert hit.rows_touched == 0  # u has no pending writes
+        cached_db.execute("ROLLBACK")
+
+    def test_commit_invalidates_pre_transaction_entries(self, cached_db):
+        cached_db.execute(self.SQL, (1,))
+        cached_db.execute("BEGIN")
+        cached_db.execute("UPDATE t SET v = 77 WHERE id = 1")
+        cached_db.execute("COMMIT")
+        result = cached_db.execute(self.SQL, (1,))
+        assert result.rows == [(77,)]
+        assert result.rows_touched > 0
+        assert cached_db.result_cache_stats()["invalidations"] == 1
+
+
+class TestServerBatchPaths:
+    @pytest.fixture
+    def stack(self, cached_db):
+        cost_model = CostModel()
+        clock = SimClock()
+        server = DatabaseServer(cached_db, cost_model)
+        return cached_db, server, BatchDriver(server, clock, cost_model)
+
+    def test_repeated_batch_hits_and_gets_cheaper(self, stack):
+        db, server, driver = stack
+        statements = [("SELECT v FROM t WHERE v > ?", (10,)),
+                      ("SELECT v FROM t WHERE v > ?", (20,)),
+                      ("SELECT w FROM u WHERE w > ?", (30,))]
+        cold = driver.execute_batch(statements, batch_optimize=True)
+        assert server.result_cache_hits == 0
+        hot = driver.execute_batch(statements, batch_optimize=True)
+        assert server.result_cache_hits == 3
+        for a, b in zip(cold, hot):
+            assert a.rows == b.rows and a.columns == b.columns
+        assert all(r.rows_touched == 0 for r in hot)
+
+    def test_cached_members_drop_out_of_scan_groups(self, stack):
+        db, server, driver = stack
+        statements = [("SELECT v FROM t WHERE v > ?", (10,)),
+                      ("SELECT v FROM t WHERE v > ?", (20,))]
+        touched_before = db.total_rows_touched
+        driver.execute_batch(statements, batch_optimize=True)
+        groups_after_cold = server.shared_scan_groups
+        assert groups_after_cold == 1  # the two scans shared once
+        assert db.total_rows_touched == touched_before + 20
+        driver.execute_batch(statements, batch_optimize=True)
+        # Fully cached batch: no new group, no scan at all.
+        assert server.shared_scan_groups == groups_after_cold
+        assert db.total_rows_touched == touched_before + 20
+
+    def test_write_in_batch_invalidates_following_reads(self, stack):
+        db, server, driver = stack
+        read = ("SELECT COUNT(*) AS n FROM t", ())
+        first = driver.execute_batch(
+            [read, ("INSERT INTO t (id, v) VALUES (200, 0)", ()), read],
+            batch_optimize=True)
+        assert first[0].scalar() == 20
+        assert first[2].scalar() == 21
+
+    def test_single_statement_path_counts_hits(self, stack):
+        db, server, driver = stack
+        plain = Driver(server, SimClock(), server.cost_model)
+        plain.execute("SELECT v FROM t WHERE id = ?", (5,))
+        plain.execute("SELECT v FROM t WHERE id = ?", (5,))
+        assert server.result_cache_hits == 1
+
+
+class TestHotPageLoads:
+    @pytest.mark.parametrize("mode", ["original", "sloth"])
+    def test_second_load_served_from_cache(self, mode):
+        from repro.apps import itracker
+        from repro.web.appserver import AppServer
+        from repro.web.framework import Request
+
+        db, dispatcher = itracker.build_app()
+        server = AppServer(db, dispatcher, CostModel(), mode=mode)
+        url = itracker.BENCHMARK_URLS[0]
+        rows_before = db.total_rows_touched
+        cold = server.load_page(Request(url))
+        cold_rows = db.total_rows_touched - rows_before
+        built = db.executor.plans_built
+
+        rows_before = db.total_rows_touched
+        hot = server.load_page(Request(url))
+        hot_rows = db.total_rows_touched - rows_before
+        assert hot.html == cold.html
+        assert db.executor.plans_built == built  # plans_built unchanged
+        assert hot.result_cache_hits > 0
+        assert hot_rows == 0  # every cached statement touched nothing
+        assert cold_rows > 0
+        assert hot.time_ms < cold.time_ms
+
+
+class TestDifferentialOracle:
+    """Interleaved writer/reader sessions against a cache-disabled twin
+    (the ``test_join_oracle`` methodology: same statements, two engines,
+    byte-identical results everywhere)."""
+
+    READS = (
+        ("SELECT v FROM t WHERE id = ?", "pk"),
+        ("SELECT id, v FROM t WHERE v > ?", "range"),
+        ("SELECT COUNT(*) AS n FROM t", "none"),
+        ("SELECT t.id, t.v, u.w FROM t JOIN u ON u.id = t.id "
+         "WHERE t.v < ?", "range"),
+        ("SELECT id FROM t ORDER BY v DESC LIMIT 3", "none"),
+        ("SELECT w FROM u WHERE id = ?", "pk"),
+    )
+    WRITES = (
+        "UPDATE t SET v = v + 1 WHERE id = ?",
+        "DELETE FROM t WHERE id = ?",
+        "INSERT INTO t (id, v) VALUES (?, ?)",
+        "UPDATE u SET w = w - 1 WHERE id = ?",
+    )
+
+    def _build(self, result_cache_size):
+        db = Database(result_cache_size=result_cache_size)
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        db.execute("CREATE TABLE u (id INT PRIMARY KEY, w INT)")
+        db.execute("CREATE INDEX idx_t_v ON t (v) USING ORDERED")
+        for i in range(30):
+            db.execute("INSERT INTO t (id, v) VALUES (?, ?)", (i, i % 7))
+            db.execute("INSERT INTO u (id, w) VALUES (?, ?)", (i, i % 5))
+        return db
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_cached_engine_matches_uncached(self, seed):
+        rng = random.Random(seed)
+        cached = self._build(result_cache_size=64)
+        plain = self._build(result_cache_size=0)
+        next_id = 1000
+        in_txn = False
+        for step in range(300):
+            roll = rng.random()
+            if roll < 0.55:  # read (often repeated params: cache pressure)
+                sql, shape = self.READS[rng.randrange(len(self.READS))]
+                if shape == "pk":
+                    params = (rng.randrange(35),)
+                elif shape == "range":
+                    params = (rng.randrange(8),)
+                else:
+                    params = ()
+                a = cached.execute(sql, params)
+                b = plain.execute(sql, params)
+                assert a.columns == b.columns
+                assert a.rows == b.rows, (seed, step, sql, params)
+            elif roll < 0.8:  # write
+                sql = self.WRITES[rng.randrange(len(self.WRITES))]
+                if "INSERT" in sql:
+                    params = (next_id, rng.randrange(7))
+                    next_id += 1
+                else:
+                    params = (rng.randrange(35),)
+                cached.execute(sql, params)
+                plain.execute(sql, params)
+            elif not in_txn:
+                cached.execute("BEGIN")
+                plain.execute("BEGIN")
+                in_txn = True
+            else:
+                verb = "COMMIT" if rng.random() < 0.5 else "ROLLBACK"
+                cached.execute(verb)
+                plain.execute(verb)
+                in_txn = False
+        if in_txn:
+            cached.execute("COMMIT")
+            plain.execute("COMMIT")
+        assert cached.snapshot_counts() == plain.snapshot_counts()
+        # The run must have exercised the cache, not just bypassed it.
+        stats = cached.result_cache_stats()
+        assert stats["hits"] > 0 and stats["invalidations"] > 0
