@@ -20,3 +20,16 @@ def test_fig9_network_scaling(benchmark):
         ratios = [result[app][rtt]["round_trips"]["median"]
                   for rtt in fig9_network.LATENCIES_MS]
         assert max(ratios) - min(ratios) < 1e-9
+        # Async dispatch (§6.7) strictly dominates synchronous batching at
+        # every swept latency: identical batches, only the dispatch
+        # discipline differs, so overlapped round trips can only win.
+        for rtt in fig9_network.LATENCIES_MS:
+            asyn = result[app][rtt]["async"]
+            assert asyn["async_ms"] < asyn["sync_ms"]
+            assert asyn["overlap_ms"] > 0
+            # The stall the async run charges never exceeds what sync
+            # paid for network+db, and the pages stayed byte-identical
+            # with no single page slower.
+            assert asyn["stall_ms"] < asyn["sync_netdb_ms"]
+            assert asyn["identical"]
+            assert asyn["regressions"] == 0

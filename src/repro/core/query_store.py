@@ -21,6 +21,21 @@ With ``shared_scans`` enabled the store hands each flushed batch to the
 server's batch-plan path (:mod:`repro.sqldb.plan.batch`), which merges
 union-compatible SELECTs over one table into a single shared scan.
 
+With ``async_dispatch`` enabled (the paper's §6.7 execution strategy) a
+flushed all-read batch ships *in the background*: the statements execute
+against the database at dispatch (so data ordering is byte-identical to the
+synchronous path) but their network and database time stays in flight, and
+``get_result_set`` stalls only for the residual if the owning batch has not
+landed yet.  At most ``pipeline_depth`` batches are in flight; a write
+barriers on every in-flight batch before issuing, preserving the [Write
+query] ordering on the virtual timeline as well as in the data.
+
+Delivered results are evicted at ``flush()``/``drain()`` request boundaries
+(reference-counted, so an id shared by deduplicated registrations survives
+until every holder has fetched) and the result store is LRU-bounded
+(``result_store_limit``) so a long-lived store does not retain every result
+ever fetched.
+
 Write-vs-read classification goes through the process-wide LRU parse cache
 (:func:`repro.sqldb.parser.is_read_statement`), shared with the simulated
 server: each distinct SQL string is parsed once per process no matter how
@@ -28,6 +43,13 @@ many stores, servers or benchmark runs touch it.
 """
 
 from repro.sqldb.parser import is_read_statement
+
+#: Default bound on concurrently in-flight async batches.
+DEFAULT_PIPELINE_DEPTH = 4
+
+#: Default LRU bound on retained (issued) results; only results that have
+#: already been delivered at least once are ever evicted.
+DEFAULT_RESULT_STORE_LIMIT = 4096
 
 
 class QueryId:
@@ -64,6 +86,10 @@ class QueryStoreStats:
         self.batches_flushed = 0
         self.largest_batch = 0
         self.queries_issued = 0
+        self.async_batches = 0
+        self.stall_ms = 0.0
+        self.overlap_ms = 0.0
+        self.results_evicted = 0
 
     def snapshot(self):
         return {
@@ -72,6 +98,10 @@ class QueryStoreStats:
             "batches_flushed": self.batches_flushed,
             "largest_batch": self.largest_batch,
             "queries_issued": self.queries_issued,
+            "async_batches": self.async_batches,
+            "stall_ms": self.stall_ms,
+            "overlap_ms": self.overlap_ms,
+            "results_evicted": self.results_evicted,
         }
 
 
@@ -84,16 +114,37 @@ class QueryStore:
 
     ``shared_scans`` requests the server-side shared-scan optimization for
     every batch this store flushes.
+
+    ``async_dispatch`` ships all-read batches in the background and blocks
+    only when a forced result's batch is still in flight; ``pipeline_depth``
+    bounds how many batches may be in flight at once (the oldest is awaited
+    before a new one ships).
     """
 
     def __init__(self, batch_driver, auto_flush_threshold=None,
-                 shared_scans=False):
+                 shared_scans=False, async_dispatch=False,
+                 pipeline_depth=DEFAULT_PIPELINE_DEPTH,
+                 result_store_limit=DEFAULT_RESULT_STORE_LIMIT):
+        if pipeline_depth < 1:
+            raise ValueError(f"pipeline_depth must be >= 1: {pipeline_depth}")
         self.driver = batch_driver
         self.auto_flush_threshold = auto_flush_threshold
         self.shared_scans = shared_scans
+        self.async_dispatch = async_dispatch
+        self.pipeline_depth = pipeline_depth
+        self.result_store_limit = result_store_limit
         self._buffer = []  # list of (QueryId, sql, params)
+        self._buffer_has_write = False
         self._pending_keys = {}  # (sql, params) -> QueryId, for dedup
         self._results = {}  # QueryId -> ExecResult
+        self._owner = {}  # QueryId -> AsyncCompletion while batch in flight
+        self._in_flight = []  # AsyncCompletions in dispatch order
+        self._delivered = {}  # QueryId -> None, in delivery (LRU) order
+        # Outstanding fetches per id: each registration (dedup included)
+        # takes a reference, each delivery releases one.  Boundary eviction
+        # only drops ids with no outstanding reference, so a dedup-shared
+        # id forced by one thunk survives until its twin forces too.
+        self._refs = {}
         self._next_id = 0
         self.stats = QueryStoreStats()
 
@@ -109,15 +160,19 @@ class QueryStore:
         self.stats.queries_registered += 1
         if not is_read_statement(sql):
             query_id = self._new_id()
+            self._refs[query_id] = 1
             self._buffer.append((query_id, sql, params))
+            self._buffer_has_write = True
             self._flush()
             return query_id
         key = (sql, params)
         existing = self._pending_keys.get(key)
         if existing is not None:
             self.stats.dedup_hits += 1
+            self._refs[existing] = self._refs.get(existing, 0) + 1
             return existing
         query_id = self._new_id()
+        self._refs[query_id] = 1
         self._buffer.append((query_id, sql, params))
         self._pending_keys[key] = query_id
         if (self.auto_flush_threshold is not None
@@ -127,14 +182,22 @@ class QueryStore:
 
     def get_result_set(self, query_id):
         """Result set for ``query_id``; flushes the current batch if it is
-        not yet available."""
-        result = self._results.get(query_id)
-        if result is not None:
-            return result
-        self._flush()
+        not yet available, and — under async dispatch — stalls for the
+        residual if the owning batch is still in flight."""
         result = self._results.get(query_id)
         if result is None:
-            raise KeyError(f"unknown query id: {query_id!r}")
+            self._flush()
+            result = self._results.get(query_id)
+            if result is None:
+                raise KeyError(f"unknown query id: {query_id!r}")
+        completion = self._owner.pop(query_id, None)
+        if completion is not None and not completion.waited:
+            self._wait_completion(completion)
+        # LRU bookkeeping: most recently delivered last; one outstanding
+        # reference released.
+        self._delivered.pop(query_id, None)
+        self._delivered[query_id] = None
+        self._refs[query_id] = self._refs.get(query_id, 0) - 1
         return result
 
     @property
@@ -142,10 +205,37 @@ class QueryStore:
         """Number of queries waiting in the current batch."""
         return len(self._buffer)
 
+    @property
+    def in_flight_count(self):
+        """Number of async batches dispatched but not yet awaited."""
+        return len(self._in_flight)
+
+    @property
+    def result_store_size(self):
+        """Number of issued results currently retained."""
+        return len(self._results)
+
     def flush(self):
-        """Issue any pending batch (used at request boundaries)."""
+        """Issue any pending batch (used at request boundaries).
+
+        Request boundaries also evict results that have already been
+        delivered, so a long-lived store does not grow without bound.
+        """
         if self._buffer:
             self._flush()
+        self._evict_delivered()
+
+    def drain(self):
+        """Request-end barrier: wait every in-flight async batch.
+
+        Charges only residual stalls (batches fully covered by app progress
+        cost nothing here) and evicts delivered results.  Does *not* flush
+        the pending buffer: queries registered after the last force stay
+        unissued, exactly like the synchronous path.
+        """
+        while self._in_flight:
+            self._wait_completion(self._in_flight[0])
+        self._evict_delivered()
 
     # -- internals -------------------------------------------------------------
 
@@ -155,15 +245,93 @@ class QueryStore:
 
     def _flush(self):
         batch = self._buffer
+        # A write is only ever appended by register_query's write branch,
+        # which flushes immediately — so the flag classifies the batch
+        # without re-parsing its statements.
+        has_write = self._buffer_has_write
         self._buffer = []
+        self._buffer_has_write = False
         self._pending_keys = {}
         if not batch:
             return
         statements = [(sql, params) for _, sql, params in batch]
-        results = self.driver.execute_batch(
-            statements, batch_optimize=self.shared_scans)
-        for (query_id, _, _), result in zip(batch, results):
-            self._results[query_id] = result
+        if self.async_dispatch and not has_write:
+            self._dispatch_async(batch, statements)
+        else:
+            if self.async_dispatch and has_write:
+                # [Write query] barrier: every in-flight batch must land
+                # before the write issues (its own batch still carries the
+                # pending reads first, preserving program order).
+                while self._in_flight:
+                    self._wait_completion(self._in_flight[0])
+            results = self.driver.execute_batch(
+                statements, batch_optimize=self.shared_scans)
+            for (query_id, _, _), result in zip(batch, results):
+                self._results[query_id] = result
         self.stats.batches_flushed += 1
         self.stats.queries_issued += len(batch)
         self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        self._enforce_result_limit()
+
+    def _dispatch_async(self, batch, statements):
+        """Ship an all-read batch in the background (bounded pipeline)."""
+        while len(self._in_flight) >= self.pipeline_depth:
+            self._wait_completion(self._in_flight[0])
+        completion, results = self.driver.execute_batch_async(
+            statements, batch_optimize=self.shared_scans)
+        for (query_id, _, _), result in zip(batch, results):
+            self._results[query_id] = result
+            self._owner[query_id] = completion
+        self._in_flight.append(completion)
+        self.stats.async_batches += 1
+
+    def _wait_completion(self, completion):
+        stall, overlap = self.driver.wait(completion)
+        self.stats.stall_ms += stall
+        self.stats.overlap_ms += overlap
+        try:
+            self._in_flight.remove(completion)
+        except ValueError:
+            pass
+
+    def _evict_delivered(self):
+        """Drop delivered results with no outstanding fetch reference."""
+        keep = {}
+        for query_id in self._delivered:
+            if self._refs.get(query_id, 0) > 0:
+                keep[query_id] = None  # a dedup twin still owes a fetch
+                continue
+            self._drop(query_id)
+        self._delivered = keep
+
+    def _enforce_result_limit(self):
+        """LRU backstop for stores that never hit a request boundary.
+
+        A *hard* bound: delivered entries go first (oldest delivery
+        first), but if the store is still over the limit — issued results
+        whose thunks were never forced — the oldest issued entries go
+        outright.  Re-fetching an evicted id is an error; unbounded growth
+        would be worse, and the limit is far above any single request's
+        working set.
+        """
+        limit = self.result_store_limit
+        if limit is None or len(self._results) <= limit:
+            return
+        for query_id in list(self._delivered):  # oldest delivery first
+            if len(self._results) <= limit:
+                return
+            if self._refs.get(query_id, 0) > 0:
+                continue  # a dedup twin still owes a fetch
+            del self._delivered[query_id]
+            self._drop(query_id)
+        for query_id in list(self._results):  # oldest issued first
+            if len(self._results) <= limit:
+                return
+            self._delivered.pop(query_id, None)
+            self._drop(query_id)
+
+    def _drop(self, query_id):
+        if self._results.pop(query_id, None) is not None:
+            self.stats.results_evicted += 1
+        self._owner.pop(query_id, None)
+        self._refs.pop(query_id, None)

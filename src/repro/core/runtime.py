@@ -101,14 +101,21 @@ class SlothRuntime:
     """Execution context for one Sloth-compiled request."""
 
     def __init__(self, batch_driver, clock, cost_model,
-                 optimizations=None, lazy_mode=True):
+                 optimizations=None, lazy_mode=True,
+                 auto_flush_threshold=None, async_dispatch=False,
+                 pipeline_depth=None):
         self.driver = batch_driver
         self.clock = clock
         self.cost_model = cost_model
         self.opts = optimizations or OptimizationFlags.all()
         self.lazy_mode = lazy_mode
+        store_kwargs = {}
+        if pipeline_depth is not None:
+            store_kwargs["pipeline_depth"] = pipeline_depth
         self.query_store = QueryStore(
-            batch_driver, shared_scans=self.opts.shared_scans)
+            batch_driver, auto_flush_threshold=auto_flush_threshold,
+            shared_scans=self.opts.shared_scans,
+            async_dispatch=async_dispatch, **store_kwargs)
         self.stats = RuntimeStats()
 
     # -- overhead accounting hooks (called by Thunk/ThunkBlock) ---------------
@@ -184,10 +191,13 @@ class SlothRuntime:
         # whatever batch has accumulated.  Branch deferral (§4.2) is what
         # removes these barriers — without it, batching opportunities
         # collapse ("we would have lost all the benefits from round trip
-        # reductions", §6.5).
+        # reductions", §6.5).  A forced condition *needs* its results, so
+        # under async dispatch this is a true barrier: the flushed batch
+        # (and anything else in flight) must land before the ops proceed.
         if not self.opts.branch_deferral:
             self.stats.branches_forced += 1
             self.query_store.flush()
+            self.query_store.drain()
         if self.opts.thunk_coalescing:
             blocks, remainder = divmod(count, _COALESCE_RUN_LENGTH)
             thunk_count = blocks + (1 if remainder else 0)
@@ -217,5 +227,6 @@ class SlothRuntime:
 
     def finish_request(self):
         """End-of-request barrier: flush any pending batch (the page is
-        about to be externalized)."""
+        about to be externalized) and land every in-flight async batch."""
         self.query_store.flush()
+        self.query_store.drain()

@@ -5,6 +5,15 @@ than measured on the wall clock, which makes every experiment deterministic
 and lets the benchmarks sweep network latency exactly like the paper's Fig. 9.
 
 Phases mirror the paper's Fig. 8 breakdown: ``network``, ``db`` and ``app``.
+
+Asynchronous dispatch (the paper's §6.7 execution-strategy discussion) adds
+a second timeline: :meth:`SimClock.begin_async` records a batch's in-flight
+work as an :class:`AsyncCompletion` without advancing the clock, subsequent
+charges model the app server making progress *concurrently* with the round
+trip, and :meth:`SimClock.wait` charges only the residual stall — the part
+of the in-flight timeline the app's own progress did not cover.  Phase
+totals therefore always sum to ``now`` (Fig-8-style breakdowns stay
+meaningful); the hidden portion is tracked separately as *overlap*.
 """
 
 PHASE_NETWORK = "network"
@@ -14,12 +23,53 @@ PHASE_APP = "app"
 _PHASES = (PHASE_NETWORK, PHASE_DB, PHASE_APP)
 
 
+class AsyncCompletion:
+    """One dispatched batch in flight.
+
+    ``segments`` is the ordered per-phase timeline of the in-flight work —
+    typically ``((network, net_ms), (db, db_ms))`` for one batch round trip.
+    The work occupies virtual time ``[start, start + total)``; the batch is
+    *ready* at ``ready_at = start + total``.  Waiting charges only whatever
+    suffix of that interval lies beyond the clock's current position.
+    """
+
+    __slots__ = ("start", "segments", "ready_at", "waited")
+
+    def __init__(self, start, segments):
+        segments = tuple(segments)  # materialize before validating
+        total = 0.0
+        for phase, dt in segments:
+            if phase not in _PHASES:
+                raise ValueError(f"unknown phase {phase!r}")
+            if dt < 0:
+                raise ValueError(f"negative in-flight segment: {dt}")
+            total += dt
+        self.start = start
+        self.segments = segments
+        self.ready_at = start + total
+        self.waited = False
+
+    @property
+    def in_flight_ms(self):
+        """Total virtual time this batch spends in flight."""
+        return self.ready_at - self.start
+
+    def __repr__(self):
+        state = "waited" if self.waited else "in-flight"
+        return (f"AsyncCompletion(start={self.start:.3f}, "
+                f"ready_at={self.ready_at:.3f}, {state})")
+
+
 class SimClock:
     """A virtual clock; times are in milliseconds."""
 
     def __init__(self):
         self._now = 0.0
         self._by_phase = {phase: 0.0 for phase in _PHASES}
+        # In-flight time hidden behind concurrent app progress, per phase.
+        # Never part of ``now`` or the phase totals: it is the time that
+        # did NOT appear on the serial timeline.
+        self._overlap_by_phase = {phase: 0.0 for phase in _PHASES}
 
     @property
     def now(self):
@@ -34,12 +84,56 @@ class SimClock:
         self._now += dt
         self._by_phase[phase] += dt
 
+    def begin_async(self, segments):
+        """Start an in-flight interval at ``now``; charges nothing.
+
+        Returns the :class:`AsyncCompletion` to pass to :meth:`wait`.
+        """
+        return AsyncCompletion(self._now, segments)
+
+    def wait(self, completion):
+        """Block until ``completion`` is ready; returns ``(stall, overlap)``.
+
+        Only the *residual* — the part of the in-flight timeline beyond the
+        clock's current position — is charged, segment by segment to each
+        segment's own phase, so the per-phase breakdown reports exactly the
+        network/db time the app actually stalled on.  The covered prefix is
+        recorded as overlap.  Waiting twice is free (idempotent).
+        """
+        if completion.waited:
+            return 0.0, 0.0
+        completion.waited = True
+        entry = self._now
+        cursor = completion.start
+        stall = 0.0
+        overlap = 0.0
+        for phase, dt in completion.segments:
+            seg_end = cursor + dt
+            residual = max(0.0, seg_end - max(entry, cursor))
+            hidden = dt - residual
+            if hidden > 0:
+                self._overlap_by_phase[phase] += hidden
+                overlap += hidden
+            if residual > 0:
+                self.charge(phase, residual)
+                stall += residual
+            cursor = seg_end
+        return stall, overlap
+
     def phase_time(self, phase):
         return self._by_phase[phase]
+
+    def overlap_time(self, phase):
+        """In-flight ms of ``phase`` hidden behind concurrent app work."""
+        return self._overlap_by_phase[phase]
 
     def breakdown(self):
         """Dict of phase -> accumulated ms."""
         return dict(self._by_phase)
+
+    def overlap_breakdown(self):
+        """Dict of phase -> overlapped (hidden) ms."""
+        return dict(self._overlap_by_phase)
 
     def checkpoint(self):
         """Snapshot for measuring a window of activity."""

@@ -8,6 +8,10 @@ controllers and templates) over one database server, in either of two modes:
 - ``sloth`` — the Sloth-compiled application: a fresh
   :class:`repro.core.runtime.SlothRuntime` per request batches queries
   through the :class:`repro.net.driver.BatchDriver`; templates defer.
+  With ``async_dispatch=True`` (plus an ``auto_flush_threshold``) the
+  per-request query store ships batches in the background and overlaps
+  their round trips with continued lazy evaluation (§6.7); the request
+  drains every in-flight batch at render end.
 
 ``load_page`` runs one full request (controller → view render → writer
 flush) and returns a :class:`PageLoadResult` with the virtual-time breakdown
@@ -81,7 +85,8 @@ class PageLoadResult:
 
     def __init__(self, url, html, time_ms, phases, round_trips,
                  queries_issued, largest_batch, queries_registered,
-                 shared_scan_rows_saved=0, result_cache_hits=0):
+                 shared_scan_rows_saved=0, result_cache_hits=0,
+                 async_batches=0, stall_ms=0.0, overlap_ms=0.0):
         self.url = url
         self.html = html
         self.time_ms = time_ms
@@ -96,6 +101,14 @@ class PageLoadResult:
         # SELECTs served from the database's cross-request result cache
         # during this load (a hot repeated page executes nothing).
         self.result_cache_hits = result_cache_hits
+        # Async dispatch (§6.7): batches shipped in the background, the
+        # residual network+db time the request actually stalled on, and
+        # the in-flight time hidden behind concurrent app work.  The
+        # phases breakdown counts only the stall, so phase totals still
+        # sum to ``time_ms``.
+        self.async_batches = async_batches
+        self.stall_ms = stall_ms
+        self.overlap_ms = overlap_ms
 
     def __repr__(self):
         return (f"PageLoadResult({self.url!r}, {self.time_ms:.2f} ms, "
@@ -107,9 +120,12 @@ class AppServer:
     """Hosts an application over a database in one of the two modes."""
 
     def __init__(self, database, dispatcher, cost_model, mode=MODE_ORIGINAL,
-                 optimizations=None, clock=None):
+                 optimizations=None, clock=None, async_dispatch=False,
+                 auto_flush_threshold=None, pipeline_depth=None):
         if mode not in (MODE_ORIGINAL, MODE_SLOTH):
             raise ValueError(f"unknown mode {mode!r}")
+        if async_dispatch and mode != MODE_SLOTH:
+            raise ValueError("async dispatch requires the sloth mode")
         self.database = database
         self.dispatcher = dispatcher
         self.cost_model = cost_model
@@ -117,6 +133,11 @@ class AppServer:
         self.optimizations = optimizations or OptimizationFlags.all()
         self.clock = clock or SimClock()
         self.db_server = DatabaseServer(database, cost_model)
+        # §6.7 execution strategy: ship threshold flushes in the background
+        # and overlap their round trips with continued lazy evaluation.
+        self.async_dispatch = async_dispatch
+        self.auto_flush_threshold = auto_flush_threshold
+        self.pipeline_depth = pipeline_depth
 
     #: privileges granted to the synthetic logged-in user when a request
     #: carries no explicit user (benchmarks run authenticated, as in the
@@ -130,13 +151,16 @@ class AppServer:
             request.user = dict(self.DEFAULT_USER)
         controller, template = self.dispatcher.route(request.url)
         checkpoint = self.clock.checkpoint()
-        cache_hits_before = self.database.result_cache.hits
 
         if self.mode == MODE_SLOTH:
             driver = BatchDriver(self.db_server, self.clock, self.cost_model)
             runtime = SlothRuntime(driver, self.clock, self.cost_model,
                                    optimizations=self.optimizations,
-                                   lazy_mode=True)
+                                   lazy_mode=True,
+                                   auto_flush_threshold=(
+                                       self.auto_flush_threshold),
+                                   async_dispatch=self.async_dispatch,
+                                   pipeline_depth=self.pipeline_depth)
             backend = SlothBackend(runtime)
         else:
             driver = Driver(self.db_server, self.clock, self.cost_model)
@@ -164,6 +188,11 @@ class AppServer:
         # last force are never issued — this is how Sloth ends up issuing
         # *fewer* queries than the original on pages with unused eager
         # fetches (paper §6.1).
+        if self.mode == MODE_SLOTH:
+            # Render-end drain: batches shipped in the background must land
+            # before the response is externalized.  Only residual stalls
+            # are charged; in synchronous dispatch this is a no-op.
+            runtime.query_store.drain()
 
         elapsed, phases = self.clock.since(checkpoint)
         if self.mode == MODE_SLOTH:
@@ -180,6 +209,8 @@ class AppServer:
             largest_batch=driver.stats.largest_batch,
             queries_registered=registered,
             shared_scan_rows_saved=driver.stats.shared_scan_rows_saved,
-            result_cache_hits=(
-                self.database.result_cache.hits - cache_hits_before),
+            result_cache_hits=driver.stats.result_cache_hits,
+            async_batches=driver.stats.async_batches,
+            stall_ms=driver.stats.stall_ms,
+            overlap_ms=driver.stats.overlap_ms,
         )

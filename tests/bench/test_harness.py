@@ -1,6 +1,7 @@
 from repro.apps import tpcc, tpcw
 from repro.bench.harness import (
-    PageComparison, compare_pages, load_page, measure_tpc_overhead,
+    ASYNC_FLUSH_THRESHOLD, MODE_ASYNC, PageComparison, compare_pages,
+    load_page, measure_tpc_overhead,
 )
 from repro.net.clock import CostModel
 from repro.web.appserver import MODE_ORIGINAL, MODE_SLOTH
@@ -20,6 +21,29 @@ class TestPageComparison:
         result = load_page(db, dispatcher, "module-projects/view_issue.jsp",
                            CostModel(), MODE_ORIGINAL, params={"id": "9"})
         assert "#9" in result.html
+
+    def test_async_mode_matches_sync_and_never_loses(self, itracker_app):
+        db, dispatcher = itracker_app
+        url = "portalhome.jsp"
+        cm = CostModel(round_trip_ms=5.0)
+        sync = load_page(db, dispatcher, url, cm, MODE_SLOTH,
+                         auto_flush_threshold=ASYNC_FLUSH_THRESHOLD)
+        asyn = load_page(db, dispatcher, url, cm, MODE_ASYNC)
+        assert asyn.html == sync.html
+        assert asyn.time_ms < sync.time_ms
+        assert asyn.async_batches > 0
+        assert asyn.overlap_ms > 0
+        # Same batching decisions: identical queries in identical batches.
+        assert asyn.queries_issued == sync.queries_issued
+        assert asyn.round_trips == sync.round_trips
+
+    def test_default_figure_path_stays_synchronous(self, itracker_app):
+        # The cold-load figure methodology does not opt into async
+        # dispatch: a plain sloth load reports no async activity.
+        db, dispatcher = itracker_app
+        result = load_page(db, dispatcher, "portalhome.jsp")
+        assert result.async_batches == 0
+        assert result.stall_ms == 0.0
 
     def test_latency_sensitivity(self, itracker_app):
         db, dispatcher = itracker_app

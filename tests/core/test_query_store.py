@@ -115,6 +115,195 @@ def test_batch_size_tracking(store):
     assert qs.stats.queries_issued == 4
 
 
+class TestResultStoreBounded:
+    """Issued results must not accumulate forever (the old leak)."""
+
+    def _seeded_store(self, sim_stack, **kwargs):
+        db, clock, server, driver, batch_driver = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        for i in range(20):
+            db.execute("INSERT INTO t (id, v) VALUES (?, ?)", (i, i))
+        return QueryStore(batch_driver, **kwargs)
+
+    def test_flush_boundary_evicts_delivered_results(self, sim_stack):
+        qs = self._seeded_store(sim_stack)
+        ids = [qs.register_query("SELECT v FROM t WHERE id = ?", (i,))
+               for i in range(5)]
+        for query_id in ids:
+            qs.get_result_set(query_id)
+        assert qs.result_store_size == 5
+        qs.flush()  # request boundary
+        assert qs.result_store_size == 0
+        assert qs.stats.results_evicted == 5
+
+    def test_undelivered_results_survive_the_boundary(self, sim_stack):
+        qs = self._seeded_store(sim_stack)
+        fetched = qs.register_query("SELECT v FROM t WHERE id = ?", (1,))
+        kept = qs.register_query("SELECT v FROM t WHERE id = ?", (2,))
+        qs.get_result_set(fetched)
+        qs.flush()
+        # The never-delivered result is still servable after the boundary.
+        assert qs.get_result_set(kept).scalar() == 2
+        assert qs.result_store_size == 1
+
+    def test_dedup_shared_id_survives_boundary_until_both_fetch(
+            self, sim_stack):
+        qs = self._seeded_store(sim_stack)
+        first = qs.register_query("SELECT v FROM t WHERE id = ?", (7,))
+        twin = qs.register_query("SELECT v FROM t WHERE id = ?", (7,))
+        assert first == twin
+        qs.get_result_set(first)
+        qs.flush()  # a mid-request flush (e.g. branch-deferral off)
+        # The twin registration still owes a fetch: not evicted.
+        assert qs.get_result_set(twin).scalar() == 7
+        qs.flush()
+        assert qs.result_store_size == 0
+
+    def test_long_lived_store_stays_bounded_by_lru(self, sim_stack):
+        qs = self._seeded_store(sim_stack, result_store_limit=8)
+        # A long-lived store that never hits a request boundary: fetch
+        # many results without ever calling flush().
+        for _ in range(10):
+            for i in range(4):
+                # Each loop registers afresh (dedup only spans one pending
+                # window) and forces immediately: 40 issued results.
+                query_id = qs.register_query(
+                    "SELECT v FROM t WHERE id = ?", (i,))
+                qs.get_result_set(query_id)
+        assert qs.result_store_size <= 8
+        assert qs.stats.results_evicted > 0
+
+    def test_lru_prefers_delivered_over_undelivered(self, sim_stack):
+        qs = self._seeded_store(sim_stack, result_store_limit=2,
+                                auto_flush_threshold=1)
+        pending = qs.register_query("SELECT v FROM t WHERE id = ?", (0,))
+        for i in range(1, 8):
+            query_id = qs.register_query(
+                "SELECT v FROM t WHERE id = ?", (i,))
+            qs.get_result_set(query_id)
+        # Delivered entries absorbed the evictions; the issued-but-unforced
+        # result is still servable.
+        assert qs.get_result_set(pending).scalar() == 0
+
+    def test_limit_is_hard_even_for_never_forced_results(self, sim_stack):
+        # A long-lived auto-flushing store whose thunks are never forced
+        # must still stay bounded: the backstop falls back to evicting the
+        # oldest issued entries outright.
+        qs = self._seeded_store(sim_stack, result_store_limit=8,
+                                auto_flush_threshold=1)
+        for i in range(20):
+            qs.register_query("SELECT v FROM t WHERE id = ?", (i % 20,))
+        assert qs.result_store_size <= 8
+        assert qs.stats.results_evicted >= 12
+
+
+class TestAsyncDispatch:
+    """§6.7: background flushes, residual stalls, write barriers."""
+
+    def _stack(self, sim_stack, rows=10, **kwargs):
+        db, clock, server, driver, batch_driver = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        for i in range(rows):
+            db.execute("INSERT INTO t (id, v) VALUES (?, ?)", (i, i * 10))
+        kwargs.setdefault("auto_flush_threshold", 2)
+        kwargs.setdefault("async_dispatch", True)
+        return QueryStore(batch_driver, **kwargs), batch_driver, clock
+
+    def test_threshold_flush_ships_in_background(self, sim_stack):
+        qs, driver, clock = self._stack(sim_stack)
+        qs.register_query("SELECT v FROM t WHERE id = ?", (0,))
+        qs.register_query("SELECT v FROM t WHERE id = ?", (1,))
+        # Dispatched (a round trip is in flight) but nothing stalled: no
+        # network or db time on the serial timeline yet.
+        assert driver.stats.round_trips == 1
+        assert qs.in_flight_count == 1
+        assert clock.phase_time("network") == 0.0
+        assert clock.phase_time("db") == 0.0
+
+    def test_force_waits_only_residual(self, sim_stack):
+        qs, driver, clock = self._stack(sim_stack)
+        ids = [qs.register_query("SELECT v FROM t WHERE id = ?", (i,))
+               for i in range(2)]
+        completion = qs._in_flight[0]
+        clock.charge("app", completion.in_flight_ms / 2)
+        assert qs.get_result_set(ids[0]).scalar() == 0
+        assert qs.in_flight_count == 0
+        assert qs.stats.stall_ms == pytest.approx(
+            completion.in_flight_ms / 2)
+        assert qs.stats.overlap_ms == pytest.approx(
+            completion.in_flight_ms / 2)
+        # The second member of the batch is already there: no extra wait.
+        stall_before = qs.stats.stall_ms
+        assert qs.get_result_set(ids[1]).scalar() == 10
+        assert qs.stats.stall_ms == stall_before
+
+    def test_fully_overlapped_batch_stalls_nothing(self, sim_stack):
+        qs, driver, clock = self._stack(sim_stack)
+        ids = [qs.register_query("SELECT v FROM t WHERE id = ?", (i,))
+               for i in range(2)]
+        clock.charge("app", 1e6)  # plenty of concurrent app progress
+        qs.get_result_set(ids[0])
+        assert qs.stats.stall_ms == 0.0
+        assert qs.stats.overlap_ms > 0.0
+        assert clock.phase_time("network") == 0.0
+
+    def test_pipeline_depth_bounds_in_flight(self, sim_stack):
+        qs, driver, clock = self._stack(sim_stack, pipeline_depth=2)
+        for i in range(8):  # 4 threshold flushes of 2
+            qs.register_query("SELECT v FROM t WHERE id = ?", (i,))
+        # Never more than 2 in flight: older batches were awaited to make
+        # room (their stall shows up in the stats).
+        assert qs.in_flight_count <= 2
+        assert driver.stats.async_batches == 4
+        assert qs.stats.stall_ms > 0
+
+    def test_write_barriers_on_in_flight_batches(self, sim_stack):
+        qs, driver, clock = self._stack(sim_stack)
+        read_id = qs.register_query("SELECT v FROM t WHERE id = ?", (1,))
+        qs.register_query("SELECT v FROM t WHERE id = ?", (2,))
+        assert qs.in_flight_count == 1
+        qs.register_query("UPDATE t SET v = 999 WHERE id = 1")
+        # The write landed every in-flight batch before issuing, and the
+        # write batch itself ran synchronously.
+        assert qs.in_flight_count == 0
+        # The read registered before the write observed pre-write data.
+        assert qs.get_result_set(read_id).scalar() == 10
+
+    def test_drain_lands_everything(self, sim_stack):
+        qs, driver, clock = self._stack(sim_stack)
+        ids = [qs.register_query("SELECT v FROM t WHERE id = ?", (i,))
+               for i in range(4)]
+        assert qs.in_flight_count > 0
+        qs.drain()
+        assert qs.in_flight_count == 0
+        # Drain does not issue the pending buffer...
+        qs.register_query("SELECT v FROM t WHERE id = ?", (9,))
+        pending_before = qs.pending_count
+        qs.drain()
+        assert qs.pending_count == pending_before
+
+    def test_async_results_identical_to_sync(self, sim_stack):
+        db, clock, server, driver, batch_driver = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        for i in range(10):
+            db.execute("INSERT INTO t (id, v) VALUES (?, ?)", (i, i * 10))
+        db.result_cache.enabled = False
+
+        def run(async_dispatch):
+            qs = QueryStore(batch_driver, auto_flush_threshold=3,
+                            async_dispatch=async_dispatch)
+            ids = [qs.register_query("SELECT v FROM t WHERE id = ?", (i,))
+                   for i in range(10)]
+            return [tuple(qs.get_result_set(q).rows) for q in ids]
+
+        assert run(False) == run(True)
+
+    def test_invalid_pipeline_depth_rejected(self, sim_stack):
+        db, clock, server, driver, batch_driver = sim_stack
+        with pytest.raises(ValueError):
+            QueryStore(batch_driver, pipeline_depth=0)
+
+
 class TestAutoFlushStrategy:
     """§6.7's alternative execution strategy: flush at a size threshold."""
 

@@ -116,3 +116,25 @@ class TestRequestLifecycle:
         result = runtime.query("SELECT v FROM t WHERE id = ?", (1,))
         assert result.scalar() == 10
         assert runtime.driver.stats.round_trips == 1
+
+
+class TestAsyncBranchBarrier:
+    """With branch deferral off, run_ops' branch-point flush is a true
+    barrier even under async dispatch: the forced condition needs its
+    results, so nothing may stay in flight."""
+
+    def test_run_ops_barriers_in_flight_batches(self, sim_stack):
+        db, clock, server, driver, batch_driver = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        db.execute("INSERT INTO t (id, v) VALUES (1, 10)")
+        flags = OptimizationFlags(True, True, False)  # BD off
+        runtime = SlothRuntime(batch_driver, clock, server.cost_model,
+                               optimizations=flags,
+                               auto_flush_threshold=1, async_dispatch=True)
+        runtime.query("SELECT v FROM t WHERE id = 1")  # ships in background
+        assert runtime.query_store.in_flight_count == 1
+        network_before = clock.phase_time("network")
+        runtime.run_ops(5)  # modeled branch point: forces the condition
+        assert runtime.query_store.in_flight_count == 0
+        # The barrier charged the round trip (nothing could hide it).
+        assert clock.phase_time("network") > network_before

@@ -1,6 +1,6 @@
 import pytest
 
-from repro.net.clock import CostModel, SimClock
+from repro.net.clock import AsyncCompletion, CostModel, SimClock
 from repro.net.driver import BatchDriver, Driver
 from repro.net.errors import DriverError
 from repro.net.server import DatabaseServer, _parallel_elapsed
@@ -32,6 +32,82 @@ class TestSimClock:
         assert elapsed == pytest.approx(2.0)
         assert phases["db"] == pytest.approx(2.0)
         assert phases["app"] == pytest.approx(0.0)
+
+
+class TestAsyncTimeline:
+    """§6.7 overlap accounting: in-flight work vs concurrent app progress."""
+
+    def test_begin_async_charges_nothing(self):
+        clock = SimClock()
+        completion = clock.begin_async((("network", 2.0), ("db", 1.0)))
+        assert clock.now == 0.0
+        assert completion.ready_at == pytest.approx(3.0)
+        assert completion.in_flight_ms == pytest.approx(3.0)
+
+    def test_wait_with_no_progress_stalls_fully(self):
+        clock = SimClock()
+        completion = clock.begin_async((("network", 2.0), ("db", 1.0)))
+        stall, overlap = clock.wait(completion)
+        assert stall == pytest.approx(3.0)
+        assert overlap == pytest.approx(0.0)
+        assert clock.now == pytest.approx(3.0)
+        # Residual attribution lands on each segment's own phase.
+        assert clock.phase_time("network") == pytest.approx(2.0)
+        assert clock.phase_time("db") == pytest.approx(1.0)
+
+    def test_partial_overlap_charges_residual_tail(self):
+        clock = SimClock()
+        completion = clock.begin_async((("network", 2.0), ("db", 1.0)))
+        clock.charge("app", 2.5)  # app progresses into the db segment
+        stall, overlap = clock.wait(completion)
+        assert stall == pytest.approx(0.5)
+        assert overlap == pytest.approx(2.5)
+        # The whole network leg and half the db leg were hidden; only the
+        # residual db tail shows up in the breakdown.
+        assert clock.phase_time("network") == pytest.approx(0.0)
+        assert clock.phase_time("db") == pytest.approx(0.5)
+        assert clock.overlap_time("network") == pytest.approx(2.0)
+        assert clock.overlap_time("db") == pytest.approx(0.5)
+        assert clock.now == pytest.approx(3.0)
+        # Phase totals still sum to elapsed time (Fig-8 breakdowns hold).
+        assert sum(clock.breakdown().values()) == pytest.approx(clock.now)
+
+    def test_fully_overlapped_wait_is_free(self):
+        clock = SimClock()
+        completion = clock.begin_async((("network", 1.0), ("db", 1.0)))
+        clock.charge("app", 5.0)
+        stall, overlap = clock.wait(completion)
+        assert stall == 0.0
+        assert overlap == pytest.approx(2.0)
+        assert clock.now == pytest.approx(5.0)
+
+    def test_wait_is_idempotent(self):
+        clock = SimClock()
+        completion = clock.begin_async((("network", 1.0),))
+        clock.wait(completion)
+        now = clock.now
+        assert clock.wait(completion) == (0.0, 0.0)
+        assert clock.now == now
+
+    def test_total_time_is_max_of_app_and_in_flight(self):
+        clock = SimClock()
+        completion = clock.begin_async((("network", 4.0), ("db", 2.0)))
+        clock.charge("app", 1.5)
+        clock.wait(completion)
+        # max(app progress, in-flight completion), not the sum.
+        assert clock.now == pytest.approx(6.0)
+
+    def test_bad_segments_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.begin_async((("disk", 1.0),))
+        with pytest.raises(ValueError):
+            clock.begin_async((("db", -1.0),))
+
+    def test_completion_constructed_directly(self):
+        completion = AsyncCompletion(10.0, (("network", 1.0), ("db", 2.0)))
+        assert completion.ready_at == pytest.approx(13.0)
+        assert not completion.waited
 
 
 class TestCostModel:
@@ -141,3 +217,73 @@ class TestDrivers:
         assert server.statements_executed == 4
         assert server.batches_executed == 2
         assert server.largest_batch == 3
+
+    def test_driver_stats_surface_result_cache_hits(self, sim_stack):
+        db, _, _, driver, batch = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        db.execute("INSERT INTO t (id) VALUES (1)")
+        driver.execute("SELECT * FROM t")   # miss: populates the cache
+        driver.execute("SELECT * FROM t")   # hit
+        assert driver.stats.result_cache_hits == 1
+        assert driver.stats.snapshot()["result_cache_hits"] == 1
+        batch.execute_batch([("SELECT * FROM t", ())] * 2)  # two more hits
+        assert batch.stats.snapshot()["result_cache_hits"] == 2
+
+
+class TestAsyncBatchDriver:
+    def test_async_batch_returns_results_without_blocking(self, sim_stack):
+        db, clock, _, _, batch = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        for i in range(4):
+            db.execute("INSERT INTO t (id, v) VALUES (?, ?)", (i, i * 2))
+        app_before = clock.phase_time("app")
+        completion, results = batch.execute_batch_async([
+            ("SELECT v FROM t WHERE id = ?", (i,)) for i in range(4)
+        ])
+        # Results materialized at dispatch; no network/db time charged yet,
+        # only the driver-call CPU.
+        assert [r.scalar() for r in results] == [0, 2, 4, 6]
+        assert clock.phase_time("network") == 0.0
+        assert clock.phase_time("db") == 0.0
+        assert clock.phase_time("app") > app_before
+        assert batch.stats.async_batches == 1
+        assert batch.stats.round_trips == 1
+        # Waiting charges the full residual (no app progress happened).
+        stall, overlap = batch.wait(completion)
+        assert stall == pytest.approx(completion.in_flight_ms)
+        assert overlap == 0.0
+        assert clock.phase_time("network") > 0
+        assert batch.stats.stall_ms == pytest.approx(stall)
+
+    def test_async_overlap_reduces_stall(self, sim_stack):
+        db, clock, _, _, batch = sim_stack
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        completion, _ = batch.execute_batch_async(
+            [("SELECT * FROM t", ())])
+        clock.charge("app", completion.in_flight_ms / 2)
+        stall, overlap = batch.wait(completion)
+        assert stall == pytest.approx(completion.in_flight_ms / 2)
+        assert overlap == pytest.approx(completion.in_flight_ms / 2)
+        assert batch.stats.overlap_ms == pytest.approx(overlap)
+
+    def test_empty_async_batch_is_free(self, sim_stack):
+        _, clock, _, _, batch = sim_stack
+        completion, results = batch.execute_batch_async([])
+        assert completion is None and results == []
+        assert batch.wait(completion) == (0.0, 0.0)
+        assert clock.now == 0.0
+
+    def test_async_on_closed_driver_raises(self, sim_stack):
+        _, _, _, _, batch = sim_stack
+        batch.close()
+        with pytest.raises(DriverError):
+            batch.execute_batch_async([("SELECT 1 FROM t", ())])
+
+
+def test_begin_async_accepts_any_iterable():
+    clock = SimClock()
+    completion = clock.begin_async(
+        (phase, dt) for phase, dt in [("network", 1.0), ("db", 2.0)])
+    assert completion.segments == (("network", 1.0), ("db", 2.0))
+    stall, _ = clock.wait(completion)
+    assert stall == pytest.approx(3.0)

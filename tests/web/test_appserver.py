@@ -93,3 +93,39 @@ class TestAppServer:
         r1 = server.load_page(Request("list"))
         r2 = server.load_page(Request("list"))
         assert server.clock.now == pytest.approx(r1.time_ms + r2.time_ms)
+
+
+class TestAsyncDispatchMode:
+    def _load(self, mini_app, async_dispatch, rtt=2.0):
+        db, dispatcher = mini_app
+        db.result_cache.enabled = False
+        server = AppServer(db, dispatcher, CostModel(round_trip_ms=rtt),
+                           mode=MODE_SLOTH, async_dispatch=async_dispatch,
+                           auto_flush_threshold=1)
+        return server.load_page(Request("list"))
+
+    def test_async_requires_sloth_mode(self, mini_app):
+        db, dispatcher = mini_app
+        with pytest.raises(ValueError):
+            AppServer(db, dispatcher, CostModel(), mode=MODE_ORIGINAL,
+                      async_dispatch=True)
+
+    def test_async_html_identical_and_never_slower(self, mini_app):
+        sync = self._load(mini_app, async_dispatch=False)
+        asyn = self._load(mini_app, async_dispatch=True)
+        assert sync.html == asyn.html
+        assert asyn.time_ms <= sync.time_ms + 1e-9
+        assert asyn.async_batches > 0
+        # The async run hid part of the round trip behind app work and
+        # stalled for strictly less than the sync run's network+db time.
+        assert asyn.overlap_ms > 0
+        sync_netdb = sync.phases["network"] + sync.phases["db"]
+        assert asyn.stall_ms < sync_netdb
+        # Phase totals still sum to the elapsed time (Fig-8 breakdown).
+        assert sum(asyn.phases.values()) == pytest.approx(asyn.time_ms)
+
+    def test_sync_result_reports_no_async_activity(self, mini_app):
+        sync = self._load(mini_app, async_dispatch=False)
+        assert sync.async_batches == 0
+        assert sync.stall_ms == 0.0
+        assert sync.overlap_ms == 0.0
