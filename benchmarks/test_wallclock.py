@@ -1,0 +1,39 @@
+"""Wall-clock lane smoke: the batch engine agrees with the row engine
+and is not slower where it matters.
+
+Runs the :mod:`repro.bench.experiments.wallclock` experiment in smoke
+mode (small synthetic table, few repeats) and asserts
+
+- every synthetic and app query returns byte-identical rows and
+  identical ``rows_touched`` under both engines (the experiment records
+  the comparison), and
+- the batch engine is no slower than the row engine on the scan/filter
+  microbench — the loosest form of the >=2x headline so the assertion
+  stays robust on noisy CI runners; ``tools/bench_wallclock.py`` (and
+  the committed ``BENCH_wallclock.json``) carries the real numbers.
+"""
+
+import pytest
+
+from repro.bench.experiments import wallclock
+
+
+@pytest.fixture(scope="module")
+def result():
+    return wallclock.run(smoke=True)
+
+
+def test_engines_agree_everywhere(result):
+    for name, numbers in result["synthetic"].items():
+        assert numbers["match"], f"synthetic:{name} results diverge"
+    for app, per_app in result["apps"].items():
+        for name, numbers in per_app["queries"].items():
+            assert numbers["match"], f"{app}:{name} results diverge"
+
+
+def test_batch_not_slower_on_scan_filter(result):
+    print()
+    print(wallclock.format_result(result))
+    scan = result["synthetic"]["scan_filter"]
+    assert scan["batch_ms"] <= scan["row_ms"], (
+        f"batch {scan['batch_ms']}ms vs row {scan['row_ms']}ms")

@@ -1,0 +1,214 @@
+"""Wall-clock lane: real execution time, row engine vs. batch engine.
+
+Unlike every other experiment in this package, which measures the
+simulated ``rows_touched`` currency, this one measures *actual* Python
+wall time.  The same statements are executed under both physical engines
+(``Database(engine="row")`` — interpreted row-at-a-time pull — and
+``engine="batch"`` — chunked pull through plan-compiled expression
+closures) and the per-query best-of-N times are compared.  Both engines
+must return byte-identical rows and identical ``rows_touched``; the
+benchmark verifies that on every query (``match``), so a speedup can
+never come from computing something different.
+
+Two lanes:
+
+* **synthetic** — a seeded two-table microbenchmark (scan+filter, a
+  filtered join, projection arithmetic) sized to make interpreter
+  dispatch the dominant cost.  This is where the headline >=2x
+  scan/filter speedup is asserted.
+* **apps** — the itracker/openmrs report pages and the TPC-C range
+  reports (``REPORT_QUERIES`` + ``RANGE_REPORT_QUERIES``), i.e. the
+  statements the rest of the harness actually runs.  These are small
+  per-execution, so each timing sample runs the query ``inner`` times.
+
+``tools/bench_wallclock.py`` wraps this as a CLI and writes
+``BENCH_wallclock.json`` at the repo root — the start of the per-PR
+wall-clock trajectory; ``benchmarks/test_wallclock.py`` smoke-asserts
+engine agreement and the CI job gates on the scan/filter microbench.
+
+The result cache is disabled throughout (``ResultCache(0)``): a cache
+hit would time the cache, not the engine.
+"""
+
+from time import perf_counter
+
+from repro.apps import itracker, openmrs
+from repro.apps.itracker import reports as itracker_reports
+from repro.apps.openmrs import reports as openmrs_reports
+from repro.apps.tpcc import data as tpcc_data
+from repro.apps.tpcc import reports as tpcc_reports
+from repro.bench.report import format_table
+from repro.sqldb import Database
+from repro.sqldb.result_cache import ResultCache
+
+SYNTHETIC_ROWS = 20000
+SMOKE_SYNTHETIC_ROWS = 4000
+
+SYNTHETIC_QUERIES = (
+    (
+        "scan_filter",
+        "SELECT id, amount FROM events WHERE amount > ? AND kind < ?",
+        (200, 9),
+    ),
+    (
+        "join_filter",
+        "SELECT e.id, u.name FROM events e "
+        "JOIN users u ON e.user_id = u.id WHERE u.segment = ?",
+        (3,),
+    ),
+    (
+        "project_arith",
+        "SELECT id, amount * ? + kind FROM events WHERE amount >= ?",
+        (2, 100),
+    ),
+)
+
+
+def _build_synthetic(engine, n_rows):
+    db = Database("wallclock", result_cache_size=0, engine=engine)
+    db.execute(
+        "CREATE TABLE users (id INT PRIMARY KEY, name TEXT, segment INT)")
+    db.execute(
+        "CREATE TABLE events (id INT PRIMARY KEY, user_id INT, kind INT, "
+        "amount INT, label TEXT)")
+    n_users = max(50, n_rows // 40)
+    for i in range(n_users):
+        db.execute("INSERT INTO users (id, name, segment) VALUES (?, ?, ?)",
+                   (i, f"user{i}", i % 7))
+    for i in range(n_rows):
+        db.execute(
+            "INSERT INTO events (id, user_id, kind, amount, label) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (i, i % n_users, i % 13, (i * 37) % 1000, f"evt{i % 23}"))
+    return db
+
+
+def _build_itracker():
+    db, _ = itracker.build_app()
+    return db
+
+
+def _build_openmrs():
+    db, _ = openmrs.build_app()
+    return db
+
+
+def _build_tpcc():
+    db = Database("tpcc")
+    tpcc_data.seed(db)
+    return db
+
+
+APPS = (
+    ("itracker", _build_itracker,
+     itracker_reports.REPORT_QUERIES + itracker_reports.RANGE_REPORT_QUERIES),
+    ("openmrs", _build_openmrs,
+     openmrs_reports.REPORT_QUERIES + openmrs_reports.RANGE_REPORT_QUERIES),
+    ("tpcc", _build_tpcc, tpcc_reports.RANGE_REPORT_QUERIES),
+)
+
+
+def _time_query(db, sql, params, outer, inner):
+    """Best-of-``outer`` average time of ``inner`` executions, seconds.
+
+    The first (untimed) execution warms the plan cache, so the samples
+    measure execution alone — plan build cost is identical for both
+    engines and not what this lane tracks.
+    """
+    result = db.execute(sql, params)
+    best = float("inf")
+    for _ in range(outer):
+        start = perf_counter()
+        for _ in range(inner):
+            result = db.execute(sql, params)
+        best = min(best, (perf_counter() - start) / inner)
+    return best, result
+
+
+def _compare(name, row_timing, batch_timing):
+    row_seconds, row_result = row_timing
+    batch_seconds, batch_result = batch_timing
+    return {
+        "row_ms": round(row_seconds * 1000, 4),
+        "batch_ms": round(batch_seconds * 1000, 4),
+        "speedup": round(row_seconds / batch_seconds, 3)
+        if batch_seconds else None,
+        "rows": len(batch_result.rows),
+        "rows_touched": batch_result.rows_touched,
+        "match": (row_result.rows == batch_result.rows
+                  and row_result.rows_touched == batch_result.rows_touched),
+    }
+
+
+def run(smoke=False):
+    """Time every query under both engines; returns a JSON-able dict."""
+    n_rows = SMOKE_SYNTHETIC_ROWS if smoke else SYNTHETIC_ROWS
+    outer = 3 if smoke else 5
+    inner = 5 if smoke else 20
+
+    synthetic = {}
+    row_db = _build_synthetic("row", n_rows)
+    batch_db = _build_synthetic("batch", n_rows)
+    for name, sql, params in SYNTHETIC_QUERIES:
+        # One execution per sample: the synthetic table is big enough
+        # that a single run is far above timer resolution.
+        synthetic[name] = _compare(
+            name,
+            _time_query(row_db, sql, params, outer, 1),
+            _time_query(batch_db, sql, params, outer, 1))
+
+    apps = {}
+    for app_name, build, queries in APPS:
+        db = build()
+        db.result_cache = ResultCache(0)
+        per_query = {}
+        total_row = total_batch = 0.0
+        for query_name, sql, params in queries:
+            db.engine = "row"
+            row_timing = _time_query(db, sql, params, outer, inner)
+            db.engine = "batch"
+            batch_timing = _time_query(db, sql, params, outer, inner)
+            per_query[query_name] = _compare(
+                query_name, row_timing, batch_timing)
+            total_row += row_timing[0]
+            total_batch += batch_timing[0]
+        apps[app_name] = {
+            "queries": per_query,
+            "totals": {
+                "row_ms": round(total_row * 1000, 4),
+                "batch_ms": round(total_batch * 1000, 4),
+                "speedup": round(total_row / total_batch, 3)
+                if total_batch else None,
+            },
+        }
+
+    return {
+        "config": {
+            "smoke": smoke,
+            "synthetic_rows": n_rows,
+            "outer_repeats": outer,
+            "inner_repeats": inner,
+            "batches_executed": batch_db.executor.batches_executed,
+        },
+        "synthetic": synthetic,
+        "apps": apps,
+    }
+
+
+def format_result(result):
+    rows = []
+    for name, numbers in result["synthetic"].items():
+        rows.append((f"synthetic:{name}", numbers["row_ms"],
+                     numbers["batch_ms"], f"{numbers['speedup']}x",
+                     "ok" if numbers["match"] else "MISMATCH"))
+    for app, per_app in result["apps"].items():
+        for query_name, numbers in per_app["queries"].items():
+            rows.append((f"{app}:{query_name}", numbers["row_ms"],
+                         numbers["batch_ms"], f"{numbers['speedup']}x",
+                         "ok" if numbers["match"] else "MISMATCH"))
+        totals = per_app["totals"]
+        rows.append((f"{app}:TOTAL", totals["row_ms"], totals["batch_ms"],
+                     f"{totals['speedup']}x", ""))
+    return format_table(
+        ("query", "row ms", "batch ms", "speedup", "results"), rows,
+        title="Wall-clock execution time — row vs. batch engine")

@@ -27,10 +27,25 @@ class Database:
     ``result_cache_size`` bounds the cross-request result cache
     (:mod:`repro.sqldb.result_cache`); pass ``0`` to disable caching
     entirely (differential baselines, re-execution-counting tests).
+
+    ``engine`` selects the physical execution engine: ``"batch"`` (the
+    default) pulls chunks of rows through plan-compiled expression
+    closures; ``"row"`` is the legacy interpreted row-at-a-time pull,
+    kept selectable for differential testing and the wall-clock benchmark
+    lane.  Results and ``rows_touched`` are identical under both — only
+    real wall-clock time differs.  The attribute may be flipped between
+    statements; cached plans carry both paths.
     """
 
+    ENGINES = ("batch", "row")
+
     def __init__(self, name="main", optimizer_options=None,
-                 result_cache_size=DEFAULT_RESULT_CACHE_LIMIT):
+                 result_cache_size=DEFAULT_RESULT_CACHE_LIMIT,
+                 engine="batch"):
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {self.ENGINES}")
+        self.engine = engine
         self.name = name
         self.catalog = Catalog()
         self.tables = {}
@@ -85,7 +100,7 @@ class Database:
         result = self.execute(sql, params)
         return [dict(zip(result.columns, row)) for row in result.rows]
 
-    def explain(self, sql, params=None):
+    def explain(self, sql, params=None, analyze=False):
         """The optimized logical plan for a SELECT, as an indented tree —
         join order (tree nesting), join strategy (hash / index / nested)
         and per-node cost estimates included.
@@ -93,8 +108,16 @@ class Database:
         With ``params`` the output gains a trailing ``ResultCache`` line
         reporting whether this exact (statement, parameters) execution
         would currently be served from the cross-request result cache,
-        plus the cache's cumulative counters; the probe is side-effect
-        free (counters and LRU order stay untouched).
+        plus the cache's cumulative counters, and an ``Engine`` line
+        naming the active execution engine; the probe is side-effect free
+        (counters and LRU order stay untouched).
+
+        With ``analyze=True`` the plan is **executed** (with ``params`` or
+        none) and each physical operator line is annotated with its
+        produced-row count and inclusive wall time — the EXPLAIN ANALYZE
+        profiling surface.  The analyze run bypasses the result cache and
+        statement counters: it measures the plan, it doesn't count as
+        workload.
 
         For non-SELECT statements, returns the statement repr.
         """
@@ -104,6 +127,10 @@ class Database:
         stmt = parse(sql)
         if not isinstance(stmt, A.Select):
             return repr(stmt)
+        if analyze:
+            plan = self.executor.plan_for(stmt)
+            _, lines = plan.execute_analyze(self, params or ())
+            return "\n".join(lines)
         logical, sctx = build_select_plan(self, stmt)
         rendered = explain(optimize(logical, sctx, self))
         if params is not None:
@@ -114,12 +141,26 @@ class Database:
                 f"\nResultCache [status={status!r}, hits={cache.hits}, "
                 f"misses={cache.misses}, "
                 f"invalidations={cache.invalidations}]")
+            rendered += (
+                f"\nEngine [name={self.engine!r}, "
+                f"batches_executed={self.executor.batches_executed}]")
         return rendered
 
     def result_cache_stats(self):
         """Hit/miss/invalidation/store counters for the cross-request
         result cache (plus current size)."""
         return self.result_cache.stats()
+
+    def engine_stats(self):
+        """Which execution engine is active and how much work it has done:
+        ``batches_executed`` counts every chunk that flowed through the
+        batch operators (0 forever under the row engine), so tests and
+        benchmarks can assert which path actually ran."""
+        return {
+            "engine": self.engine,
+            "batches_executed": self.executor.batches_executed,
+            "plans_built": self.executor.plans_built,
+        }
 
     def table_size(self, name):
         return len(self.tables_get(name))

@@ -55,6 +55,10 @@ class Executor:
         self._plans = {}
         self._catalog_version = 0
         self.plans_built = 0  # optimize() invocations, for staleness tests
+        # Chunks that flowed through the batch engine's operators, summed
+        # over every plan execution — stays 0 under Database(engine="row"),
+        # which is how tests assert which execution path ran.
+        self.batches_executed = 0
 
     def execute(self, stmt, params=()):
         kind = type(stmt)

@@ -1,0 +1,616 @@
+"""Expression compilation: lower ASTs to Python closures once per plan.
+
+The interpreted evaluator (:func:`repro.sqldb.expressions.evaluate`) re-walks
+the expression tree for every row — type dispatch, attribute loads and
+recursive calls dominate the real wall-clock of every scan and filter.  This
+module lowers an expression **once** (when the physical plan is built) into a
+tree of small Python closures with the shape ``fn(values, params) -> value``:
+
+- column references become direct position loads (``values[pos]``), resolved
+  against the select context at compile time,
+- constant subtrees are folded to a single captured value,
+- literal LIKE patterns are pre-compiled to regexes, IN lists keep their
+  item closures pre-built,
+- comparisons against a known constant bake the comparability check for the
+  constant's type.
+
+Semantics are **bit-identical** to the interpreter, including three-valued
+logic, evaluation order and every error: anything the interpreter raises
+only when a row is actually evaluated (unknown columns, ambiguous
+references, type errors in constant subtrees) compiles to a closure that
+raises the same error at call time, so an empty input still raises nothing.
+Node shapes without a compiled form (scalar function calls, ``*``) fall
+back to a closure over the interpreter itself, so compilation never
+changes behaviour — only speed.
+
+Compiled closures live exactly as long as the physical plan that owns them:
+the executor's plan cache is invalidated by DDL and stats epochs, which is
+also when column positions could shift, so a cached closure can never read
+a stale layout.
+"""
+
+from repro.sqldb import ast_nodes as A
+from repro.sqldb.errors import SqlError, SqlTypeError
+from repro.sqldb.expressions import (
+    RowContext,
+    _compare,
+    _like_match,
+    _truthy,
+    evaluate,
+    like_to_regex,
+)
+from repro.sqldb.plan.planner import _AGGREGATE_NAMES
+from repro.sqldb.types import is_comparable
+
+__all__ = ["compile_expr"]
+
+
+def compile_expr(expr, positions, ambiguous=frozenset()):
+    """Compile ``expr`` to ``fn(values, params) -> value``.
+
+    ``positions``/``ambiguous`` come from the select context's
+    :class:`~repro.sqldb.expressions.RowContext` (``ctx.positions`` /
+    ``ctx.ambiguous``).  Never raises: any shape that cannot be compiled
+    returns an interpreting fallback closure.
+    """
+    try:
+        fn, _ = _compile(expr, positions, ambiguous)
+        return fn
+    except Exception:  # defensive: compilation must never change behaviour
+        return _interpreted(expr, positions, ambiguous)
+
+
+# ---------------------------------------------------------------------------
+# Building blocks
+# ---------------------------------------------------------------------------
+
+
+def _interpreted(expr, positions, ambiguous):
+    """Fallback: evaluate the subtree with the interpreter per call."""
+    ctx = RowContext(positions, ambiguous)
+
+    def fn(values, params):
+        ctx.bind(values)
+        return evaluate(expr, ctx, params)
+
+    return fn
+
+
+def _const_fn(value):
+    def fn(values, params):
+        return value
+
+    return fn
+
+
+def _raiser(exc):
+    """A closure that defers an error discovered at compile time to call
+    time — preserving the interpreter's contract that errors only surface
+    when a row is actually evaluated."""
+
+    def fn(values, params):
+        raise exc
+
+    return _mark_bool(fn)  # never returns, so trivially three-valued
+
+
+def _mark_bool(fn):
+    """Tag a closure as **three-valued**: provably returns only True,
+    False or None.  AND/OR over tagged operands skip the per-call
+    ``_truthy`` type dispatch — the interpreter's behaviour on booleans,
+    reached without the function call."""
+    fn.tvl = True
+    return fn
+
+
+def _is_bool(fn):
+    return getattr(fn, "tvl", False)
+
+
+def _fold(fn):
+    """Evaluate a fully-constant closure once; defer any SQL error."""
+    try:
+        value = fn(None, ())
+    except SqlError as exc:
+        return _raiser(exc), False
+    folded = _const_fn(value)
+    if value is None or value is True or value is False:
+        _mark_bool(folded)
+    return folded, True
+
+
+def _column_position(expr, positions, ambiguous):
+    """The flat row position of a ColumnRef, or a deferred-error closure.
+
+    Returns ``(pos, None)`` on success, ``(None, raiser)`` when resolution
+    fails (the interpreter would raise the same error per evaluation).
+    """
+    if expr.table is None and expr.column in ambiguous:
+        return None, _raiser(
+            SqlError(f"ambiguous column reference {expr.column!r}"))
+    pos = positions.get((expr.table, expr.column))
+    if pos is None:
+        where = f"table {expr.table!r}" if expr.table else "any table"
+        return None, _raiser(
+            SqlError(f"unknown column {expr.column!r} in {where}"))
+    return pos, None
+
+
+# ---------------------------------------------------------------------------
+# The compiler
+# ---------------------------------------------------------------------------
+
+
+def _compile(expr, positions, ambiguous):
+    """Compile one node; returns ``(fn, is_const)``.
+
+    ``is_const`` marks closures whose value cannot depend on the row or the
+    parameters *and* that cannot raise — the precondition for folding.
+    """
+    kind = type(expr)
+    if kind is A.Literal:
+        fn = _const_fn(expr.value)
+        value = expr.value
+        if value is None or value is True or value is False:
+            _mark_bool(fn)
+        return fn, True
+    if kind is A.Param:
+        index = expr.index
+
+        def param_fn(values, params):
+            try:
+                return params[index]
+            except IndexError:
+                raise SqlError(
+                    f"missing parameter #{index + 1} "
+                    f"(got {len(params)} parameters)") from None
+
+        return param_fn, False
+    if kind is A.ColumnRef:
+        pos, raiser = _column_position(expr, positions, ambiguous)
+        if raiser is not None:
+            return raiser, False
+
+        def column_fn(values, params):
+            return values[pos]
+
+        return column_fn, False
+    if kind is A.BinaryOp:
+        return _compile_binary(expr, positions, ambiguous)
+    if kind is A.UnaryOp:
+        return _compile_unary(expr, positions, ambiguous)
+    if kind is A.IsNull:
+        inner, const = _compile(expr.expr, positions, ambiguous)
+        negated = expr.negated
+
+        def isnull_fn(values, params):
+            result = inner(values, params) is None
+            return (not result) if negated else result
+
+        _mark_bool(isnull_fn)
+        return _fold(isnull_fn) if const else (isnull_fn, False)
+    if kind is A.InList:
+        return _compile_in(expr, positions, ambiguous)
+    if kind is A.Between:
+        return _compile_between(expr, positions, ambiguous)
+    if kind is A.Like:
+        return _compile_like(expr, positions, ambiguous)
+    # FuncCall (scalar functions, misplaced aggregates), Star, and anything
+    # newer than this compiler: interpret per call.
+    return _interpreted(expr, positions, ambiguous), False
+
+
+def _compile_binary(expr, positions, ambiguous):
+    op = expr.op
+    lf, lconst = _compile(expr.left, positions, ambiguous)
+    rf, rconst = _compile(expr.right, positions, ambiguous)
+    both_const = lconst and rconst
+    if op == "AND":
+        if _is_bool(lf) and _is_bool(rf):
+            # Both operands provably three-valued: the _truthy dispatch
+            # reduces to identity, leaving pure Kleene AND.
+            def and_fn(values, params):
+                left = lf(values, params)
+                if left is False:
+                    return False
+                right = rf(values, params)
+                if right is False:
+                    return False
+                if left is None or right is None:
+                    return None
+                return True
+        else:
+            def and_fn(values, params):
+                left = lf(values, params)
+                if left is not None and not _truthy(left):
+                    return False
+                right = rf(values, params)
+                if right is not None and not _truthy(right):
+                    return False
+                if left is None or right is None:
+                    return None
+                return True
+
+        _mark_bool(and_fn)
+        return _fold(and_fn) if both_const else (and_fn, False)
+    if op == "OR":
+        if _is_bool(lf) and _is_bool(rf):
+            def or_fn(values, params):
+                left = lf(values, params)
+                if left is True:
+                    return True
+                right = rf(values, params)
+                if right is True:
+                    return True
+                if left is None or right is None:
+                    return None
+                return False
+        else:
+            def or_fn(values, params):
+                left = lf(values, params)
+                if left is not None and _truthy(left):
+                    return True
+                right = rf(values, params)
+                if right is not None and _truthy(right):
+                    return True
+                if left is None or right is None:
+                    return None
+                return False
+
+        _mark_bool(or_fn)
+        return _fold(or_fn) if both_const else (or_fn, False)
+    if op in _CMP_OPS:
+        return _compile_comparison(expr, op, lf, lconst, rf, rconst,
+                                   positions, ambiguous)
+    if op == "||":
+
+        def concat_fn(values, params):
+            left = lf(values, params)
+            right = rf(values, params)
+            if left is None or right is None:
+                return None
+            if not isinstance(left, str) or not isinstance(right, str):
+                raise SqlTypeError("'||' requires text operands")
+            return left + right
+
+        return _fold(concat_fn) if both_const else (concat_fn, False)
+    if op in ("+", "-", "*", "/", "%"):
+        arith_fn = _arith(op, lf, rf)
+        return _fold(arith_fn) if both_const else (arith_fn, False)
+    return _raiser(SqlError(f"unknown binary operator {op!r}")), False
+
+
+# Derived from the interpreter's _compare (a < b / a > b probes), not the
+# native ==/!= — identical for every SQL type, and bit-for-bit the same on
+# degenerate floats a user might smuggle through parameters.
+_CMP_OPS = {
+    "=": lambda a, b: not (a < b or a > b),
+    "<>": lambda a, b: a < b or a > b,
+    "<": lambda a, b: a < b,
+    ">": lambda a, b: a > b,
+    "<=": lambda a, b: not (a > b),
+    ">=": lambda a, b: not (a < b),
+}
+
+
+def _compile_comparison(expr, op, lf, lconst, rf, rconst, positions,
+                        ambiguous):
+    cmp = _CMP_OPS[op]
+    if lconst and rconst:
+
+        def const_cmp_fn(values, params):
+            return _cmp_generic(cmp, lf(values, params), rf(values, params))
+
+        return _fold(const_cmp_fn)
+    # The hottest shape: one side a plain column load, the other a non-NULL
+    # constant — bake the constant and its comparability test.
+    for col_side, const_side, const_is_right in (
+            (expr.left, (rf, rconst), True),
+            (expr.right, (lf, lconst), False)):
+        side_fn, side_const = const_side
+        if not (side_const and isinstance(col_side, A.ColumnRef)):
+            continue
+        constant = side_fn(None, ())
+        if constant is None:
+            break  # NULL constant: comparison is always UNKNOWN
+        pos, raiser = _column_position(col_side, positions, ambiguous)
+        if raiser is not None:
+            break  # unresolvable column: generic path defers the error
+        type_ok = _const_type_check(constant)
+
+        def fast_cmp_fn(values, params, pos=pos, constant=constant,
+                        type_ok=type_ok, const_is_right=const_is_right):
+            a = values[pos]
+            if a is None:
+                return None
+            if not type_ok(a):
+                left, right = ((a, constant) if const_is_right
+                               else (constant, a))
+                raise SqlTypeError(f"cannot compare {left!r} with {right!r}")
+            return cmp(a, constant) if const_is_right else cmp(constant, a)
+
+        return _mark_bool(fast_cmp_fn), False
+
+    # Next-hottest: a column against a parameter or arbitrary expression —
+    # inline the position load on the column side and the comparability
+    # lattice, preserving the interpreter's left-then-right evaluation
+    # order (the non-column side may raise).
+    if isinstance(expr.left, A.ColumnRef):
+        pos, raiser = _column_position(expr.left, positions, ambiguous)
+        if raiser is None:
+
+            def col_left_cmp_fn(values, params):
+                a = values[pos]
+                b = rf(values, params)
+                if a is None or b is None:
+                    return None
+                if isinstance(a, bool) or isinstance(b, bool):
+                    if not (isinstance(a, bool) and isinstance(b, bool)):
+                        raise SqlTypeError(
+                            f"cannot compare {a!r} with {b!r}")
+                elif (not (isinstance(a, (int, float))
+                           and isinstance(b, (int, float)))
+                        and type(a) is not type(b)):
+                    raise SqlTypeError(f"cannot compare {a!r} with {b!r}")
+                return cmp(a, b)
+
+            return _mark_bool(col_left_cmp_fn), False
+    elif isinstance(expr.right, A.ColumnRef):
+        pos, raiser = _column_position(expr.right, positions, ambiguous)
+        if raiser is None:
+
+            def col_right_cmp_fn(values, params):
+                a = lf(values, params)
+                b = values[pos]
+                if a is None or b is None:
+                    return None
+                if isinstance(a, bool) or isinstance(b, bool):
+                    if not (isinstance(a, bool) and isinstance(b, bool)):
+                        raise SqlTypeError(
+                            f"cannot compare {a!r} with {b!r}")
+                elif (not (isinstance(a, (int, float))
+                           and isinstance(b, (int, float)))
+                        and type(a) is not type(b)):
+                    raise SqlTypeError(f"cannot compare {a!r} with {b!r}")
+                return cmp(a, b)
+
+            return _mark_bool(col_right_cmp_fn), False
+
+    def cmp_fn(values, params):
+        return _cmp_generic(cmp, lf(values, params), rf(values, params))
+
+    return _mark_bool(cmp_fn), False
+
+
+def _cmp_generic(cmp, a, b):
+    if a is None or b is None:
+        return None
+    if not is_comparable(a, b):
+        raise SqlTypeError(f"cannot compare {a!r} with {b!r}")
+    return cmp(a, b)
+
+
+def _const_type_check(constant):
+    """A predicate over row values matching ``is_comparable(v, constant)``
+    for the known, non-NULL constant."""
+    if isinstance(constant, bool):
+        return lambda v: isinstance(v, bool)
+    if isinstance(constant, (int, float)):
+        return lambda v: (not isinstance(v, bool)
+                          and isinstance(v, (int, float)))
+    expected = type(constant)
+    return lambda v: type(v) is expected
+
+
+def _arith(op, lf, rf):
+    def fn(values, params):
+        left = lf(values, params)
+        right = rf(values, params)
+        if left is None or right is None:
+            return None
+        if (isinstance(left, bool) or isinstance(right, bool)
+                or not isinstance(left, (int, float))
+                or not isinstance(right, (int, float))):
+            raise SqlTypeError(
+                f"arithmetic requires numbers, got {left!r} {op} {right!r}")
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                return None  # SQL semantics: division by zero yields NULL
+            result = left / right
+            if isinstance(left, int) and isinstance(right, int):
+                return int(result) if result == int(result) else result
+            return result
+        if right == 0:
+            return None
+        return left % right
+
+    return fn
+
+
+def _compile_unary(expr, positions, ambiguous):
+    inner, const = _compile(expr.operand, positions, ambiguous)
+    if expr.op == "NOT":
+
+        def not_fn(values, params):
+            value = inner(values, params)
+            return None if value is None else (not _truthy(value))
+
+        _mark_bool(not_fn)
+        return _fold(not_fn) if const else (not_fn, False)
+    if expr.op == "-":
+
+        def neg_fn(values, params):
+            value = inner(values, params)
+            if value is None:
+                return None
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SqlTypeError(f"cannot negate {value!r}")
+            return -value
+
+        return _fold(neg_fn) if const else (neg_fn, False)
+    return _raiser(SqlError(f"unknown unary operator {expr.op!r}")), False
+
+
+def _compile_in(expr, positions, ambiguous):
+    ef, _ = _compile(expr.expr, positions, ambiguous)
+    item_fns = [_compile(item, positions, ambiguous)[0]
+                for item in expr.items]
+    negated = expr.negated
+
+    def in_fn(values, params):
+        value = ef(values, params)
+        if value is None:
+            return None
+        saw_null = False
+        for item_fn in item_fns:
+            candidate = item_fn(values, params)
+            if candidate is None:
+                saw_null = True
+                continue
+            if (is_comparable(value, candidate)
+                    and not (value < candidate or value > candidate)):
+                return not negated
+        if saw_null:
+            return None
+        return negated
+
+    return _mark_bool(in_fn), False
+
+
+def _compile_between(expr, positions, ambiguous):
+    ef, econst = _compile(expr.expr, positions, ambiguous)
+    lf, lconst = _compile(expr.low, positions, ambiguous)
+    hf, hconst = _compile(expr.high, positions, ambiguous)
+    negated = expr.negated
+
+    def between_fn(values, params):
+        value = ef(values, params)
+        low = lf(values, params)
+        high = hf(values, params)
+        if value is None or low is None or high is None:
+            return None
+        result = _compare(value, low) >= 0 and _compare(value, high) <= 0
+        return (not result) if negated else result
+
+    _mark_bool(between_fn)
+    if econst and lconst and hconst:
+        return _fold(between_fn)
+    return between_fn, False
+
+
+def _compile_like(expr, positions, ambiguous):
+    ef, econst = _compile(expr.expr, positions, ambiguous)
+    pf, pconst = _compile(expr.pattern, positions, ambiguous)
+    negated = expr.negated
+    if pconst:
+        pattern = pf(None, ())
+        if pattern is None:
+            # LIKE with a NULL pattern is UNKNOWN for every value — but the
+            # value expression still evaluates first (it may raise).
+            def null_pattern_fn(values, params):
+                ef(values, params)
+                return None
+
+            _mark_bool(null_pattern_fn)
+            return (_fold(null_pattern_fn) if econst
+                    else (null_pattern_fn, False))
+        if isinstance(pattern, str):
+            regex = like_to_regex(pattern)
+
+            def fast_like_fn(values, params):
+                value = ef(values, params)
+                if value is None:
+                    return None
+                if not isinstance(value, str):
+                    raise SqlTypeError("LIKE requires text operands")
+                result = regex.match(value) is not None
+                return (not result) if negated else result
+
+            _mark_bool(fast_like_fn)
+            return (_fold(fast_like_fn) if econst
+                    else (fast_like_fn, False))
+
+    def like_fn(values, params):
+        value = ef(values, params)
+        pattern = pf(values, params)
+        if value is None or pattern is None:
+            return None
+        if not isinstance(value, str) or not isinstance(pattern, str):
+            raise SqlTypeError("LIKE requires text operands")
+        result = _like_match(value, pattern)
+        return (not result) if negated else result
+
+    return _mark_bool(like_fn), False
+
+
+# ---------------------------------------------------------------------------
+# Aggregate select items (used by AggregateOp's batch path)
+# ---------------------------------------------------------------------------
+
+
+def compile_aggregate_item(expr, positions, ambiguous):
+    """Compiled ``fn(group_rows, params)`` for one aggregate-query select
+    item, or None when the shape needs the interpreted
+    ``_eval_aggregate_expr`` (aggregates nested in arithmetic, HAVING-style
+    composites, zero-argument calls that must raise).
+    """
+    if isinstance(expr, A.FuncCall) and expr.name in _AGGREGATE_NAMES:
+        name = expr.name
+        if name == "COUNT" and expr.args and isinstance(expr.args[0], A.Star):
+            return lambda group_rows, params: len(group_rows)
+        if not expr.args:
+            return None  # interpreter raises "requires an argument"
+        arg_fn = compile_expr(expr.args[0], positions, ambiguous)
+        distinct = expr.distinct
+
+        def agg_fn(group_rows, params):
+            collected = []
+            append = collected.append
+            for row in group_rows:
+                value = arg_fn(row, params)
+                if value is not None:
+                    append(value)
+            if distinct:
+                collected = list(dict.fromkeys(collected))
+            if name == "COUNT":
+                return len(collected)
+            if not collected:
+                return None
+            if name == "SUM":
+                return sum(collected)
+            if name == "AVG":
+                return sum(collected) / len(collected)
+            if name == "MIN":
+                return min(collected)
+            return max(collected)  # MAX
+
+        return agg_fn
+    if _contains_aggregate(expr):
+        return None  # composite shapes keep the interpreted recursion
+    # Plain expression in an aggregate query: constant within a group, so
+    # the interpreter evaluates it against the group's first row.
+    plain_fn = compile_expr(expr, positions, ambiguous)
+
+    def first_row_fn(group_rows, params):
+        if group_rows:
+            return plain_fn(group_rows[0], params)
+        return None
+
+    return first_row_fn
+
+
+def _contains_aggregate(expr):
+    if isinstance(expr, A.FuncCall) and expr.name in _AGGREGATE_NAMES:
+        return True
+    if isinstance(expr, A.BinaryOp):
+        return (_contains_aggregate(expr.left)
+                or _contains_aggregate(expr.right))
+    if isinstance(expr, A.UnaryOp):
+        return _contains_aggregate(expr.operand)
+    return False

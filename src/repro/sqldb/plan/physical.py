@@ -1,26 +1,54 @@
-"""Volcano-style physical operators.
+"""Vectorized physical operators with a row-at-a-time compat shim.
 
 Two operator flavours mirror the two halves of a SELECT:
 
 - **Row sources** (:class:`SeqScanOp`, :class:`IndexLookupOp`,
-  :class:`FilterOp`, :class:`HashJoinOp`, :class:`NestedLoopJoinOp`) stream
-  flat joined rows via ``iter_rows(run)``, pulling from their child — the
-  Volcano iterator protocol.  They charge every storage row they examine to
+  :class:`IndexRangeScanOp`, :class:`FilterOp`, :class:`HashJoinOp`,
+  :class:`IndexNLJoinOp`, :class:`NestedLoopJoinOp`) stream flat joined
+  rows.  They charge every storage row they examine to
   ``run.rows_touched``, which the cost model converts to database time.
 
 - **Result operators** (:class:`ProjectOp`, :class:`AggregateOp`,
   :class:`DistinctOp`, :class:`SortOp`, :class:`LimitOp`) transform the
-  materialized output relation via ``apply(run)``.  Sort and Aggregate are
-  blocking by nature; Distinct/Limit keep list semantics so ORDER BY's
-  legacy behaviour (sorting projected rows, with source-column keys allowed
-  for non-aggregate queries) is preserved exactly.
+  materialized output relation via ``apply(run)``.
+
+Row sources implement **two execution protocols**:
+
+``iter_batches(run)``
+    The default (batch) engine: operators exchange chunks of up to
+    :data:`CHUNK_SIZE` rows.  Scans materialize chunks directly from
+    storage; filters apply a predicate **compiled once per cached plan**
+    (:mod:`repro.sqldb.plan.compile`) over whole chunks; joins probe
+    chunk-wise.  This is the wall-clock fast path — per-row generator
+    resumption and expression-tree walks disappear from the hot loop.
+
+``iter_rows_interp(run)``
+    The legacy interpreted Volcano pull, one row at a time through
+    :func:`repro.sqldb.expressions.evaluate`.  Kept fully functional and
+    selectable (``Database(engine="row")``) so the wall-clock benchmark
+    lane and the differential oracle can compare both engines, and used
+    by **both** engines for ``limit_hint`` stop-after-N execution, where
+    chunked pulls would overshoot the cutoff and charge storage rows the
+    row engine never touches.
+
+``iter_rows(run)`` is the row-at-a-time compat shim, implemented over
+``iter_batches``.  ``rows_touched`` is engine-invariant by construction:
+rows are charged only where storage is read, both engines consume their
+sources to exhaustion (the only early stop — ``limit_hint`` — runs the
+interpreted path in both), so every figure's simulated cost is identical
+whichever engine produced it.
 
 ``build_physical`` lowers an optimized logical tree into a
 :class:`PhysicalPlan`; ``PhysicalPlan.execute(db, params)`` returns an
-:class:`repro.sqldb.result.ExecResult`.
+:class:`repro.sqldb.result.ExecResult`, and
+``PhysicalPlan.execute_analyze`` additionally times every operator
+(EXPLAIN ANALYZE).
 """
 
+import copy
 from itertools import groupby, islice
+from operator import itemgetter
+from time import perf_counter
 
 from repro.sqldb import ast_nodes as A
 from repro.sqldb.errors import SqlError, SqlTypeError
@@ -28,8 +56,14 @@ from repro.sqldb.expressions import evaluate, RowContext
 from repro.sqldb.indexes import OrderedIndex, wrap_key
 from repro.sqldb.plan import logical as L
 from repro.sqldb.plan.access import range_scan_ids, resolve_index_lookup
+from repro.sqldb.plan.compile import compile_aggregate_item, compile_expr
 from repro.sqldb.plan.planner import _AGGREGATE_NAMES
 from repro.sqldb.result import ExecResult
+
+# Rows per chunk in the batch engine.  Large enough to amortize per-chunk
+# Python overhead, small enough that a chunk of joined rows stays cache-
+# friendly and LIMITed queries don't materialize far past their cutoff.
+CHUNK_SIZE = 1024
 
 
 class PlanRun:
@@ -37,7 +71,7 @@ class PlanRun:
 
     __slots__ = ("db", "params", "sctx", "ctx", "rows_touched",
                  "source_rows", "out_columns", "out_rows", "has_aggregates",
-                 "prefetched_base_rows")
+                 "prefetched_base_rows", "engine", "batches")
 
     def __init__(self, db, params, sctx, prefetched_base_rows=None):
         self.db = db
@@ -53,6 +87,8 @@ class PlanRun:
         # of scanning storage (the batch shared-scan path): the scan already
         # happened once for the whole group, so no rows are charged here.
         self.prefetched_base_rows = prefetched_base_rows
+        self.engine = getattr(db, "engine", "batch")
+        self.batches = 0  # chunks that flowed through the batch operators
 
 
 def _pad(row, offset, total_width):
@@ -61,11 +97,97 @@ def _pad(row, offset, total_width):
     return values
 
 
+def _chunked(run, rows):
+    """Re-chunk a row stream into CHUNK_SIZE batches."""
+    chunk = []
+    append = chunk.append
+    for values in rows:
+        append(values)
+        if len(chunk) >= CHUNK_SIZE:
+            run.batches += 1
+            yield chunk
+            chunk = []
+            append = chunk.append
+    if chunk:
+        run.batches += 1
+        yield chunk
+
+
 # ---------------------------------------------------------------------------
 # Row sources
 # ---------------------------------------------------------------------------
 
-class SeqScanOp:
+class RowSource:
+    """Base class for row sources: the row-at-a-time compat shim."""
+
+    def iter_rows(self, run):
+        """Row-at-a-time view over the batch protocol."""
+        for chunk in self.iter_batches(run):
+            yield from chunk
+
+
+class _BaseTableScan(RowSource):
+    """Shared scaffolding for base-table access operators.
+
+    Subclasses define ``_pairs(run, table)`` yielding ``(row_id, row)``
+    from storage; charging, padding, chunking, the shared-scan prefetch
+    and the zero-copy fast path live here so both engines stay in exact
+    accounting agreement.
+
+    Zero-copy fast path: when the table sits at offset 0 of a joined-row
+    layout exactly as wide as the table itself (every single-table plan),
+    the storage row *is* the flat row — the per-row ``[None] * total``
+    copy is skipped and the storage list yielded directly.  This is safe
+    because storage rows are never mutated in place (updates install
+    fresh lists) and no plan operator mutates source rows: joins merge
+    into copies (``list(values)``) and projections emit new tuples.
+    """
+
+    uses_prefetch = True
+
+    def iter_rows_interp(self, run):
+        if self.uses_prefetch and run.prefetched_base_rows is not None:
+            yield from run.prefetched_base_rows
+            return
+        table = run.db.tables_get(self.table_name)
+        total = run.sctx.total_width
+        offset = self.offset
+        if offset == 0 and len(table.schema.columns) == total:
+            for _, row in self._pairs(run, table):
+                run.rows_touched += 1
+                yield row
+            return
+        for _, row in self._pairs(run, table):
+            run.rows_touched += 1
+            yield _pad(row, offset, total)
+
+    def iter_batches(self, run):
+        if self.uses_prefetch and run.prefetched_base_rows is not None:
+            rows = run.prefetched_base_rows
+            for start in range(0, len(rows), CHUNK_SIZE):
+                run.batches += 1
+                yield rows[start:start + CHUNK_SIZE]
+            return
+        table = run.db.tables_get(self.table_name)
+        total = run.sctx.total_width
+        offset = self.offset
+        direct = offset == 0 and len(table.schema.columns) == total
+        # Materialize the access path's (row_id, row) pairs once and carve
+        # chunks by slicing: charging per chunk instead of per row.  Safe
+        # because the batch path never stops early (limit_hint runs the
+        # interpreted path), so the full charge is identical either way.
+        pairs = list(self._pairs(run, table))
+        for start in range(0, len(pairs), CHUNK_SIZE):
+            part = pairs[start:start + CHUNK_SIZE]
+            run.rows_touched += len(part)
+            run.batches += 1
+            if direct:
+                yield [row for _, row in part]
+            else:
+                yield [_pad(row, offset, total) for _, row in part]
+
+
+class SeqScanOp(_BaseTableScan):
     """Full scan of the base table, padded to the joined-row width.
 
     ``offset`` is the table's slot in the flat joined-row layout — 0 unless
@@ -76,19 +198,11 @@ class SeqScanOp:
         self.table_name = table_name
         self.offset = offset
 
-    def iter_rows(self, run):
-        if run.prefetched_base_rows is not None:
-            yield from run.prefetched_base_rows
-            return
-        table = run.db.tables_get(self.table_name)
-        total = run.sctx.total_width
-        offset = self.offset
-        for _, row in table.scan():
-            run.rows_touched += 1
-            yield _pad(row, offset, total)
+    def _pairs(self, run, table):
+        return table.scan()
 
 
-class IndexLookupOp:
+class IndexLookupOp(_BaseTableScan):
     """Index-accelerated base-table access with runtime fallback.
 
     Key values come from the statement parameters, so the final index
@@ -103,28 +217,18 @@ class IndexLookupOp:
         self.where = where
         self.offset = offset
 
-    def iter_rows(self, run):
-        if run.prefetched_base_rows is not None:
-            yield from run.prefetched_base_rows
-            return
-        table = run.db.tables_get(self.table_name)
-        total = run.sctx.total_width
-        offset = self.offset
+    def _pairs(self, run, table):
         lookup = resolve_index_lookup(table, self.where, run.params)
         if lookup is None:
-            for _, row in table.scan():
-                run.rows_touched += 1
-                yield _pad(row, offset, total)
+            yield from table.scan()
             return
         for row_id in sorted(lookup):
             row = table.rows.get(row_id)
-            if row is None:
-                continue
-            run.rows_touched += 1
-            yield _pad(row, offset, total)
+            if row is not None:
+                yield row_id, row
 
 
-class IndexRangeScanOp:
+class IndexRangeScanOp(_BaseTableScan):
     """Ordered-index range scan: stream the base table's rows in index key
     order, touching only the equality-prefix + range region.
 
@@ -138,6 +242,8 @@ class IndexRangeScanOp:
     catalog's back), it falls back to scanning and sorting by the key
     columns, preserving the order contract.
     """
+
+    uses_prefetch = False
 
     def __init__(self, node, offset=0):
         self.table_name = node.table
@@ -169,42 +275,50 @@ class IndexRangeScanOp:
             groups.reverse()
         return [row_id for group in groups for row_id in group]
 
-    def iter_rows(self, run):
-        table = run.db.tables_get(self.table_name)
-        total = run.sctx.total_width
-        offset = self.offset
+    def _pairs(self, run, table):
         for row_id in self._row_ids(table, run.params):
             row = table.rows.get(row_id)
-            if row is None:
-                continue
-            run.rows_touched += 1
-            yield _pad(row, offset, total)
+            if row is not None:
+                yield row_id, row
 
 
-class FilterOp:
-    """Keep rows whose predicate evaluates to SQL TRUE."""
+class FilterOp(RowSource):
+    """Keep rows whose predicate evaluates to SQL TRUE.
 
-    def __init__(self, child, predicate):
+    The batch path applies the plan-compiled predicate closure over whole
+    chunks; the interpreted path re-walks the AST per row.
+    """
+
+    def __init__(self, child, predicate, sctx):
         self.child = child
         self.predicate = predicate
+        self._compiled = compile_expr(predicate, sctx.context.positions,
+                                      sctx.context.ambiguous)
 
-    def iter_rows(self, run):
+    def iter_rows_interp(self, run):
         predicate = self.predicate
         ctx = run.ctx
         params = run.params
-        for values in self.child.iter_rows(run):
+        for values in self.child.iter_rows_interp(run):
             ctx.bind(values)
             if evaluate(predicate, ctx, params) is True:
                 yield values
 
+    def iter_batches(self, run):
+        predicate = self._compiled
+        params = run.params
+        for chunk in self.child.iter_batches(run):
+            kept = [values for values in chunk
+                    if predicate(values, params) is True]
+            if kept:
+                run.batches += 1
+                yield kept
 
-def _hash_join_rows(run, table, left_rows, kind, left_pos, right_ordinal,
-                    offset, width):
-    """Shared hash-join loop: build over ``table``, probe with
-    ``left_rows``.  NULL keys are never indexed and never probe (SQL
-    ``NULL = NULL`` is UNKNOWN), so NULL join keys cannot match; LEFT joins
-    emit the unmatched left row padded with NULLs (already present from the
-    base padding)."""
+
+def _build_join_buckets(run, table, right_ordinal):
+    """Hash-build over ``table``, charging the full scan.  NULL keys are
+    never indexed (SQL ``NULL = NULL`` is UNKNOWN), so NULL join keys can
+    never match."""
     buckets = {}
     for _, row in table.scan():
         run.rows_touched += 1
@@ -212,6 +326,15 @@ def _hash_join_rows(run, table, left_rows, kind, left_pos, right_ordinal,
         if key is None:
             continue
         buckets.setdefault(key, []).append(row)
+    return buckets
+
+
+def _hash_join_rows(run, table, left_rows, kind, left_pos, right_ordinal,
+                    offset, width):
+    """Shared hash-join loop: build over ``table``, probe with
+    ``left_rows``.  NULL keys never probe; LEFT joins emit the unmatched
+    left row padded with NULLs (already present from the base padding)."""
+    buckets = _build_join_buckets(run, table, right_ordinal)
     for values in left_rows:
         key = values[left_pos]
         matches = buckets.get(key, ()) if key is not None else ()
@@ -224,9 +347,9 @@ def _hash_join_rows(run, table, left_rows, kind, left_pos, right_ordinal,
             yield list(values)
 
 
-class HashJoinOp:
+class HashJoinOp(RowSource):
     """Equi-join: build a hash table over the right table, probe with the
-    child's rows."""
+    child's rows (chunk-wise in the batch engine)."""
 
     def __init__(self, child, join_index, kind, table_name,
                  left_pos, right_ordinal):
@@ -237,16 +360,46 @@ class HashJoinOp:
         self.left_pos = left_pos
         self.right_ordinal = right_ordinal
 
-    def iter_rows(self, run):
+    def iter_rows_interp(self, run):
         right_table = run.db.tables_get(self.table_name)
         offset = run.sctx.offsets[self.join_index]
         width = run.sctx.widths[self.join_index]
         yield from _hash_join_rows(
-            run, right_table, self.child.iter_rows(run), self.kind,
+            run, right_table, self.child.iter_rows_interp(run), self.kind,
             self.left_pos, self.right_ordinal, offset, width)
 
+    def iter_batches(self, run):
+        right_table = run.db.tables_get(self.table_name)
+        offset = run.sctx.offsets[self.join_index]
+        width = run.sctx.widths[self.join_index]
+        left_pos = self.left_pos
+        kind = self.kind
+        # Build eagerly, exactly like the interpreted path: the right scan
+        # is charged even when the probe side turns out empty, keeping
+        # rows_touched engine-invariant.
+        buckets = _build_join_buckets(run, right_table, self.right_ordinal)
+        out = []
+        for chunk in self.child.iter_batches(run):
+            for values in chunk:
+                key = values[left_pos]
+                matches = buckets.get(key, ()) if key is not None else ()
+                if matches:
+                    for row in matches:
+                        merged = list(values)
+                        merged[offset:offset + width] = row
+                        out.append(merged)
+                elif kind == "LEFT":
+                    out.append(list(values))
+                if len(out) >= CHUNK_SIZE:
+                    run.batches += 1
+                    yield out
+                    out = []
+        if out:
+            run.batches += 1
+            yield out
 
-class IndexNLJoinOp:
+
+class IndexNLJoinOp(RowSource):
     """Index nested-loop equi-join: probe the right table's primary key or
     a single-column secondary index once per left row, touching only the
     rows each probe returns instead of building a hash table over a full
@@ -259,6 +412,9 @@ class IndexNLJoinOp:
     rows) it falls back to the hash build.  Index nested-loop therefore
     never touches more rows than the hash strategy it replaces, whatever
     the optimizer's estimates predicted.
+
+    Both engines materialize the child (the metadata pass needs every left
+    key before anything streams), so accounting is identical by design.
     """
 
     def __init__(self, child, join_index, kind, table_name,
@@ -283,13 +439,9 @@ class IndexNLJoinOp:
             return None
         return index.lookup((key,))
 
-    def iter_rows(self, run):
-        table = run.db.tables_get(self.table_name)
-        offset = run.sctx.offsets[self.join_index]
-        width = run.sctx.widths[self.join_index]
+    def _join_rows(self, run, table, left_rows, offset, width):
         left_pos = self.left_pos
         kind = self.kind
-        left_rows = list(self.child.iter_rows(run))
 
         # Metadata pass: how many right rows would the probes touch?  The
         # per-row id sets are kept so the emit loop never probes twice.
@@ -326,18 +478,39 @@ class IndexNLJoinOp:
             if not matched and kind == "LEFT":
                 yield list(values)
 
+    def iter_rows_interp(self, run):
+        table = run.db.tables_get(self.table_name)
+        offset = run.sctx.offsets[self.join_index]
+        width = run.sctx.widths[self.join_index]
+        left_rows = list(self.child.iter_rows_interp(run))
+        yield from self._join_rows(run, table, left_rows, offset, width)
 
-class NestedLoopJoinOp:
-    """General join with an arbitrary ON condition."""
+    def iter_batches(self, run):
+        table = run.db.tables_get(self.table_name)
+        offset = run.sctx.offsets[self.join_index]
+        width = run.sctx.widths[self.join_index]
+        left_rows = []
+        for chunk in self.child.iter_batches(run):
+            left_rows.extend(chunk)
+        yield from _chunked(
+            run, self._join_rows(run, table, left_rows, offset, width))
 
-    def __init__(self, child, join_index, kind, table_name, condition):
+
+class NestedLoopJoinOp(RowSource):
+    """General join with an arbitrary ON condition (compiled once in the
+    batch engine)."""
+
+    def __init__(self, child, join_index, kind, table_name, condition,
+                 sctx):
         self.child = child
         self.join_index = join_index
         self.kind = kind
         self.table_name = table_name
         self.condition = condition
+        self._compiled = compile_expr(condition, sctx.context.positions,
+                                      sctx.context.ambiguous)
 
-    def iter_rows(self, run):
+    def iter_rows_interp(self, run):
         right_table = run.db.tables_get(self.table_name)
         offset = run.sctx.offsets[self.join_index]
         width = run.sctx.widths[self.join_index]
@@ -345,7 +518,7 @@ class NestedLoopJoinOp:
         run.rows_touched += len(right_rows)
         ctx = run.ctx
         params = run.params
-        for values in self.child.iter_rows(run):
+        for values in self.child.iter_rows_interp(run):
             matched = False
             for row in right_rows:
                 merged = list(values)
@@ -357,6 +530,35 @@ class NestedLoopJoinOp:
             if not matched and self.kind == "LEFT":
                 yield list(values)
 
+    def iter_batches(self, run):
+        right_table = run.db.tables_get(self.table_name)
+        offset = run.sctx.offsets[self.join_index]
+        width = run.sctx.widths[self.join_index]
+        right_rows = [row for _, row in right_table.scan()]
+        run.rows_touched += len(right_rows)
+        condition = self._compiled
+        params = run.params
+        kind = self.kind
+        out = []
+        for chunk in self.child.iter_batches(run):
+            for values in chunk:
+                matched = False
+                for row in right_rows:
+                    merged = list(values)
+                    merged[offset:offset + width] = row
+                    if condition(merged, params) is True:
+                        out.append(merged)
+                        matched = True
+                if not matched and kind == "LEFT":
+                    out.append(list(values))
+                if len(out) >= CHUNK_SIZE:
+                    run.batches += 1
+                    yield out
+                    out = []
+        if out:
+            run.batches += 1
+            yield out
+
 
 # ---------------------------------------------------------------------------
 # Result operators
@@ -367,21 +569,72 @@ class ProjectOp:
 
     Star expansion and output-column names depend only on the statement and
     the FROM-list layout, both fixed for the plan's lifetime (DDL
-    invalidates the plan cache), so they are computed once at build time.
+    invalidates the plan cache), so they are computed once at build time —
+    as are the compiled item closures the batch engine evaluates with.
     """
 
     def __init__(self, items, sctx):
         self.items = items
         self.expansions = _expand_stars(sctx.stmt, sctx.context)
         self.out_columns = _output_columns(sctx.stmt, self.expansions)
+        positions = sctx.context.positions
+        ambiguous = sctx.context.ambiguous
+        self._compiled = [
+            None if expansion is not None
+            else compile_expr(item.expr, positions, ambiguous)
+            for item, expansion in zip(items, self.expansions)]
+        self._all_plain = all(e is None for e in self.expansions)
+        # All-column-reference select lists (the overwhelmingly common
+        # shape) become a single C-level itemgetter per row.
+        self._getter = None
+        if self._all_plain:
+            column_positions = []
+            for item in items:
+                expr = item.expr
+                if not isinstance(expr, A.ColumnRef):
+                    break
+                if expr.table is None and expr.column in ambiguous:
+                    break
+                pos = positions.get((expr.table, expr.column))
+                if pos is None:
+                    break
+                column_positions.append(pos)
+            else:
+                if len(column_positions) > 1:
+                    self._getter = itemgetter(*column_positions)
+                elif len(column_positions) == 1:
+                    only = column_positions[0]
+                    self._getter = lambda values: (values[only],)
 
     def apply(self, run):
-        ctx = run.ctx
-        params = run.params
-        expansions = self.expansions
         run.out_columns = self.out_columns
+        params = run.params
+        rows = run.source_rows
+        if run.engine == "batch":
+            if self._getter is not None:
+                getter = self._getter
+                run.out_rows = [getter(values) for values in rows]
+                return
+            fns = self._compiled
+            if self._all_plain:
+                run.out_rows = [tuple(fn(values, params) for fn in fns)
+                                for values in rows]
+                return
+            out_rows = []
+            for values in rows:
+                out = []
+                for fn, expansion in zip(fns, self.expansions):
+                    if expansion is not None:
+                        out.extend(values[pos] for pos, _ in expansion)
+                    else:
+                        out.append(fn(values, params))
+                out_rows.append(tuple(out))
+            run.out_rows = out_rows
+            return
+        ctx = run.ctx
+        expansions = self.expansions
         out_rows = []
-        for values in run.source_rows:
+        for values in rows:
             ctx.bind(values)
             out = []
             for item, expansion in zip(self.items, expansions):
@@ -394,7 +647,14 @@ class ProjectOp:
 
 
 class AggregateOp:
-    """GROUP BY + aggregate select items + HAVING."""
+    """GROUP BY + aggregate select items + HAVING.
+
+    The batch engine groups with compiled key closures and evaluates
+    straightforward items (plain aggregates, group keys) through compiled
+    per-group closures; composite shapes (aggregates nested in arithmetic)
+    and HAVING keep the interpreted recursion — they run once per group,
+    not once per row.
+    """
 
     def __init__(self, items, group_by, having, sctx):
         self.items = items
@@ -402,26 +662,43 @@ class AggregateOp:
         self.having = having
         self.out_columns = _output_columns(
             sctx.stmt, _expand_stars(sctx.stmt, sctx.context))
+        positions = sctx.context.positions
+        ambiguous = sctx.context.ambiguous
+        self._group_fns = [compile_expr(e, positions, ambiguous)
+                           for e in group_by or ()]
+        self._item_fns = [compile_aggregate_item(item.expr, positions,
+                                                 ambiguous)
+                          for item in items]
 
     def apply(self, run):
         run.has_aggregates = True
         ctx = run.ctx
         params = run.params
         rows = run.source_rows
+        batch = run.engine == "batch"
         # Partition rows into groups by the GROUP BY key (a single group
         # covering everything when there is no GROUP BY).
         groups = {}
         order = []
         if self.group_by:
-            for values in rows:
-                ctx.bind(values)
-                key = tuple(
-                    evaluate(e, ctx, params) for e in self.group_by
-                )
-                if key not in groups:
-                    groups[key] = []
-                    order.append(key)
-                groups[key].append(values)
+            if batch:
+                fns = self._group_fns
+                for values in rows:
+                    key = tuple(fn(values, params) for fn in fns)
+                    if key not in groups:
+                        groups[key] = []
+                        order.append(key)
+                    groups[key].append(values)
+            else:
+                for values in rows:
+                    ctx.bind(values)
+                    key = tuple(
+                        evaluate(e, ctx, params) for e in self.group_by
+                    )
+                    if key not in groups:
+                        groups[key] = []
+                        order.append(key)
+                    groups[key].append(values)
         else:
             groups[()] = list(rows)
             order.append(())
@@ -435,10 +712,17 @@ class AggregateOp:
                                             params)
                 if keep is not True:
                     continue
-            out = tuple(
-                _eval_aggregate_expr(item.expr, group_rows, ctx, params)
-                for item in self.items
-            )
+            if batch:
+                out = tuple(
+                    fn(group_rows, params) if fn is not None
+                    else _eval_aggregate_expr(item.expr, group_rows, ctx,
+                                              params)
+                    for fn, item in zip(self._item_fns, self.items))
+            else:
+                out = tuple(
+                    _eval_aggregate_expr(item.expr, group_rows, ctx, params)
+                    for item in self.items
+                )
             out_rows.append(out)
         run.out_rows = out_rows
 
@@ -461,24 +745,28 @@ class SortOp:
     """ORDER BY over projected rows.
 
     Keys may reference output aliases/positions or — for non-aggregate
-    queries, where output rows align 1:1 with source rows — source columns.
+    queries, where output rows align 1:1 with source rows — source columns
+    (evaluated through compiled closures in the batch engine).
     """
 
-    def __init__(self, order_by):
+    def __init__(self, order_by, sctx):
         self.order_by = order_by
+        self._compiled = [compile_expr(item.expr, sctx.context.positions,
+                                       sctx.context.ambiguous)
+                          for item in order_by]
 
     def apply(self, run):
         ctx = run.ctx
         params = run.params
         source_rows = run.source_rows
+        compiled = self._compiled if run.engine == "batch" else None
         keyed = []
         alias_positions = {
             name: i for i, name in enumerate(run.out_columns)}
         for i, out in enumerate(run.out_rows):
             key = []
-            for item in self.order_by:
+            for j, item in enumerate(self.order_by):
                 expr = item.expr
-                value = None
                 if (isinstance(expr, A.ColumnRef) and expr.table is None
                         and expr.column in alias_positions):
                     value = out[alias_positions[expr.column]]
@@ -486,8 +774,11 @@ class SortOp:
                         expr.value, int):
                     value = out[expr.value - 1]
                 elif not run.has_aggregates and i < len(source_rows):
-                    ctx.bind(source_rows[i])
-                    value = evaluate(expr, ctx, params)
+                    if compiled is not None:
+                        value = compiled[j](source_rows[i], params)
+                    else:
+                        ctx.bind(source_rows[i])
+                        value = evaluate(expr, ctx, params)
                 else:
                     raise SqlError(
                         "ORDER BY in aggregate queries must reference "
@@ -578,20 +869,93 @@ class PhysicalPlan:
         self.shared_scan_table = (
             op.table_name if isinstance(op, SeqScanOp) else None)
 
+    def _materialize_source(self, run, source):
+        """Pull ``source`` to completion under the run's engine.
+
+        The ``limit_hint`` cutoff always streams the interpreted row-at-a-
+        time path — in *both* engines — because stop-after-N is the one
+        place chunked materialization would touch storage rows the row
+        engine never reads, breaking ``rows_touched`` engine-invariance.
+        """
+        cutoff = self._resolve_limit_hint(run.params)
+        if cutoff is not None:
+            return list(islice(source.iter_rows_interp(run), cutoff))
+        if run.engine == "batch":
+            rows = []
+            for chunk in source.iter_batches(run):
+                rows.extend(chunk)
+            return rows
+        return list(source.iter_rows_interp(run))
+
     def execute(self, db, params=(), prefetched_base_rows=None):
         """Run the plan; returns an :class:`ExecResult`."""
         run = PlanRun(db, params, self.sctx,
                       prefetched_base_rows=prefetched_base_rows)
-        rows = self.source.iter_rows(run)
-        cutoff = self._resolve_limit_hint(run.params)
-        if cutoff is not None:
-            rows = islice(rows, cutoff)
-        run.source_rows = list(rows)
+        run.source_rows = self._materialize_source(run, self.source)
         for op in self.result_ops:
             op.apply(run)
+        executor = getattr(db, "executor", None)
+        if executor is not None:
+            executor.batches_executed += run.batches
         return ExecResult(run.out_columns, run.out_rows,
                           rowcount=len(run.out_rows),
                           rows_touched=run.rows_touched)
+
+    def execute_analyze(self, db, params=()):
+        """Run the plan with per-operator instrumentation.
+
+        Returns ``(result, lines)`` where ``lines`` is the EXPLAIN
+        ANALYZE report: one line per operator annotated with produced-row
+        count and inclusive wall time (an operator's time contains its
+        children's, as in the classic EXPLAIN ANALYZE convention).
+        Deliberately side-effect-light: no result-cache store, no
+        statement counters — a profiling probe, not an execution.
+        """
+        run = PlanRun(db, params, self.sctx)
+        chain = []
+        op = self.source
+        while op is not None:
+            chain.append(op)
+            op = getattr(op, "child", None)
+        timed = None
+        source_records = []
+        for op in reversed(chain):
+            record = _AnalyzeRecord(_op_label(op))
+            if timed is not None:
+                op = copy.copy(op)
+                op.child = timed
+            timed = _TimedSource(op, record)
+            source_records.append(record)
+        source_records.reverse()  # top-of-chain first
+
+        started = perf_counter()
+        run.source_rows = self._materialize_source(run, timed)
+        result_records = []
+        for op in self.result_ops:
+            record = _AnalyzeRecord(type(op).__name__.removesuffix("Op"))
+            t0 = perf_counter()
+            op.apply(run)
+            record.seconds = perf_counter() - t0
+            record.rows = len(run.out_rows)
+            result_records.append(record)
+        total = perf_counter() - started
+
+        result = ExecResult(run.out_columns, run.out_rows,
+                            rowcount=len(run.out_rows),
+                            rows_touched=run.rows_touched)
+        lines = [
+            f"EXPLAIN ANALYZE [engine={run.engine}, "
+            f"rows={len(run.out_rows)}, "
+            f"rows_touched={run.rows_touched}, "
+            f"total_ms={total * 1000:.3f}]"]
+        depth = 0
+        for record in reversed(result_records):
+            lines.append("  " * depth + record.render())
+            depth += 1
+        for record in source_records:
+            lines.append("  " * depth + record.render())
+            depth += 1
+        return result, lines
 
     def _resolve_limit_hint(self, params):
         if self.limit_hint is None:
@@ -608,6 +972,80 @@ class PhysicalPlan:
         return None  # malformed LIMIT: let LimitOp surface the error
 
 
+class _AnalyzeRecord:
+    """One operator's EXPLAIN ANALYZE measurements."""
+
+    __slots__ = ("label", "rows", "seconds")
+
+    def __init__(self, label):
+        self.label = label
+        self.rows = 0
+        self.seconds = 0.0
+
+    def render(self):
+        return (f"{self.label} [rows={self.rows}, "
+                f"time={self.seconds * 1000:.3f}ms]")
+
+
+class _TimedSource:
+    """Wraps a row source, accumulating inclusive pull time and produced
+    rows into an :class:`_AnalyzeRecord` under either protocol."""
+
+    def __init__(self, op, record):
+        self.op = op
+        self.record = record
+
+    def iter_batches(self, run):
+        record = self.record
+        gen = self.op.iter_batches(run)
+        while True:
+            t0 = perf_counter()
+            try:
+                chunk = next(gen)
+            except StopIteration:
+                record.seconds += perf_counter() - t0
+                return
+            record.seconds += perf_counter() - t0
+            record.rows += len(chunk)
+            yield chunk
+
+    def iter_rows_interp(self, run):
+        record = self.record
+        gen = self.op.iter_rows_interp(run)
+        while True:
+            t0 = perf_counter()
+            try:
+                values = next(gen)
+            except StopIteration:
+                record.seconds += perf_counter() - t0
+                return
+            record.seconds += perf_counter() - t0
+            record.rows += 1
+            yield values
+
+    def iter_rows(self, run):
+        for chunk in self.iter_batches(run):
+            yield from chunk
+
+
+def _op_label(op):
+    if isinstance(op, SeqScanOp):
+        return f"SeqScan({op.table_name})"
+    if isinstance(op, IndexLookupOp):
+        return f"IndexLookup({op.table_name})"
+    if isinstance(op, IndexRangeScanOp):
+        return f"IndexRangeScan({op.table_name} via {op.index_name})"
+    if isinstance(op, FilterOp):
+        return "Filter"
+    if isinstance(op, HashJoinOp):
+        return f"HashJoin({op.table_name})"
+    if isinstance(op, IndexNLJoinOp):
+        return f"IndexNLJoin({op.table_name} via {op.index_name})"
+    if isinstance(op, NestedLoopJoinOp):
+        return f"NestedLoopJoin({op.table_name})"
+    return type(op).__name__
+
+
 def build_physical(node, sctx):
     """Lower an optimized logical tree into a :class:`PhysicalPlan`."""
     result_ops = []
@@ -616,7 +1054,7 @@ def build_physical(node, sctx):
             result_ops.append(LimitOp(node.limit, node.offset))
             node = node.child
         elif isinstance(node, L.Sort):
-            result_ops.append(SortOp(node.order_by))
+            result_ops.append(SortOp(node.order_by, sctx))
             node = node.child
         elif isinstance(node, L.Distinct):
             result_ops.append(DistinctOp())
@@ -661,7 +1099,8 @@ def _build_source(node, sctx):
     if isinstance(node, L.IndexRangeScan):
         return IndexRangeScanOp(node, sctx.offsets[node.table_index])
     if isinstance(node, L.Filter):
-        return FilterOp(_build_source(node.child, sctx), node.predicate)
+        return FilterOp(_build_source(node.child, sctx), node.predicate,
+                        sctx)
     if isinstance(node, L.Join):
         child = _build_source(node.child, sctx)
         if node.strategy == "index":
@@ -674,7 +1113,7 @@ def _build_source(node, sctx):
             return HashJoinOp(child, node.table_index, node.kind,
                               node.table, left_pos, right_ordinal)
         return NestedLoopJoinOp(child, node.table_index, node.kind,
-                                node.table, node.condition)
+                                node.table, node.condition, sctx)
     raise SqlError(f"unexpected plan node in row source: {node!r}")
 
 

@@ -22,6 +22,14 @@ and that the optimized execution never touches more storage rows than
 FROM-order execution — the adaptivity contract of the index nested-loop
 join, the safety contract of join reordering, and the superset contract of
 range scans.
+
+Every case additionally runs under **both physical engines**
+(``Database(engine="row")`` — the interpreted row-at-a-time shim — and
+``engine="batch"`` — chunked pull through compiled expressions) and the
+two executions must agree *exactly*: byte-identical rows in identical
+order and identical ``rows_touched``.  This is the differential contract
+of the vectorized engine — not a multiset comparison, because the engines
+share the plan and so must also agree on ordering.
 """
 
 from hypothesis import given, settings
@@ -173,8 +181,8 @@ def join_cases(draw):
     return tables, sql, order_items
 
 
-def build_db(tables, options=None):
-    db = Database(optimizer_options=options)
+def build_db(tables, options=None, engine="batch"):
+    db = Database(optimizer_options=options, engine=engine)
     for i, (rows, index_method) in enumerate(tables):
         db.execute(f"CREATE TABLE t{i} (a{i} INT PRIMARY KEY, "
                    f"b{i} INT, c{i} INT)")
@@ -228,6 +236,18 @@ def reference_tables(tables):
     return out
 
 
+def assert_engines_agree(tables, sql, params=(), options=None):
+    """Execute under both physical engines and require *exact* agreement:
+    identical rows in identical order and identical ``rows_touched``.
+    Returns the batch execution so callers don't run it twice."""
+    batch = build_db(tables, options, engine="batch").execute(sql, params)
+    row = build_db(tables, options, engine="row").execute(sql, params)
+    assert batch.rows == row.rows
+    assert batch.columns == row.columns
+    assert batch.rows_touched == row.rows_touched
+    return batch
+
+
 # The reference evaluator ignores ORDER BY (it compares multisets), so the
 # ordering contract is asserted separately via assert_ordered.
 
@@ -241,11 +261,13 @@ def reference_tables(tables):
 @settings(max_examples=220, deadline=None)
 def test_differential_join_oracle(case):
     """Optimized == FROM-order == brute-force reference, both pipelines
-    honor the ORDER BY, and the optimized plan never touches more rows
-    than FROM-order execution."""
+    honor the ORDER BY, the optimized plan never touches more rows than
+    FROM-order execution, and each pipeline agrees exactly with itself
+    under the row engine."""
     tables, sql, order_items = case
-    optimized = build_db(tables).execute(sql)
-    from_order = build_db(tables, FROM_ORDER_OPTIONS).execute(sql)
+    optimized = assert_engines_agree(tables, sql)
+    from_order = assert_engines_agree(tables, sql,
+                                      options=FROM_ORDER_OPTIONS)
     reference = reference_eval(reference_tables(tables), sql)
 
     assert canon(optimized.rows) == canon(reference)
@@ -267,7 +289,7 @@ def test_oracle_with_parameters(case, needle):
     where, sep, order_by = sql.partition(" ORDER BY ")
     where += (" AND" if "WHERE" in where else " WHERE") + " t0.b0 = ?"
     sql = where + sep + order_by
-    optimized = build_db(tables).execute(sql, (needle,))
+    optimized = assert_engines_agree(tables, sql, (needle,))
     from_order = build_db(tables, FROM_ORDER_OPTIONS).execute(sql, (needle,))
     reference = reference_eval(reference_tables(tables), sql, (needle,))
 
@@ -291,7 +313,7 @@ def test_oracle_with_parameterized_range(case, low, high):
               + " t0.b0 BETWEEN ? AND ?")
     sql = where + sep + order_by
     params = (low, high)
-    optimized = build_db(tables).execute(sql, params)
+    optimized = assert_engines_agree(tables, sql, params)
     from_order = build_db(tables, FROM_ORDER_OPTIONS).execute(sql, params)
     reference = reference_eval(reference_tables(tables), sql, params)
 

@@ -1,0 +1,263 @@
+"""Chunk-boundary and engine-parity tests for the vectorized batch engine.
+
+The batch engine pulls chunks of ``CHUNK_SIZE`` rows through
+plan-compiled expression closures; the row engine is the interpreted
+row-at-a-time shim kept for differential testing.  These tests pin the
+edges the chunking can get wrong — empty inputs, result sizes straddling
+the chunk boundary, LIMIT cutting mid-chunk, NULL-heavy data through the
+compiled three-valued logic — plus the observability surface
+(``engine_stats``, the explain Engine trailer, EXPLAIN ANALYZE) and the
+zero-copy scan's no-mutation contract.
+"""
+
+import pytest
+
+from repro.sqldb import Database
+from repro.sqldb.plan.physical import CHUNK_SIZE
+
+
+def _seed(db, n_rows):
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT, s TEXT)")
+    for i in range(n_rows):
+        # v cycles through NULL every third row; s through a few labels.
+        db.execute("INSERT INTO t (id, v, s) VALUES (?, ?, ?)",
+                   (i, None if i % 3 == 0 else i % 97, f"s{i % 5}"))
+    return db
+
+
+def _pair(n_rows):
+    """The same seeded table under both engines (result cache off)."""
+    batch = _seed(Database(result_cache_size=0, engine="batch"), n_rows)
+    row = _seed(Database(result_cache_size=0, engine="row"), n_rows)
+    return batch, row
+
+
+def _agree(batch_db, row_db, sql, params=()):
+    """Execute under both engines; exact row and accounting agreement."""
+    batch = batch_db.execute(sql, params)
+    row = row_db.execute(sql, params)
+    assert batch.rows == row.rows
+    assert batch.columns == row.columns
+    assert batch.rows_touched == row.rows_touched
+    return batch
+
+
+# ---------------------------------------------------------------------------
+# Chunk boundaries
+# ---------------------------------------------------------------------------
+
+
+def test_empty_table():
+    batch_db, row_db = _pair(0)
+    assert _agree(batch_db, row_db, "SELECT id, v FROM t").rows == []
+    assert _agree(batch_db, row_db,
+                  "SELECT id FROM t WHERE v > ?", (5,)).rows == []
+    assert _agree(batch_db, row_db,
+                  "SELECT COUNT(*) FROM t").rows == [(0,)]
+    assert _agree(batch_db, row_db,
+                  "SELECT s, COUNT(v) FROM t GROUP BY s").rows == []
+
+
+def test_empty_join_sides():
+    batch_db, row_db = _pair(0)
+    for db in (batch_db, row_db):
+        db.execute("CREATE TABLE u (id INT PRIMARY KEY, w INT)")
+        db.execute("INSERT INTO u (id, w) VALUES (1, 10)")
+    result = _agree(batch_db, row_db,
+                    "SELECT t.id, u.w FROM t JOIN u ON t.v = u.id")
+    assert result.rows == []
+    result = _agree(batch_db, row_db,
+                    "SELECT u.id, t.v FROM u LEFT JOIN t ON t.v = u.id")
+    assert result.rows == [(1, None)]
+
+
+@pytest.mark.parametrize("size", [1, CHUNK_SIZE - 1, CHUNK_SIZE,
+                                  CHUNK_SIZE + 1])
+def test_result_sizes_straddling_chunk_boundary(size):
+    batch_db, row_db = _pair(CHUNK_SIZE + 1)
+    result = _agree(batch_db, row_db,
+                    "SELECT id, v FROM t WHERE id < ?", (size,))
+    assert len(result.rows) == size
+    assert result.rows_touched == CHUNK_SIZE + 1
+    # A multi-chunk scan really flowed through the batch operators.
+    assert batch_db.executor.batches_executed > 0
+    assert row_db.executor.batches_executed == 0
+
+
+def test_limit_cuts_mid_chunk():
+    n = CHUNK_SIZE + 400
+    batch_db, row_db = _pair(n)
+    for limit in (1, 700, CHUNK_SIZE, CHUNK_SIZE + 100):
+        result = _agree(batch_db, row_db,
+                        f"SELECT id FROM t LIMIT {limit}")
+        assert len(result.rows) == limit
+    # LIMIT above a sort still returns exact-order-identical prefixes.
+    result = _agree(batch_db, row_db,
+                    "SELECT id, v FROM t ORDER BY v DESC, id LIMIT 10")
+    assert len(result.rows) == 10
+
+
+def test_limit_hint_stops_early_in_both_engines():
+    """With an ordered index the sort is elided and the limit hint stops
+    the scan after limit+offset rows — the one early-exit in the engine,
+    which must charge identical ``rows_touched`` under both engines."""
+    n = CHUNK_SIZE + 400
+    batch_db, row_db = _pair(n)
+    for db in (batch_db, row_db):
+        db.execute("CREATE INDEX idx_t_v ON t (v) USING ORDERED")
+    for limit in (1, 700, CHUNK_SIZE + 100):
+        result = _agree(batch_db, row_db,
+                        f"SELECT id, v FROM t ORDER BY v LIMIT {limit}")
+        assert len(result.rows) == limit
+        # Early exit: far fewer rows touched than the full table.
+        assert result.rows_touched <= limit + 1
+    result = _agree(batch_db, row_db,
+                    "SELECT id, v FROM t ORDER BY v LIMIT 50 OFFSET 25")
+    assert len(result.rows) == 50
+    assert result.rows_touched <= 76
+
+
+def test_null_heavy_columns():
+    batch_db, row_db = _pair(600)
+    for sql, params in (
+            ("SELECT id FROM t WHERE v > ?", (40,)),
+            ("SELECT id FROM t WHERE v IS NULL", ()),
+            ("SELECT id FROM t WHERE v IS NOT NULL AND v < ?", (30,)),
+            ("SELECT id FROM t WHERE v BETWEEN ? AND ?", (10, 20)),
+            ("SELECT id FROM t WHERE v IN (1, 2, NULL, 3)", ()),
+            ("SELECT id FROM t WHERE NOT (v > ?)", (50,)),
+            ("SELECT id, v FROM t ORDER BY v, id", ()),
+            ("SELECT s, COUNT(v), SUM(v), MIN(v), MAX(v) FROM t "
+             "GROUP BY s ORDER BY s", ()),
+            ("SELECT DISTINCT v FROM t ORDER BY v", ()),
+            ("SELECT id FROM t WHERE v = ? OR v IS NULL", (7,)),
+    ):
+        _agree(batch_db, row_db, sql, params)
+
+
+def test_all_null_column():
+    batch_db = Database(result_cache_size=0, engine="batch")
+    row_db = Database(result_cache_size=0, engine="row")
+    for db in (batch_db, row_db):
+        db.execute("CREATE TABLE n (id INT PRIMARY KEY, v INT)")
+        for i in range(50):
+            db.execute("INSERT INTO n (id, v) VALUES (?, NULL)", (i,))
+    assert _agree(batch_db, row_db,
+                  "SELECT COUNT(v), SUM(v), AVG(v) FROM n").rows == \
+        [(0, None, None)]
+    assert _agree(batch_db, row_db,
+                  "SELECT id FROM n WHERE v = v").rows == []
+
+
+# ---------------------------------------------------------------------------
+# Zero-copy scan safety
+# ---------------------------------------------------------------------------
+
+
+def test_zero_copy_scan_does_not_leak_mutable_storage_rows():
+    """Single-table full-width scans hand storage rows straight to the
+    operators (no ``_pad`` copy); results must still be immutable
+    snapshots — a later UPDATE may not rewrite previously returned rows."""
+    db = _seed(Database(result_cache_size=0, engine="batch"), 100)
+    before = db.execute("SELECT id, v, s FROM t WHERE id < 10")
+    snapshot = [tuple(r) for r in before.rows]
+    db.execute("UPDATE t SET v = 999, s = 'mut' WHERE id < 10")
+    assert [tuple(r) for r in before.rows] == snapshot
+    after = db.execute("SELECT id, v, s FROM t WHERE id < 10")
+    assert all(r[1] == 999 and r[2] == "mut" for r in after.rows)
+
+
+def test_engines_agree_after_interleaved_writes():
+    batch_db, row_db = _pair(300)
+    for db in (batch_db, row_db):
+        db.execute("UPDATE t SET v = v + 1 WHERE v > 50")
+        db.execute("DELETE FROM t WHERE id % 7 = 0")
+    _agree(batch_db, row_db, "SELECT id, v, s FROM t WHERE v >= ?", (40,))
+    _agree(batch_db, row_db, "SELECT COUNT(*) FROM t")
+
+
+# ---------------------------------------------------------------------------
+# Observability: engine selection, counters, explain surfaces
+# ---------------------------------------------------------------------------
+
+
+def test_engine_validation():
+    with pytest.raises(ValueError):
+        Database(engine="columnar")
+
+
+def test_engine_stats_counts_batches():
+    batch_db, row_db = _pair(CHUNK_SIZE + 1)
+    batch_db.execute("SELECT id FROM t WHERE v > 10")
+    row_db.execute("SELECT id FROM t WHERE v > 10")
+    stats = batch_db.engine_stats()
+    assert stats["engine"] == "batch"
+    assert stats["batches_executed"] > 0
+    assert row_db.engine_stats() == {
+        "engine": "row",
+        "batches_executed": 0,
+        "plans_built": row_db.executor.plans_built,
+    }
+
+
+def test_engine_flippable_between_statements():
+    db = _seed(Database(result_cache_size=0, engine="batch"), 200)
+    batch_rows = db.execute("SELECT id, v FROM t WHERE v > 5").rows
+    flipped_at = db.executor.batches_executed
+    assert flipped_at > 0
+    db.engine = "row"
+    row_rows = db.execute("SELECT id, v FROM t WHERE v > 5").rows
+    assert row_rows == batch_rows
+    # The cached plan served both paths; no batches under the row engine.
+    assert db.executor.batches_executed == flipped_at
+
+
+def test_explain_engine_trailer():
+    db = _seed(Database(engine="batch"), 10)
+    with_params = db.explain("SELECT id FROM t WHERE v > ?", params=(1,))
+    assert "Engine [name='batch', batches_executed=" in with_params
+    # The golden plain-explain surface is unchanged: no Engine line.
+    plain = db.explain("SELECT id FROM t WHERE v > ?")
+    assert "Engine [" not in plain
+    db.engine = "row"
+    assert "Engine [name='row'" in db.explain(
+        "SELECT id FROM t WHERE v > ?", params=(1,))
+
+
+def test_explain_analyze_shape():
+    db = _seed(Database(result_cache_size=0, engine="batch"), 500)
+    out = db.explain(
+        "SELECT s, COUNT(*) FROM t WHERE v > ? GROUP BY s ORDER BY s",
+        params=(10,), analyze=True)
+    lines = out.splitlines()
+    assert lines[0].startswith("EXPLAIN ANALYZE [engine=batch, rows=")
+    assert "rows_touched=500" in lines[0]
+    assert "total_ms=" in lines[0]
+    body = "\n".join(lines[1:])
+    assert "SeqScan(t) [rows=500, time=" in body
+    assert "Filter [rows=" in body
+    assert "Aggregate [rows=" in body
+    # Deeper operators are indented further than their consumers.
+    scan_line = next(l for l in lines if "SeqScan(t)" in l)
+    filter_line = next(l for l in lines if "Filter [" in l)
+    assert (len(scan_line) - len(scan_line.lstrip())
+            > len(filter_line) - len(filter_line.lstrip()))
+
+
+def test_explain_analyze_is_side_effect_light():
+    db = _seed(Database(engine="batch"), 50)
+    statements = db.statements_executed
+    db.explain("SELECT id FROM t WHERE v > ?", params=(3,), analyze=True)
+    assert db.statements_executed == statements
+    # The analyze run did not populate the result cache.
+    assert "status='miss'" in db.explain(
+        "SELECT id FROM t WHERE v > ?", params=(3,))
+
+
+def test_explain_analyze_rows_match_execution():
+    batch_db, row_db = _pair(800)
+    sql = "SELECT id, v FROM t WHERE v > ? ORDER BY v LIMIT 20"
+    executed = _agree(batch_db, row_db, sql, (30,))
+    out = batch_db.explain(sql, params=(30,), analyze=True)
+    assert f"rows={len(executed.rows)}" in out.splitlines()[0]
+    assert f"rows_touched={executed.rows_touched}" in out.splitlines()[0]

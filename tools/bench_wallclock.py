@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Run the wall-clock engine benchmark and write ``BENCH_wallclock.json``.
+
+Times the synthetic scan/filter/join microbench and the three apps'
+report pages under both physical engines (row-at-a-time interpreter vs.
+chunked compiled-expression batch engine) via
+``repro.bench.experiments.wallclock``, prints the comparison table and
+writes the raw numbers as JSON — by default to ``BENCH_wallclock.json``
+at the repo root, the file that tracks the wall-clock trajectory per PR.
+
+Usage::
+
+    python tools/bench_wallclock.py            # full run, repo-root JSON
+    python tools/bench_wallclock.py --smoke    # small/fast (CI)
+    python tools/bench_wallclock.py --check    # exit 1 on regression
+
+``--check`` fails if any query's results diverge between engines, or if
+the batch engine is slower than the row engine on the scan/filter
+microbench — the regression gate the CI wallclock job runs.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.bench.experiments import wallclock  # noqa: E402
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Time the row vs. batch engine on synthetic and app "
+        "workloads")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smaller synthetic table and fewer repeats (CI-sized)")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if engines disagree or batch is slower than "
+        "row on the scan/filter microbench")
+    parser.add_argument(
+        "--out", default=os.path.join(REPO_ROOT, "BENCH_wallclock.json"),
+        help="output JSON path (default: BENCH_wallclock.json at the "
+        "repo root)")
+    args = parser.parse_args(argv)
+
+    result = wallclock.run(smoke=args.smoke)
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(wallclock.format_result(result))
+    print(f"\nwrote {args.out}")
+
+    if args.check:
+        failures = []
+        for name, numbers in result["synthetic"].items():
+            if not numbers["match"]:
+                failures.append(f"synthetic:{name}: engine results diverge")
+        for app, per_app in result["apps"].items():
+            for query_name, numbers in per_app["queries"].items():
+                if not numbers["match"]:
+                    failures.append(
+                        f"{app}:{query_name}: engine results diverge")
+        scan_filter = result["synthetic"]["scan_filter"]
+        if scan_filter["speedup"] is None or scan_filter["speedup"] < 1.0:
+            failures.append(
+                "scan_filter: batch engine slower than row engine "
+                f"(speedup {scan_filter['speedup']})")
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("check passed: engines agree, batch >= row on scan_filter")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
