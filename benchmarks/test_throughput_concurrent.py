@@ -1,0 +1,55 @@
+"""Concurrent serving throughput: sharing must dominate at every load.
+
+Acceptance criteria for the Fig-7-under-contention reproduction:
+
+- the sweep reaches at least 1000 simulated users;
+- at *every* swept user count the cross-request-sharing series is at least
+  as good as the contend-only baseline on both throughput and mean
+  response (dominance — sharing can only remove work from a round);
+- contention is real: the unshared baseline's mean response grows with
+  load and its queueing delay is nonzero at the top of the sweep;
+- sharing actually merges work at scale (merged groups > 0), and its win
+  is strict once the station saturates.
+"""
+
+from repro.bench.experiments import throughput_concurrent
+
+#: Trimmed sweep for CI: still reaches the 1000-user Fig-7 ceiling.
+SMOKE_USERS = (1, 10, 100, 1000)
+
+EPS = 1e-9
+
+
+def test_throughput_concurrent(benchmark):
+    result = benchmark.pedantic(
+        throughput_concurrent.run, kwargs={"user_counts": SMOKE_USERS},
+        rounds=1, iterations=1)
+    print()
+    print(throughput_concurrent.format_result(result))
+
+    points = result["points"]
+    assert [p["users"] for p in points] == list(SMOKE_USERS)
+    assert max(p["users"] for p in points) >= 1000
+
+    # Dominance at every point — the gate CI enforces on the artifact.
+    assert result["sharing_dominates_everywhere"]
+    for point in points:
+        label = f"users={point['users']}"
+        shared, unshared = point["shared"], point["unshared"]
+        assert shared["throughput_pps"] >= \
+            unshared["throughput_pps"] - EPS, label
+        assert shared["mean_response_ms"] <= \
+            unshared["mean_response_ms"] + EPS, label
+
+    # Contention is real in the baseline: response time climbs with load
+    # and the heaviest point spends time queueing.
+    unshared_means = [p["unshared"]["mean_response_ms"] for p in points]
+    assert unshared_means[-1] > unshared_means[0]
+    assert points[-1]["unshared"]["total_queue_ms"] > 0
+
+    # Sharing merges real work under load and wins strictly at saturation.
+    heavy = points[-1]
+    assert heavy["shared"]["merged_scan_groups"] \
+        + heavy["shared"]["merged_pk_groups"] > 0
+    assert heavy["shared"]["throughput_pps"] > \
+        heavy["unshared"]["throughput_pps"]

@@ -89,6 +89,7 @@ class QueryStoreStats:
         self.async_batches = 0
         self.stall_ms = 0.0
         self.overlap_ms = 0.0
+        self.shadowed_ms = 0.0
         self.results_evicted = 0
 
     def snapshot(self):
@@ -101,6 +102,7 @@ class QueryStoreStats:
             "async_batches": self.async_batches,
             "stall_ms": self.stall_ms,
             "overlap_ms": self.overlap_ms,
+            "shadowed_ms": self.shadowed_ms,
             "results_evicted": self.results_evicted,
         }
 
@@ -140,15 +142,46 @@ class QueryStore:
         self._owner = {}  # QueryId -> AsyncCompletion while batch in flight
         self._in_flight = []  # AsyncCompletions in dispatch order
         self._delivered = {}  # QueryId -> None, in delivery (LRU) order
-        # Outstanding fetches per id: each registration (dedup included)
-        # takes a reference, each delivery releases one.  Boundary eviction
-        # only drops ids with no outstanding reference, so a dedup-shared
-        # id forced by one thunk survives until its twin forces too.
-        self._refs = {}
+        # Outstanding fetches per id, *per request token*: each registration
+        # (dedup included) takes a reference under the registering request's
+        # token, each delivery releases one from the fetching request's
+        # token (clamped at zero — an over-fetch by one request must never
+        # consume a reference another request still holds).  Boundary
+        # eviction only drops ids with no outstanding reference under any
+        # token, so a dedup-shared id spanning requests that drain() at
+        # different times survives until every request has fetched.
+        self._refs = {}  # QueryId -> {request token -> outstanding count}
+        self._request_token = 0  # high-water mark of issued tokens
+        self._active_token = 0  # scope charged by register/fetch right now
         self._next_id = 0
         self.stats = QueryStoreStats()
 
     # -- public API (paper §3.3) ---------------------------------------------
+
+    def begin_request(self):
+        """Start a new request scope for holder accounting; returns its token.
+
+        Stores serving several interleaved requests (the concurrent workload
+        layer) call this as each request is admitted, so references taken by
+        one request's registrations are released only by that request's
+        fetches — a request draining early cannot strand or steal another
+        request's holds on a dedup-shared id.  Single-request stores never
+        need to call it (everything lives under one token).
+        """
+        self._request_token += 1
+        self._active_token = self._request_token
+        return self._request_token
+
+    def enter_request(self, token):
+        """Make ``token`` (from :meth:`begin_request`) the active scope.
+
+        Interleaved requests register and fetch in alternation; the
+        scheduler re-enters a request's scope before replaying its steps so
+        every release lands on the right request's holds.
+        """
+        if not 0 <= token <= self._request_token:
+            raise ValueError(f"unknown request token: {token}")
+        self._active_token = token
 
     def register_query(self, sql, params=()):
         """Add a query to the current batch; returns its :class:`QueryId`.
@@ -160,7 +193,7 @@ class QueryStore:
         self.stats.queries_registered += 1
         if not is_read_statement(sql):
             query_id = self._new_id()
-            self._refs[query_id] = 1
+            self._take_ref(query_id)
             self._buffer.append((query_id, sql, params))
             self._buffer_has_write = True
             self._flush()
@@ -169,10 +202,10 @@ class QueryStore:
         existing = self._pending_keys.get(key)
         if existing is not None:
             self.stats.dedup_hits += 1
-            self._refs[existing] = self._refs.get(existing, 0) + 1
+            self._take_ref(existing)
             return existing
         query_id = self._new_id()
-        self._refs[query_id] = 1
+        self._take_ref(query_id)
         self._buffer.append((query_id, sql, params))
         self._pending_keys[key] = query_id
         if (self.auto_flush_threshold is not None
@@ -194,10 +227,10 @@ class QueryStore:
         if completion is not None and not completion.waited:
             self._wait_completion(completion)
         # LRU bookkeeping: most recently delivered last; one outstanding
-        # reference released.
+        # reference released from this request's holds.
         self._delivered.pop(query_id, None)
         self._delivered[query_id] = None
-        self._refs[query_id] = self._refs.get(query_id, 0) - 1
+        self._release_ref(query_id)
         return result
 
     @property
@@ -243,6 +276,30 @@ class QueryStore:
         self._next_id += 1
         return QueryId(self, self._next_id)
 
+    def _take_ref(self, query_id):
+        holders = self._refs.setdefault(query_id, {})
+        token = self._active_token
+        holders[token] = holders.get(token, 0) + 1
+
+    def _release_ref(self, query_id):
+        """Release one hold from the active request; clamped at zero."""
+        holders = self._refs.get(query_id)
+        if not holders:
+            return
+        token = self._active_token
+        count = holders.get(token, 0)
+        if count > 1:
+            holders[token] = count - 1
+        elif count == 1:
+            del holders[token]
+            if not holders:
+                del self._refs[query_id]
+        # count == 0: over-fetch by this request — other requests' holds
+        # stay untouched.
+
+    def _has_refs(self, query_id):
+        return bool(self._refs.get(query_id))
+
     def _flush(self):
         batch = self._buffer
         # A write is only ever appended by register_query's write branch,
@@ -286,9 +343,12 @@ class QueryStore:
         self.stats.async_batches += 1
 
     def _wait_completion(self, completion):
+        shadowed_before = self.driver.stats.shadowed_ms
         stall, overlap = self.driver.wait(completion)
         self.stats.stall_ms += stall
         self.stats.overlap_ms += overlap
+        self.stats.shadowed_ms += (
+            self.driver.stats.shadowed_ms - shadowed_before)
         try:
             self._in_flight.remove(completion)
         except ValueError:
@@ -298,7 +358,7 @@ class QueryStore:
         """Drop delivered results with no outstanding fetch reference."""
         keep = {}
         for query_id in self._delivered:
-            if self._refs.get(query_id, 0) > 0:
+            if self._has_refs(query_id):
                 keep[query_id] = None  # a dedup twin still owes a fetch
                 continue
             self._drop(query_id)
@@ -320,7 +380,7 @@ class QueryStore:
         for query_id in list(self._delivered):  # oldest delivery first
             if len(self._results) <= limit:
                 return
-            if self._refs.get(query_id, 0) > 0:
+            if self._has_refs(query_id):
                 continue  # a dedup twin still owes a fetch
             del self._delivered[query_id]
             self._drop(query_id)

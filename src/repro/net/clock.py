@@ -14,6 +14,18 @@ trip, and :meth:`SimClock.wait` charges only the residual stall — the part
 of the in-flight timeline the app's own progress did not cover.  Phase
 totals therefore always sum to ``now`` (Fig-8-style breakdowns stay
 meaningful); the hidden portion is tracked separately as *overlap*.
+
+With several completions in flight at once (pipelined batches within one
+request, or — under the concurrent workload driver — batches queued behind
+other requests' work) the hidden prefix of a waited completion is not
+necessarily hidden behind *app progress*: part of it may have elapsed while
+the clock was stalled on a different completion, or inside a synchronous
+round trip.  Counting that part as overlap would double-count the same wall
+interval (once as another batch's stall, once as this batch's overlap), so
+the clock records the intervals that app-phase charges actually covered and
+splits every hidden prefix into **overlap** (covered by app work) and
+**shadowed** (covered by other batches' stalls or synchronous round trips).
+``stall + overlap + shadowed`` always equals a completion's in-flight time.
 """
 
 PHASE_NETWORK = "network"
@@ -70,6 +82,16 @@ class SimClock:
         # Never part of ``now`` or the phase totals: it is the time that
         # did NOT appear on the serial timeline.
         self._overlap_by_phase = {phase: 0.0 for phase in _PHASES}
+        # In-flight time hidden behind *non-app* advances of the clock —
+        # another completion's residual stall, or a synchronous round
+        # trip.  Kept apart from overlap so interleaved waits (a newer
+        # completion awaited before an older one) never double-count the
+        # same wall interval as both a stall and an overlap.
+        self._shadowed_by_phase = {phase: 0.0 for phase in _PHASES}
+        # Merged, ordered [start, end) intervals of app-phase charges on
+        # this clock's timeline; adjacent charges coalesce, so the list
+        # grows only at app/stall alternation points.
+        self._app_intervals = []
 
     @property
     def now(self):
@@ -81,15 +103,45 @@ class SimClock:
             raise ValueError(f"negative time charge: {dt}")
         if phase not in self._by_phase:
             raise ValueError(f"unknown phase {phase!r}")
+        start = self._now
         self._now += dt
         self._by_phase[phase] += dt
+        if phase == PHASE_APP and dt > 0:
+            intervals = self._app_intervals
+            if intervals and intervals[-1][1] == start:
+                intervals[-1] = (intervals[-1][0], self._now)
+            else:
+                intervals.append((start, self._now))
 
-    def begin_async(self, segments):
-        """Start an in-flight interval at ``now``; charges nothing.
+    def _app_covered(self, start, end):
+        """Length of ``[start, end)`` covered by app-phase charges."""
+        if end <= start:
+            return 0.0
+        covered = 0.0
+        # Intervals are ordered; scan from the right, since waits probe
+        # recent history (bounded by the in-flight window).
+        for lo, hi in reversed(self._app_intervals):
+            if hi <= start:
+                break
+            covered += max(0.0, min(hi, end) - max(lo, start))
+        return covered
 
-        Returns the :class:`AsyncCompletion` to pass to :meth:`wait`.
+    def begin_async(self, segments, start=None):
+        """Start an in-flight interval; charges nothing.
+
+        The interval is anchored at ``now`` unless ``start`` names an
+        earlier point on this clock's timeline (the concurrent workload
+        driver resolves queueing-delayed completions after the fact, once
+        the shared db work queue has scheduled them).  Returns the
+        :class:`AsyncCompletion` to pass to :meth:`wait`.
         """
-        return AsyncCompletion(self._now, segments)
+        if start is None:
+            start = self._now
+        elif start > self._now:
+            raise ValueError(
+                f"completion cannot start in the future: {start} > "
+                f"{self._now}")
+        return AsyncCompletion(start, segments)
 
     def wait(self, completion):
         """Block until ``completion`` is ready; returns ``(stall, overlap)``.
@@ -97,8 +149,13 @@ class SimClock:
         Only the *residual* — the part of the in-flight timeline beyond the
         clock's current position — is charged, segment by segment to each
         segment's own phase, so the per-phase breakdown reports exactly the
-        network/db time the app actually stalled on.  The covered prefix is
-        recorded as overlap.  Waiting twice is free (idempotent).
+        network/db time the app actually stalled on.  The hidden prefix is
+        split by what actually covered it on the timeline: app-phase
+        charges count as overlap, anything else (another completion's
+        stall, a synchronous round trip) counts as shadowed time — waiting
+        completions out of dispatch order must not re-count an interval
+        already charged as a different batch's stall.  Waiting twice is
+        free (idempotent).
         """
         if completion.waited:
             return 0.0, 0.0
@@ -112,8 +169,11 @@ class SimClock:
             residual = max(0.0, seg_end - max(entry, cursor))
             hidden = dt - residual
             if hidden > 0:
-                self._overlap_by_phase[phase] += hidden
-                overlap += hidden
+                hidden_end = min(seg_end, entry)
+                behind_app = self._app_covered(cursor, hidden_end)
+                self._overlap_by_phase[phase] += behind_app
+                self._shadowed_by_phase[phase] += hidden - behind_app
+                overlap += behind_app
             if residual > 0:
                 self.charge(phase, residual)
                 stall += residual
@@ -127,13 +187,22 @@ class SimClock:
         """In-flight ms of ``phase`` hidden behind concurrent app work."""
         return self._overlap_by_phase[phase]
 
+    def shadowed_time(self, phase):
+        """In-flight ms of ``phase`` hidden behind non-app clock advances
+        (other completions' stalls, synchronous round trips)."""
+        return self._shadowed_by_phase[phase]
+
     def breakdown(self):
         """Dict of phase -> accumulated ms."""
         return dict(self._by_phase)
 
     def overlap_breakdown(self):
-        """Dict of phase -> overlapped (hidden) ms."""
+        """Dict of phase -> overlapped (hidden behind app work) ms."""
         return dict(self._overlap_by_phase)
+
+    def shadowed_breakdown(self):
+        """Dict of phase -> shadowed (hidden behind non-app advances) ms."""
+        return dict(self._shadowed_by_phase)
 
     def checkpoint(self):
         """Snapshot for measuring a window of activity."""

@@ -37,6 +37,11 @@ class DriverStats:
         self.async_batches = 0
         self.stall_ms = 0.0
         self.overlap_ms = 0.0
+        # In-flight time hidden behind non-app clock advances (another
+        # completion's stall, a synchronous round trip) — see
+        # SimClock.shadowed_time.  stall + overlap + shadowed equals the
+        # total in-flight time of the waited completions.
+        self.shadowed_ms = 0.0
 
     def record(self, batch_size):
         self.round_trips += 1
@@ -56,17 +61,21 @@ class DriverStats:
             "async_batches": self.async_batches,
             "stall_ms": self.stall_ms,
             "overlap_ms": self.overlap_ms,
+            "shadowed_ms": self.shadowed_ms,
         }
 
 
 class Driver:
     """One statement per round trip (the original applications' driver)."""
 
-    def __init__(self, server, clock, cost_model=None):
+    def __init__(self, server, clock, cost_model=None, read_view=None):
         self.server = server
         self.clock = clock
         self.cost_model = cost_model or server.cost_model
         self.stats = DriverStats()
+        # Optional per-request snapshot every statement executes under
+        # (see repro.sqldb.read_view); set by the concurrent serving layer.
+        self.read_view = read_view
         self._closed = False
 
     def close(self):
@@ -85,7 +94,8 @@ class Driver:
             PHASE_NETWORK,
             model.round_trip_ms + model.serialization_per_query_ms)
         hits_before = self.server.result_cache_hits
-        outcome = self.server.execute_one(sql, params)
+        outcome = self.server.execute_one(sql, params,
+                                          read_view=self.read_view)
         self.stats.result_cache_hits += (
             self.server.result_cache_hits - hits_before)
         self.clock.charge(PHASE_DB, outcome.cost_ms)
@@ -101,11 +111,14 @@ class BatchDriver:
     SELECTs); the query store opts in per its ``shared_scans`` flag.
     """
 
-    def __init__(self, server, clock, cost_model=None):
+    def __init__(self, server, clock, cost_model=None, read_view=None):
         self.server = server
         self.clock = clock
         self.cost_model = cost_model or server.cost_model
         self.stats = DriverStats()
+        # Optional per-request snapshot every batch executes under
+        # (see repro.sqldb.read_view); set by the concurrent serving layer.
+        self.read_view = read_view
         self._closed = False
 
     def close(self):
@@ -173,9 +186,12 @@ class BatchDriver:
         """
         if completion is None:
             return 0.0, 0.0
+        shadowed_before = sum(self.clock.shadowed_breakdown().values())
         stall, overlap = self.clock.wait(completion)
         self.stats.stall_ms += stall
         self.stats.overlap_ms += overlap
+        self.stats.shadowed_ms += (
+            sum(self.clock.shadowed_breakdown().values()) - shadowed_before)
         return stall, overlap
 
     def _server_batch(self, statements, batch_optimize):
@@ -184,7 +200,8 @@ class BatchDriver:
         saved_before = self.server.shared_scan_rows_saved
         hits_before = self.server.result_cache_hits
         outcomes, elapsed_ms = self.server.execute_batch(
-            statements, batch_optimize=batch_optimize)
+            statements, batch_optimize=batch_optimize,
+            read_view=self.read_view)
         self.stats.shared_scan_groups += (
             self.server.shared_scan_groups - groups_before)
         self.stats.shared_scan_rows_saved += (

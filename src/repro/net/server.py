@@ -53,10 +53,15 @@ class DatabaseServer:
         # lives on the database and is shared by every server over it.
         self.result_cache_hits = 0
 
-    def execute_one(self, sql, params=()):
-        """Execute a single statement; returns a :class:`StatementOutcome`."""
+    def execute_one(self, sql, params=(), read_view=None):
+        """Execute a single statement; returns a :class:`StatementOutcome`.
+
+        With ``read_view`` the statement executes under that request's
+        snapshot (see :mod:`repro.sqldb.read_view`).
+        """
         hits_before = self.database.result_cache.hits
-        outcome = self._run(sql, params)
+        with self.database.read_views.using(read_view):
+            outcome = self._run(sql, params)
         self.result_cache_hits += (
             self.database.result_cache.hits - hits_before)
         self.statements_executed += 1
@@ -65,7 +70,8 @@ class DatabaseServer:
         self.total_db_time_ms += outcome.cost_ms
         return outcome
 
-    def execute_batch(self, statements, batch_optimize=False):
+    def execute_batch(self, statements, batch_optimize=False,
+                      read_view=None):
         """Execute ``[(sql, params), ...]`` as one batch.
 
         Returns ``(outcomes, elapsed_ms)`` where ``elapsed_ms`` models
@@ -73,13 +79,15 @@ class DatabaseServer:
         runs through the shared-scan planner first.  Either path consults
         the database's cross-request result cache per statement: cached
         SELECTs cost zero rows touched and, on the batch-plan path, drop
-        out of shared-scan grouping.
+        out of shared-scan grouping.  With ``read_view`` every statement
+        in the batch executes under that request's snapshot.
         """
         hits_before = self.database.result_cache.hits
-        if batch_optimize:
-            outcomes, elapsed_ms = self._execute_batch_plan(statements)
-        else:
-            outcomes, elapsed_ms = self._execute_batch_direct(statements)
+        with self.database.read_views.using(read_view):
+            if batch_optimize:
+                outcomes, elapsed_ms = self._execute_batch_plan(statements)
+            else:
+                outcomes, elapsed_ms = self._execute_batch_direct(statements)
         self.result_cache_hits += (
             self.database.result_cache.hits - hits_before)
         self.batches_executed += 1

@@ -10,6 +10,7 @@ from repro.sqldb.catalog import Catalog
 from repro.sqldb.errors import CatalogError
 from repro.sqldb.executor import Executor
 from repro.sqldb.parser import parse
+from repro.sqldb.read_view import ReadViewManager
 from repro.sqldb.result_cache import DEFAULT_RESULT_CACHE_LIMIT, ResultCache
 from repro.sqldb.transactions import TransactionManager
 
@@ -52,6 +53,7 @@ class Database:
         self.transactions = TransactionManager()
         self.optimizer_options = optimizer_options
         self.result_cache = ResultCache(result_cache_size)
+        self.read_views = ReadViewManager(self)
         self.executor = Executor(self)
         self.statements_executed = 0
         self.total_rows_touched = 0
@@ -61,6 +63,12 @@ class Database:
         if table is None:
             raise CatalogError(f"no such table: {name!r}")
         return table
+
+    @property
+    def active_read_view(self):
+        """The request read view SELECTs currently execute under, or None
+        (see :mod:`repro.sqldb.read_view`)."""
+        return self.read_views.active
 
     def execute(self, sql, params=()):
         """Parse and execute one SQL statement; returns :class:`ExecResult`."""

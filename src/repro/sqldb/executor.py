@@ -85,6 +85,7 @@ class Executor:
             self._invalidate_plans()
             return ExecResult()
         if kind is A.Truncate:
+            self.db.read_views.before_write(stmt.table)
             table = self.db.tables_get(stmt.table)
             removed = table.truncate(self.db.transactions.undo_log())
             # Emptying a table always invalidates the cardinality picture,
@@ -115,8 +116,23 @@ class Executor:
         result cache first — for callers that already probed (the batch
         shared-scan planner), so a miss is counted exactly once."""
         plan = self.plan_for(stmt)
+        view = self.db.read_views.active
+        if view is not None:
+            stale = view.stale_tables(plan.referenced_tables, self.db)
+            if stale:
+                # Snapshot read: execute against the frozen state and keep
+                # the rows out of the result cache (they are correct for
+                # this view's versions, not the live ones).
+                with self.db.read_views.reading(stale):
+                    return plan.execute(self.db, params)
+        # Snapshot the referenced tables' write versions *before* running:
+        # if a commit lands mid-execution, the store below must be refused
+        # rather than caching pre-commit rows against post-commit versions.
+        expected = self.db.result_cache.version_snapshot(
+            self.db, plan.referenced_tables)
         result = plan.execute(self.db, params)
-        self.store_select(stmt, params, plan, result)
+        self.store_select(stmt, params, plan, result,
+                          expected_versions=expected)
         return result
 
     # -- the cross-request result cache ---------------------------------------
@@ -135,15 +151,32 @@ class Executor:
         A hit needs no plan (``plans_built`` stays flat) and touches no
         storage rows.  Also used directly by the batch shared-scan planner
         so fully cached statements drop out of scan groups.
+
+        View-stale statements never hit: cache entries validate against
+        *live* versions, so a hit would hand a snapshot reader rows from
+        the future.
         """
+        view = self.db.read_views.active
+        if view is not None:
+            try:
+                plan = self.plan_for(stmt)
+            except SqlError:
+                return None
+            if view.stale_tables(plan.referenced_tables, self.db):
+                return None
         return self.db.result_cache.lookup(
             self.result_key(stmt, params), self.db, peek=peek)
 
-    def store_select(self, stmt, params, plan, result):
+    def store_select(self, stmt, params, plan, result,
+                     expected_versions=None):
         """Record a freshly executed SELECT in the result cache."""
+        view = self.db.read_views.active
+        if view is not None and view.stale_tables(
+                plan.referenced_tables, self.db):
+            return  # snapshot-relative rows must not validate as current
         self.db.result_cache.store(
             self.result_key(stmt, params), stmt, plan.referenced_tables,
-            result, self.db)
+            result, self.db, expected_versions=expected_versions)
 
     def plan_for(self, stmt):
         """The cached optimized physical plan for a SELECT statement."""
@@ -187,6 +220,7 @@ class Executor:
     # -- writes ---------------------------------------------------------------
 
     def _exec_insert(self, stmt, params):
+        self.db.read_views.before_write(stmt.table)
         table = self.db.tables_get(stmt.table)
         schema = table.schema
         columns = stmt.columns or schema.column_names
@@ -213,6 +247,7 @@ class Executor:
                           last_insert_id=last_id)
 
     def _exec_update(self, stmt, params):
+        self.db.read_views.before_write(stmt.table)
         table = self.db.tables_get(stmt.table)
         schema = table.schema
         ctx = _single_table_context(schema, stmt.table)
@@ -237,6 +272,7 @@ class Executor:
         return ExecResult(rowcount=updated, rows_touched=touched)
 
     def _exec_delete(self, stmt, params):
+        self.db.read_views.before_write(stmt.table)
         table = self.db.tables_get(stmt.table)
         ctx = _single_table_context(table.schema, stmt.table)
         target_ids, touched = candidate_row_ids(table, stmt.where, params)

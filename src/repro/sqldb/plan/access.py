@@ -59,8 +59,54 @@ def pinned_columns(where):
 
     A superset of what :func:`equality_conjuncts` yields for any concrete
     parameters, so a negative answer here is a safe "never uses an index".
+    Deliberately excludes IN-list columns: a pinned column is *single*-valued
+    — the contract sort elision and prefix matching rely on — whereas an IN
+    column takes several.  IN access paths go through
+    :func:`_in_list_shapes` instead.
     """
     return {column for column, _ in _equality_shapes(where)}
+
+
+def _in_list_shapes(where):
+    """Yield ``(column name, constant item nodes)`` for every top-level AND
+    conjunct of the form ``col IN (literals-and-params)`` (non-negated).
+
+    The IN analogue of :func:`_equality_shapes`: the single shape filter
+    plan-time candidacy and runtime key resolution both build on.  A list
+    containing any non-constant item is not yielded — its key set cannot be
+    derived from the parameters alone.
+    """
+    for node in split_conjuncts(where):
+        if (isinstance(node, A.InList) and not node.negated
+                and isinstance(node.expr, A.ColumnRef)
+                and all(isinstance(item, (A.Literal, A.Param))
+                        for item in node.items)):
+            yield node.expr.column, tuple(node.items)
+
+
+def _in_list_keys(column, where, params):
+    """The set of values IN conjuncts over ``column`` allow, or None when
+    no resolvable IN conjunct constrains it.
+
+    Several IN conjuncts on the same column intersect.  An item that is a
+    parameter beyond ``params`` makes its whole conjunct unresolvable (the
+    key set is unknown, unlike a missing equality conjunct which merely
+    drops out).  NULL items drop individually — ``col IN (..., NULL)``
+    never matches through the NULL (SQL three-valued equality).
+    """
+    keys = None
+    ctx = RowContext({}).bind(())
+    for shape_column, items in _in_list_shapes(where):
+        if shape_column != column:
+            continue
+        if any(isinstance(item, A.Param) and item.index >= len(params)
+               for item in items):
+            continue
+        values = {value for value in
+                  (evaluate(item, ctx, params) for item in items)
+                  if value is not None}
+        keys = values if keys is None else (keys & values)
+    return keys
 
 
 def candidate_indexes(table, where):
@@ -72,15 +118,15 @@ def candidate_indexes(table, where):
     if where is None:
         return []
     pinned = pinned_columns(where)
-    if not pinned:
-        return []
     names = []
     pk = table.schema.primary_key
-    if pk is not None and pk.name in pinned:
+    if pk is not None and (pk.name in pinned or any(
+            column == pk.name for column, _ in _in_list_shapes(where))):
         names.append("<pk>")
-    for index in table.indexes.values():
-        if index.covers(pinned):
-            names.append(index.info.name)
+    if pinned:
+        for index in table.indexes.values():
+            if index.covers(pinned):
+                names.append(index.info.name)
     return names
 
 
@@ -93,13 +139,21 @@ def resolve_index_lookup(table, where, params):
     if where is None:
         return None
     pairs = equality_conjuncts(where, params)
-    if not pairs:
-        return None
     schema = table.schema
     pk = schema.primary_key
     if pk is not None and pk.name in pairs:
         hit = table.find_by_pk(pairs[pk.name])
         return [hit[0]] if hit else []
+    if pk is not None:
+        keys = _in_list_keys(pk.name, where, params)
+        if keys is not None:
+            # Multi-probe point lookup: one pk probe per distinct key.
+            # Sorted row ids keep emission in insertion order, identical
+            # to the scan-and-filter row stream.
+            hits = (table.find_by_pk(key) for key in keys)
+            return sorted({hit[0] for hit in hits if hit is not None})
+    if not pairs:
+        return None
     best = None
     for index in table.indexes.values():
         if index.covers(pairs):
@@ -110,6 +164,27 @@ def resolve_index_lookup(table, where, params):
         return None
     key = [pairs[col] for col in best.info.columns]
     return sorted(best.lookup(key))
+
+
+def pk_lookup_keys(table, where, params):
+    """The primary-key values an index lookup would probe, or None when the
+    primary key does not serve this predicate for these parameters.
+
+    A frozenset: one key for an equality conjunct, the (intersected,
+    NULL-free) item set for ``pk IN (...)``.  The concurrent serving layer
+    uses this to merge point lookups from different requests into one
+    shared multi-probe.
+    """
+    if where is None:
+        return None
+    pk = table.schema.primary_key
+    if pk is None:
+        return None
+    pairs = equality_conjuncts(where, params)
+    if pk.name in pairs:
+        return frozenset((pairs[pk.name],))
+    keys = _in_list_keys(pk.name, where, params)
+    return frozenset(keys) if keys is not None else None
 
 
 def candidate_row_ids(table, where, params):

@@ -147,6 +147,8 @@ def _flush_segment(db, segment, results, groups):
             groups.append(entry[0])
         group, shared_rows = entry
         plan = db.executor.plan_for(stmt)
+        expected = db.result_cache.version_snapshot(
+            db, plan.referenced_tables)
         result = plan.execute(db, params, prefetched_base_rows=shared_rows)
         # Charge the scan once: the first member carries the shared cost,
         # the demultiplexed rest touch nothing new.
@@ -154,16 +156,24 @@ def _flush_segment(db, segment, results, groups):
             else 0
         group.member_indices.append(index)
         results[index] = result
-        db.executor.store_select(stmt, params, plan, result)
+        db.executor.store_select(stmt, params, plan, result,
+                                 expected_versions=expected)
         db.record_statement(result.rows_touched)
 
 
 def _start_shared_scan(db, table_name):
     """Scan ``table_name`` once for a group: identical row stream (padded,
-    insertion order) to what each member's private SeqScanOp produces."""
-    table = db.tables_get(table_name)
-    width = len(table.schema.columns)
-    shared_rows = [_pad(row, 0, width) for _, row in table.scan()]
+    insertion order) to what each member's private SeqScanOp produces.
+
+    Under a stale read view the scan runs against the frozen snapshot, so
+    every demultiplexed member observes the view's pinned version.
+    """
+    view = db.read_views.active
+    stale = view.stale_tables((table_name,), db) if view is not None else ()
+    with db.read_views.reading(stale):
+        table = db.tables_get(table_name)
+        width = len(table.schema.columns)
+        shared_rows = [_pad(row, 0, width) for _, row in table.scan()]
     group = SharedScanGroup(table_name, [])
     group.scan_rows = len(shared_rows)
     return group, shared_rows

@@ -55,7 +55,8 @@ from repro.sqldb.errors import SqlError, SqlTypeError
 from repro.sqldb.expressions import evaluate, RowContext
 from repro.sqldb.indexes import OrderedIndex, wrap_key
 from repro.sqldb.plan import logical as L
-from repro.sqldb.plan.access import range_scan_ids, resolve_index_lookup
+from repro.sqldb.plan.access import (pk_lookup_keys, range_scan_ids,
+                                     resolve_index_lookup)
 from repro.sqldb.plan.compile import compile_aggregate_item, compile_expr
 from repro.sqldb.plan.planner import _AGGREGATE_NAMES
 from repro.sqldb.result import ExecResult
@@ -868,6 +869,29 @@ class PhysicalPlan:
             op = op.child
         self.shared_scan_table = (
             op.table_name if isinstance(op, SeqScanOp) else None)
+
+    def pk_probe_keys(self, db, params=()):
+        """The primary-key values this plan probes as a pure point lookup,
+        or None when the plan is not a pk point lookup for these params.
+
+        Non-None only when the row source (below any filters) is an
+        :class:`IndexLookupOp` whose predicate the primary key serves —
+        a single equality or an IN list.  The concurrent serving layer
+        uses the ``(table, keys)`` pair to merge point lookups issued by
+        different requests into one shared multi-probe.
+        """
+        op = self.source
+        while isinstance(op, FilterOp):
+            op = op.child
+        if not isinstance(op, IndexLookupOp):
+            return None
+        table = db.tables.get(op.table_name)
+        if table is None:
+            return None
+        keys = pk_lookup_keys(table, op.where, params)
+        if keys is None:
+            return None
+        return op.table_name, keys
 
     def _materialize_source(self, run, source):
         """Pull ``source`` to completion under the run's engine.

@@ -50,7 +50,7 @@ class ResultCache:
     """
 
     __slots__ = ("limit", "enabled", "_entries", "hits", "misses",
-                 "invalidations", "stores")
+                 "invalidations", "stores", "rejected_stores")
 
     def __init__(self, limit=DEFAULT_RESULT_CACHE_LIMIT):
         self.limit = limit
@@ -60,6 +60,10 @@ class ResultCache:
         self.misses = 0
         self.invalidations = 0
         self.stores = 0
+        # Stores refused because a referenced table's write version moved
+        # between the executor's pre-execution snapshot and store time —
+        # the store/validate race another request's commit can open.
+        self.rejected_stores = 0
 
     # -- the probe/store protocol -------------------------------------------
 
@@ -100,12 +104,20 @@ class ResultCache:
         return ExecResult(columns, rows, rowcount=rowcount, rows_touched=0,
                           from_cache=True)
 
-    def store(self, key, stmt, table_names, result, db):
+    def store(self, key, stmt, table_names, result, db,
+              expected_versions=None):
         """Record a freshly executed SELECT's rows under ``key``.
 
         ``stmt`` is kept in the entry to pin the parsed AST (the key
         embeds ``id(stmt)``, which must not be reused while the entry
         lives — the same pinning trick the plan cache uses).
+
+        ``expected_versions`` is the executor's write-version snapshot
+        taken *before* execution (:meth:`version_snapshot`).  If any
+        referenced table's version has moved since — another request's
+        commit landed while the rows were being computed — the store is
+        refused: the rows reflect the pre-commit state and must never be
+        cached against the post-commit versions.
         """
         if not self.enabled or key is None:
             return
@@ -114,6 +126,9 @@ class ResultCache:
             return  # rows computed from uncommitted state: never cache
         versions = _current_versions(db, table_names)
         if versions is None:
+            return
+        if expected_versions is not None and versions != expected_versions:
+            self.rejected_stores += 1
             return
         entry = (stmt, table_names, versions, tuple(result.columns),
                  tuple(result.rows), result.rowcount)
@@ -125,6 +140,12 @@ class ResultCache:
         self.stores += 1
         while len(self._entries) > self.limit:
             self._entries.popitem(last=False)
+
+    @staticmethod
+    def version_snapshot(db, table_names):
+        """The referenced tables' current write versions, for callers that
+        must capture them *before* executing (see :meth:`store`)."""
+        return _current_versions(db, table_names)
 
     # -- management ----------------------------------------------------------
 
@@ -142,6 +163,7 @@ class ResultCache:
             "misses": self.misses,
             "invalidations": self.invalidations,
             "stores": self.stores,
+            "rejected_stores": self.rejected_stores,
             "size": len(self._entries),
             "enabled": self.enabled,
         }

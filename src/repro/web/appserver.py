@@ -86,7 +86,8 @@ class PageLoadResult:
     def __init__(self, url, html, time_ms, phases, round_trips,
                  queries_issued, largest_batch, queries_registered,
                  shared_scan_rows_saved=0, result_cache_hits=0,
-                 async_batches=0, stall_ms=0.0, overlap_ms=0.0):
+                 async_batches=0, stall_ms=0.0, overlap_ms=0.0,
+                 shadowed_ms=0.0):
         self.url = url
         self.html = html
         self.time_ms = time_ms
@@ -109,6 +110,11 @@ class PageLoadResult:
         self.async_batches = async_batches
         self.stall_ms = stall_ms
         self.overlap_ms = overlap_ms
+        # In-flight time hidden behind *non-app* clock advances — under
+        # concurrent serving, mostly other requests' stalls on the shared
+        # db work queue.  stall + overlap + shadowed equals the total
+        # in-flight time of this request's async batches.
+        self.shadowed_ms = shadowed_ms
 
     def __repr__(self):
         return (f"PageLoadResult({self.url!r}, {self.time_ms:.2f} ms, "
@@ -121,7 +127,8 @@ class AppServer:
 
     def __init__(self, database, dispatcher, cost_model, mode=MODE_ORIGINAL,
                  optimizations=None, clock=None, async_dispatch=False,
-                 auto_flush_threshold=None, pipeline_depth=None):
+                 auto_flush_threshold=None, pipeline_depth=None,
+                 driver_factory=None):
         if mode not in (MODE_ORIGINAL, MODE_SLOTH):
             raise ValueError(f"unknown mode {mode!r}")
         if async_dispatch and mode != MODE_SLOTH:
@@ -138,6 +145,10 @@ class AppServer:
         self.async_dispatch = async_dispatch
         self.auto_flush_threshold = auto_flush_threshold
         self.pipeline_depth = pipeline_depth
+        # Optional driver constructor ``(server, clock, cost_model) ->
+        # driver`` replacing the mode's default Driver/BatchDriver — the
+        # concurrent serving layer's tracing seam.
+        self.driver_factory = driver_factory
 
     #: privileges granted to the synthetic logged-in user when a request
     #: carries no explicit user (benchmarks run authenticated, as in the
@@ -145,15 +156,25 @@ class AppServer:
     DEFAULT_USER = {"name": "user1",
                     "privileges": ("VIEW_PATIENTS", "EDIT_ISSUES")}
 
-    def load_page(self, request):
-        """Run one request and measure it."""
+    def load_page(self, request, read_view=None):
+        """Run one request and measure it.
+
+        With ``read_view`` every statement the request issues executes
+        under that snapshot (see :mod:`repro.sqldb.read_view`); the
+        concurrent serving layer opens one per request at admission.
+        """
         if request.user is None:
             request.user = dict(self.DEFAULT_USER)
         controller, template = self.dispatcher.route(request.url)
         checkpoint = self.clock.checkpoint()
 
+        make_driver = self.driver_factory
         if self.mode == MODE_SLOTH:
-            driver = BatchDriver(self.db_server, self.clock, self.cost_model)
+            if make_driver is None:
+                make_driver = BatchDriver
+            driver = make_driver(self.db_server, self.clock, self.cost_model)
+            if read_view is not None:
+                driver.read_view = read_view
             runtime = SlothRuntime(driver, self.clock, self.cost_model,
                                    optimizations=self.optimizations,
                                    lazy_mode=True,
@@ -163,7 +184,11 @@ class AppServer:
                                    pipeline_depth=self.pipeline_depth)
             backend = SlothBackend(runtime)
         else:
-            driver = Driver(self.db_server, self.clock, self.cost_model)
+            if make_driver is None:
+                make_driver = Driver
+            driver = make_driver(self.db_server, self.clock, self.cost_model)
+            if read_view is not None:
+                driver.read_view = read_view
             runtime = SlothRuntime(driver, self.clock, self.cost_model,
                                    lazy_mode=False)
             backend = OriginalBackend(driver)
@@ -213,4 +238,5 @@ class AppServer:
             async_batches=driver.stats.async_batches,
             stall_ms=driver.stats.stall_ms,
             overlap_ms=driver.stats.overlap_ms,
+            shadowed_ms=driver.stats.shadowed_ms,
         )

@@ -109,6 +109,110 @@ class TestAsyncTimeline:
         assert completion.ready_at == pytest.approx(13.0)
         assert not completion.waited
 
+    def test_begin_async_with_explicit_start(self):
+        clock = SimClock()
+        clock.charge("app", 2.0)
+        completion = clock.begin_async((("db", 1.0),), start=0.5)
+        assert completion.start == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            clock.begin_async((("db", 1.0),), start=clock.now + 0.1)
+
+
+class TestInterleavedWaits:
+    """Out-of-dispatch-order waits must not double-count hidden prefixes.
+
+    When a newer completion is awaited before an older one, the older
+    completion's in-flight window partly elapsed during the newer one's
+    *stall* — wall time already charged to network/db.  That part is
+    *shadowed*, not overlap; counting it as overlap would report the same
+    interval twice (once as a stall, once as hidden-behind-app).  For
+    every completion ``stall + overlap + shadowed == in_flight_ms``.
+    """
+
+    def test_depth2_newer_waited_first(self):
+        clock = SimClock()
+        c1 = clock.begin_async((("network", 1.0), ("db", 2.0)))  # [0, 3)
+        clock.charge("app", 0.5)
+        c2 = clock.begin_async((("network", 1.0), ("db", 2.0)))  # [0.5, 3.5)
+        # Newer first: full stall, nothing hidden.
+        stall2, overlap2 = clock.wait(c2)
+        assert stall2 == pytest.approx(3.0)
+        assert overlap2 == pytest.approx(0.0)
+        assert clock.now == pytest.approx(3.5)
+        # Older second: fully elapsed, but only the 0.5 ms of app work is
+        # overlap — the other 2.5 ms passed during c2's charged stall.
+        stall1, overlap1 = clock.wait(c1)
+        assert stall1 == pytest.approx(0.0)
+        assert overlap1 == pytest.approx(0.5)
+        shadowed = sum(clock.shadowed_breakdown().values())
+        assert shadowed == pytest.approx(2.5)
+        assert (stall1 + overlap1 + shadowed
+                == pytest.approx(c1.in_flight_ms))
+        # Per-phase: c1's network leg [0, 1) was half app-covered; its db
+        # leg [1, 3) elapsed entirely inside c2's stall.
+        assert clock.overlap_time("network") == pytest.approx(0.5)
+        assert clock.shadowed_time("network") == pytest.approx(0.5)
+        assert clock.shadowed_time("db") == pytest.approx(2.0)
+        # Phase totals still sum to elapsed time (Fig-8 breakdowns hold).
+        assert sum(clock.breakdown().values()) == pytest.approx(clock.now)
+
+    def test_depth4_reverse_order_waits(self):
+        clock = SimClock()
+        completions = []
+        for i in range(4):
+            if i:
+                clock.charge("app", 0.2)  # app progress between dispatches
+            completions.append(
+                clock.begin_async((("network", 0.5), ("db", 1.0))))
+        # Await in reverse dispatch order; track each completion's split.
+        app_total = clock.phase_time("app")
+        splits = []
+        for completion in reversed(completions):
+            shadowed_before = sum(clock.shadowed_breakdown().values())
+            stall, overlap = clock.wait(completion)
+            shadowed = (sum(clock.shadowed_breakdown().values())
+                        - shadowed_before)
+            splits.append((completion, stall, overlap, shadowed))
+        for completion, stall, overlap, shadowed in splits:
+            assert (stall + overlap + shadowed
+                    == pytest.approx(completion.in_flight_ms))
+        # Only the newest completion stalls; every older one is fully
+        # hidden, split between the app prefix and the newest's stall.
+        (s4, o4, sh4), (s3, o3, sh3), (s2, o2, sh2), (s1, o1, sh1) = [
+            s[1:] for s in splits]
+        assert s4 == pytest.approx(1.5) and o4 == 0.0 and sh4 == 0.0
+        assert s3 == 0.0 and o3 == pytest.approx(0.2)
+        assert sh3 == pytest.approx(1.3)
+        assert s2 == 0.0 and o2 == pytest.approx(0.4)
+        assert sh2 == pytest.approx(1.1)
+        assert s1 == 0.0 and o1 == pytest.approx(0.6)
+        assert sh1 == pytest.approx(0.9)
+        # One app interval may hide several concurrent completions, but no
+        # single completion's overlap can exceed the app time charged.
+        for _, _, overlap, _ in splits:
+            assert overlap <= app_total + 1e-9
+        assert sum(clock.breakdown().values()) == pytest.approx(clock.now)
+
+    def test_sync_round_trip_shadows_in_flight_batch(self):
+        clock = SimClock()
+        completion = clock.begin_async((("network", 1.0), ("db", 1.0)))
+        clock.charge("db", 2.0)  # a synchronous round trip, not app work
+        stall, overlap = clock.wait(completion)
+        assert stall == pytest.approx(0.0)
+        assert overlap == pytest.approx(0.0)
+        assert sum(clock.shadowed_breakdown().values()) == pytest.approx(2.0)
+
+    def test_in_order_waits_unchanged(self):
+        # The single-completion contract is untouched: an app-covered
+        # hidden prefix is all overlap, no shadow.
+        clock = SimClock()
+        completion = clock.begin_async((("network", 2.0), ("db", 1.0)))
+        clock.charge("app", 2.5)
+        stall, overlap = clock.wait(completion)
+        assert stall == pytest.approx(0.5)
+        assert overlap == pytest.approx(2.5)
+        assert sum(clock.shadowed_breakdown().values()) == pytest.approx(0.0)
+
 
 class TestCostModel:
     def test_query_cost_scales_with_rows(self):

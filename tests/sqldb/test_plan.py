@@ -50,6 +50,85 @@ class TestOptimizerRules:
         assert "strategy='nested'" in plan
 
 
+class TestPkInPointLookups:
+    """``WHERE pk IN (...)`` plans as a multi-probe index lookup."""
+
+    def test_pk_in_selects_index_lookup(self, people_db):
+        plan = people_db.explain(
+            "SELECT name FROM person WHERE id IN (1, 3)")
+        assert "IndexLookup" in plan
+        assert "<pk>" in plan
+
+    def test_results_identical_to_scan_semantics(self, people_db):
+        result = people_db.execute(
+            "SELECT name FROM person WHERE id IN (3, 1)")
+        # Insertion-order emission, exactly what a scan-and-filter yields.
+        assert result.rows == [("alice",), ("carol",)]
+        assert result.rows_touched == 2  # two probes, not a 4-row scan
+
+    def test_parameterized_in_list(self, people_db):
+        result = people_db.execute(
+            "SELECT name FROM person WHERE id IN (?, ?)", (2, 4))
+        assert result.rows == [("bob",), ("dave",)]
+        assert result.rows_touched == 2
+
+    def test_duplicates_and_nulls_in_list(self, people_db):
+        result = people_db.execute(
+            "SELECT name FROM person WHERE id IN (1, 1, NULL)")
+        assert result.rows == [("alice",)]  # no duplicate emission
+
+    def test_intersecting_in_conjuncts(self, people_db):
+        result = people_db.execute(
+            "SELECT name FROM person WHERE id IN (1, 2) AND id IN (2, 3)")
+        assert result.rows == [("bob",)]
+        assert result.rows_touched == 1
+
+    def test_negated_in_keeps_scan(self, people_db):
+        plan = people_db.explain(
+            "SELECT name FROM person WHERE id NOT IN (1)")
+        assert "IndexLookup" not in plan
+
+    def test_non_pk_in_keeps_scan(self, people_db):
+        plan = people_db.explain(
+            "SELECT name FROM person WHERE city IN ('boston', 'sf')")
+        assert "IndexLookup" not in plan
+
+    def test_missing_key_simply_drops_out(self, people_db):
+        result = people_db.execute(
+            "SELECT name FROM person WHERE id IN (3, 999)")
+        assert result.rows == [("carol",)]
+
+    def test_update_delete_use_pk_probes(self, people_db):
+        deleted = people_db.execute(
+            "DELETE FROM person WHERE id IN (2, 4)")
+        assert deleted.rowcount == 2
+        assert deleted.rows_touched == 2  # probed, not scanned
+        left = people_db.execute("SELECT id FROM person")
+        assert [r[0] for r in left.rows] == [1, 3]
+
+    def test_pk_probe_keys_metadata(self, people_db):
+        executor = people_db.executor
+        plan = executor.plan_for(
+            parse("SELECT name FROM person WHERE id IN (?, ?)"))
+        assert plan.pk_probe_keys(people_db, (1, 3)) == (
+            "person", frozenset({1, 3}))
+        eq_plan = executor.plan_for(
+            parse("SELECT name FROM person WHERE id = 2"))
+        assert eq_plan.pk_probe_keys(people_db, ()) == (
+            "person", frozenset({2}))
+        scan_plan = executor.plan_for(
+            parse("SELECT name FROM person WHERE city = 'sf'"))
+        assert scan_plan.pk_probe_keys(people_db, ()) is None
+
+    def test_pk_in_members_are_not_grouped(self, people_db):
+        batch = [("SELECT name FROM person WHERE id IN (1, 2)", ()),
+                 ("SELECT name FROM person WHERE id IN (3, 4)", ())]
+        outcome = execute_batch_plan(people_db, batch)
+        assert outcome.groups == []  # point lookups stay on the fast path
+        assert outcome.results[0].rows == [("alice",), ("bob",)]
+        assert outcome.results[1].rows == [("carol",), ("dave",)]
+
+
 class TestPushdownSemantics:
     """Pushdown must not change results, for inner and left joins."""
 

@@ -1,0 +1,219 @@
+"""Per-request snapshot read views (the miniature MVCC layer).
+
+Covers the copy-on-write freeze (lazy, once per pinned version), snapshot
+reads through every access path (seq scan, pk lookup, hash and ordered
+secondary indexes, shared batch scans), read-your-writes, the result-cache
+bypass in both directions, transaction interplay, and frozen-state GC.
+"""
+
+import pytest
+
+from repro.net.clock import CostModel, SimClock
+from repro.net.driver import BatchDriver
+from repro.net.server import DatabaseServer
+from repro.sqldb import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (id INT PRIMARY KEY, grp INT, v INT)")
+    database.execute("CREATE INDEX idx_grp ON t (grp)")
+    database.execute(
+        "CREATE INDEX idx_v ON t (v) USING ORDERED")
+    for i in range(10):
+        database.execute(
+            "INSERT INTO t (id, grp, v) VALUES (?, ?, ?)",
+            (i, i % 3, i * 10))
+    return database
+
+
+class TestSnapshotReads:
+    def test_view_pins_pre_write_rows(self, db):
+        view = db.read_views.open()
+        db.execute("UPDATE t SET v = 999 WHERE id = 1")
+        with db.read_views.using(view):
+            old = db.execute("SELECT v FROM t WHERE grp = 1 ORDER BY id")
+        assert old.rows[0] == (10,)  # the pre-write value
+        live = db.execute("SELECT v FROM t WHERE grp = 1 ORDER BY id")
+        assert live.rows[0] == (999,)
+        view.close()
+
+    def test_pk_lookup_under_view(self, db):
+        view = db.read_views.open()
+        db.execute("DELETE FROM t WHERE id = 5")
+        with db.read_views.using(view):
+            snap = db.execute("SELECT v FROM t WHERE id = 5")
+        assert snap.rows == [(50,)]  # still visible in the snapshot
+        assert db.execute("SELECT v FROM t WHERE id = 5").rows == []
+        view.close()
+
+    def test_secondary_and_ordered_indexes_under_view(self, db):
+        view = db.read_views.open()
+        db.execute("INSERT INTO t (id, grp, v) VALUES (100, 1, 45)")
+        with db.read_views.using(view):
+            by_grp = db.execute("SELECT id FROM t WHERE grp = 1")
+            in_range = db.execute(
+                "SELECT id FROM t WHERE v BETWEEN 40 AND 50 ORDER BY v")
+        assert (100,) not in by_grp.rows
+        assert [r[0] for r in in_range.rows] == [4, 5]  # no id=100/v=45
+        live = db.execute(
+            "SELECT id FROM t WHERE v BETWEEN 40 AND 50 ORDER BY v")
+        assert [r[0] for r in live.rows] == [4, 100, 5]
+        view.close()
+
+    def test_snapshot_identical_to_serial_pre_write_state(self, db):
+        before = db.execute("SELECT * FROM t ORDER BY id").rows
+        view = db.read_views.open()
+        db.execute("UPDATE t SET v = v + 1 WHERE grp = 0")
+        db.execute("DELETE FROM t WHERE id = 9")
+        db.execute("INSERT INTO t (id, grp, v) VALUES (50, 2, 7)")
+        with db.read_views.using(view):
+            snap = db.execute("SELECT * FROM t ORDER BY id").rows
+        assert snap == before
+        view.close()
+
+
+class TestCopyOnWrite:
+    def test_no_freeze_without_views(self, db):
+        db.execute("UPDATE t SET v = 1 WHERE id = 0")
+        assert db.read_views.freezes == 0
+
+    def test_freeze_is_lazy_and_once_per_version(self, db):
+        view = db.read_views.open()
+        assert db.read_views.freezes == 0  # opening copies nothing
+        db.execute("UPDATE t SET v = 1 WHERE id = 0")
+        db.execute("UPDATE t SET v = 2 WHERE id = 0")
+        # Only the first write past the pinned version froze; the second
+        # moved between unpinned versions.
+        assert db.read_views.freezes == 1
+        view.close()
+
+    def test_close_gcs_frozen_states(self, db):
+        view = db.read_views.open()
+        db.execute("UPDATE t SET v = 1 WHERE id = 0")
+        assert db.read_views.frozen_state_count == 1
+        view.close()
+        assert db.read_views.frozen_state_count == 0
+        assert db.read_views.open_view_count == 0
+
+    def test_two_views_share_one_frozen_state(self, db):
+        v1 = db.read_views.open()
+        v2 = db.read_views.open()
+        db.execute("UPDATE t SET v = 1 WHERE id = 0")
+        assert db.read_views.freezes == 1
+        v1.close()
+        assert db.read_views.frozen_state_count == 1  # v2 still pins it
+        v2.close()
+        assert db.read_views.frozen_state_count == 0
+
+
+class TestReadYourWrites:
+    def test_own_write_is_visible(self, db):
+        view = db.read_views.open()
+        with db.read_views.using(view):
+            db.execute("UPDATE t SET v = 123 WHERE id = 2")
+            mine = db.execute("SELECT v FROM t WHERE id = 2")
+        assert mine.rows == [(123,)]
+        view.close()
+
+    def test_own_write_does_not_freeze_for_the_writer(self, db):
+        view = db.read_views.open()
+        with db.read_views.using(view):
+            db.execute("UPDATE t SET v = 123 WHERE id = 2")
+        # The only open view is the writer's: nothing needed freezing.
+        assert db.read_views.freezes == 0
+        view.close()
+
+
+class TestTransactions:
+    def test_open_refused_mid_transaction(self, db):
+        db.execute("BEGIN")
+        with pytest.raises(RuntimeError):
+            db.read_views.open()
+        db.execute("ROLLBACK")
+
+    def test_other_requests_pending_writes_invisible(self, db):
+        view = db.read_views.open()
+        db.execute("BEGIN")
+        db.execute("UPDATE t SET v = 777 WHERE id = 3")
+        with db.read_views.using(view):
+            snap = db.execute("SELECT v FROM t WHERE id = 3")
+        assert snap.rows == [(30,)]  # uncommitted write not visible
+        db.execute("COMMIT")
+        with db.read_views.using(view):
+            still = db.execute("SELECT v FROM t WHERE id = 3")
+        assert still.rows == [(30,)]  # committed but after the view opened
+        view.close()
+
+    def test_rollback_returns_view_to_live_reads(self, db):
+        view = db.read_views.open()
+        db.execute("BEGIN")
+        db.execute("UPDATE t SET v = 777 WHERE id = 3")
+        db.execute("ROLLBACK")
+        with db.read_views.using(view):
+            result = db.execute("SELECT v FROM t WHERE id = 3")
+        assert result.rows == [(30,)]
+        view.close()
+
+
+class TestCacheIsolation:
+    def test_stale_view_never_served_from_cache(self, db):
+        view = db.read_views.open()
+        db.execute("UPDATE t SET v = 999 WHERE id = 1")
+        # Warm the cache against the *current* version.
+        db.execute("SELECT v FROM t WHERE id = 1")
+        hit = db.execute("SELECT v FROM t WHERE id = 1")
+        assert hit.rows_touched == 0 and hit.rows == [(999,)]
+        with db.read_views.using(view):
+            snap = db.execute("SELECT v FROM t WHERE id = 1")
+        assert snap.rows == [(10,)]  # the snapshot, not the cached rows
+        view.close()
+
+    def test_view_execution_does_not_poison_cache(self, db):
+        view = db.read_views.open()
+        db.execute("UPDATE t SET v = 999 WHERE id = 1")
+        with db.read_views.using(view):
+            db.execute("SELECT v FROM t WHERE id = 1")  # snapshot read
+        # The snapshot rows were not stored: a live read re-executes and
+        # sees the committed value.
+        live = db.execute("SELECT v FROM t WHERE id = 1")
+        assert live.rows == [(999,)]
+        view.close()
+
+    def test_fresh_view_still_uses_cache(self, db):
+        view = db.read_views.open()
+        with db.read_views.using(view):
+            db.execute("SELECT v FROM t WHERE id = 1")
+            hit = db.execute("SELECT v FROM t WHERE id = 1")
+        # Nothing moved: the view matches live versions, caching applies.
+        assert hit.rows_touched == 0
+        view.close()
+
+
+class TestSharedScanUnderViews:
+    def _stack(self, db):
+        clock = SimClock()
+        server = DatabaseServer(db, CostModel())
+        return BatchDriver(server, clock)
+
+    def test_batch_shared_scan_sees_snapshot(self, db):
+        # A table with no secondary indexes: predicates on a/b always plan
+        # as sequential scans, making the statements shareable.
+        db.execute("CREATE TABLE s (id INT PRIMARY KEY, a INT, b INT)")
+        for i in range(8):
+            db.execute("INSERT INTO s (id, a, b) VALUES (?, ?, ?)",
+                       (i, i % 2, i))
+        driver = self._stack(db)
+        view = db.read_views.open()
+        db.execute("INSERT INTO s (id, a, b) VALUES (200, 0, 3)")
+        driver.read_view = view
+        results = driver.execute_batch(
+            [("SELECT id FROM s WHERE a = 0", ()),
+             ("SELECT id FROM s WHERE b > 2", ())],
+            batch_optimize=True)
+        for result in results:
+            assert all(row[0] != 200 for row in result.rows)
+        assert driver.stats.shared_scan_groups == 1
+        view.close()

@@ -237,6 +237,48 @@ class TestTransactions:
         assert cached_db.result_cache_stats()["invalidations"] == 1
 
 
+class TestStoreValidateRace:
+    """A commit landing between execution and store must refuse the store.
+
+    The executor snapshots referenced-table write versions *before*
+    executing; the cache re-validates at store time.  Rows computed
+    concurrently with another request's commit can therefore never be
+    cached against the post-commit versions (where a later lookup would
+    wrongly serve them as current).
+    """
+
+    SQL = "SELECT v FROM t WHERE id = ?"
+
+    def test_stale_expected_versions_refuse_the_store(self, cached_db):
+        from repro.sqldb.parser import parse
+
+        stmt = parse(self.SQL)
+        executor = cached_db.executor
+        plan = executor.plan_for(stmt)
+        # Simulate: execution started (versions snapshotted, rows read)...
+        expected = cached_db.result_cache.version_snapshot(
+            cached_db, plan.referenced_tables)
+        result = plan.execute(cached_db, (1,))
+        # ...then another request's commit lands before the store.
+        cached_db.execute("UPDATE t SET v = 999 WHERE id = 1")
+        executor.store_select(stmt, (1,), plan, result,
+                              expected_versions=expected)
+        assert cached_db.result_cache.rejected_stores == 1
+        # The stale rows were not cached: the next read re-executes and
+        # sees the committed value.
+        after = cached_db.execute(self.SQL, (1,))
+        assert after.rows == [(999,)] and after.rows_touched > 0
+
+    def test_matching_versions_store_normally(self, cached_db):
+        cached_db.execute(self.SQL, (3,))
+        assert cached_db.result_cache.rejected_stores == 0
+        hit = cached_db.execute(self.SQL, (3,))
+        assert hit.rows_touched == 0
+
+    def test_rejected_store_counter_in_stats(self, cached_db):
+        assert "rejected_stores" in cached_db.result_cache_stats()
+
+
 class TestServerBatchPaths:
     @pytest.fixture
     def stack(self, cached_db):
