@@ -1,0 +1,30 @@
+"""Fig. 10 analogue with backends that scale: the sharded sweep.
+
+Scale ``s`` runs ``s`` shards over ``s``× the data with ``s``× the
+concurrent users.  The per-shard slice stays constant, so sharded page
+latency must stay ~flat (within the 1.3× bound) while the single-node
+series degrades — and the sharded backend must win outright once the
+data outgrows one node.
+"""
+
+from repro.bench.experiments import fig10_dbscale
+
+
+def test_dbscale_sharded_flat_and_dominant(benchmark):
+    result = benchmark.pedantic(fig10_dbscale.run, rounds=1, iterations=1)
+    print()
+    print(fig10_dbscale.format_result(result))
+
+    rows = result["rows"]
+    assert [r["scale"] for r in rows] == [1, 2, 4]
+    # Flatness: 4x data x 4x users on 4 shards costs at most 1.3x the
+    # scale-1 page latency.
+    assert result["flat_within_1_3x"], result["flatness_ratio"]
+    # Dominance: at the largest size the sharded backend beats the
+    # single node outright (mean and p95).
+    assert result["sharded_dominates_at_max"]
+    last = rows[-1]
+    assert last["sharded_p95_ms"] <= last["single_p95_ms"]
+    # The single-node series actually degrades across the sweep — the
+    # flat sharded line is meaningful only against a rising baseline.
+    assert rows[-1]["single_mean_ms"] > rows[0]["single_mean_ms"]

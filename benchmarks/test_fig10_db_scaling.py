@@ -4,9 +4,10 @@ from repro.bench.experiments import fig10_dbscale
 
 
 def test_fig10_db_scaling(benchmark):
-    result = benchmark.pedantic(fig10_dbscale.run, rounds=1, iterations=1)
+    result = benchmark.pedantic(fig10_dbscale.run_modes, rounds=1,
+                                iterations=1)
     print()
-    print(fig10_dbscale.format_result(result))
+    print(fig10_dbscale.format_modes_result(result))
 
     for app in ("itracker", "openmrs"):
         rows = result[app]

@@ -298,8 +298,15 @@ BENCHMARK_URLS = tuple(build_dispatcher().urls())
 
 
 def build_app(projects=data.DEFAULT_PROJECTS,
-              issues_per_project=data.ISSUES_PER_PROJECT):
-    """A seeded database plus the benchmark dispatcher."""
-    db = Database("itracker")
+              issues_per_project=data.ISSUES_PER_PROJECT, db=None):
+    """A seeded database plus the benchmark dispatcher.
+
+    ``db`` injects a pre-built backend — e.g. a
+    :class:`repro.sqldb.shard.ShardedDatabase` over
+    :func:`repro.apps.itracker.schema.shard_topology` — which is seeded
+    through the exact same script as the single-node default.
+    """
+    if db is None:
+        db = Database("itracker")
     data.seed(db, projects=projects, issues_per_project=issues_per_project)
     return db, build_dispatcher()

@@ -403,8 +403,13 @@ BENCHMARK_URLS = tuple(build_dispatcher().urls())
 
 
 def build_app(patients=data.PATIENTS,
-              obs_per_encounter=data.OBS_PER_ENCOUNTER):
-    """A seeded database plus the benchmark dispatcher."""
-    db = Database("openmrs")
+              obs_per_encounter=data.OBS_PER_ENCOUNTER, db=None):
+    """A seeded database plus the benchmark dispatcher.
+
+    ``db`` injects a pre-built backend (e.g. a sharded one partitioned by
+    patient); the default stays a single-node :class:`Database`.
+    """
+    if db is None:
+        db = Database("openmrs")
     data.seed(db, patients=patients, obs_per_encounter=obs_per_encounter)
     return db, build_dispatcher()

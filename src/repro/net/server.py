@@ -13,6 +13,18 @@ Virtual database time for a batch is therefore::
 where ``parallel_elapsed`` assigns reads to the least-loaded worker
 (longest-processing-time-first greedy makespan).
 
+**Sharded backends.**  A :class:`repro.sqldb.shard.ShardedDatabase` result
+carries ``shard_phases`` — sequential phases of ``(station, rows_touched,
+from_cache)`` entries that executed in parallel on distinct backends.  A
+statement's cost is then the sum over phases of the ``max()`` over each
+phase's per-station costs (parallel service across machines), and batch
+reads bucket **per station**: each shard contributes its own read costs to
+its own ``db_workers``-wide pool, and the batch's read elapsed time is the
+``max()`` across stations — N shards really do serve N× the work in one
+shard's time.  Sharded batches always take the direct path (the shared-scan
+batch planner needs single-node executor access;
+``database.supports_batch_plan`` gates it).
+
 With ``batch_optimize`` the batch takes the **batch-plan path**
 (:mod:`repro.sqldb.plan.batch`): union-compatible SELECTs over one table
 share a single scan.  A shared group is one job on one worker, charged for
@@ -84,7 +96,8 @@ class DatabaseServer:
         """
         hits_before = self.database.result_cache.hits
         with self.database.read_views.using(read_view):
-            if batch_optimize:
+            if batch_optimize and getattr(self.database,
+                                          "supports_batch_plan", True):
                 outcomes, elapsed_ms = self._execute_batch_plan(statements)
             else:
                 outcomes, elapsed_ms = self._execute_batch_direct(statements)
@@ -103,19 +116,36 @@ class DatabaseServer:
     # -- the two batch paths --------------------------------------------------
 
     def _execute_batch_direct(self, statements):
-        """Every statement on its own plan (the pre-optimizer behaviour)."""
+        """Every statement on its own plan (the pre-optimizer behaviour).
+
+        Reads bucket per station: statements without ``shard_phases`` all
+        land in the single default bucket (the one-node behaviour), while
+        sharded statements spread their per-station entry costs across the
+        stations that actually served them.  The batch's read time is the
+        ``max()`` of the per-station makespans — stations are separate
+        machines with ``db_workers`` workers each.
+        """
+        model = self.cost_model
         outcomes = []
-        read_costs = []
+        station_reads = {}  # station id -> [cost, ...]
         serial_ms = 0.0
         for sql, params in statements:
             outcome = self._run(sql, params)
             outcomes.append(outcome)
-            if is_read_statement(sql):
-                read_costs.append(outcome.cost_ms)
-            else:
+            if not is_read_statement(sql):
                 serial_ms += outcome.cost_ms
-        elapsed_ms = serial_ms + _parallel_elapsed(
-            read_costs, self.cost_model.db_workers)
+                continue
+            phases = outcome.result.shard_phases
+            if phases is None:
+                station_reads.setdefault(None, []).append(outcome.cost_ms)
+            else:
+                for phase in phases:
+                    for station, rows, cached in phase:
+                        station_reads.setdefault(station, []).append(
+                            model.query_cost_ms(rows, from_cache=cached))
+        elapsed_ms = serial_ms + max(
+            (_parallel_elapsed(costs, model.db_workers)
+             for costs in station_reads.values()), default=0.0)
         return outcomes, elapsed_ms
 
     def _execute_batch_plan(self, statements):
@@ -153,9 +183,24 @@ class DatabaseServer:
 
     def _run(self, sql, params):
         result = self.database.execute(sql, params)
-        cost = self.cost_model.query_cost_ms(result.rows_touched,
-                                             from_cache=result.from_cache)
-        return StatementOutcome(sql, result, cost)
+        return StatementOutcome(sql, result, self._statement_cost(result))
+
+    def _statement_cost(self, result):
+        """One statement's standalone elapsed time.
+
+        Single-node results price directly off ``rows_touched``; sharded
+        results sum their sequential phases, each phase charged as the
+        ``max()`` over the backends that served it in parallel.
+        """
+        phases = result.shard_phases
+        if phases is None:
+            return self.cost_model.query_cost_ms(
+                result.rows_touched, from_cache=result.from_cache)
+        model = self.cost_model
+        return sum(
+            max(model.query_cost_ms(rows, from_cache=cached)
+                for _station, rows, cached in phase)
+            for phase in phases if phase)
 
 
 def _parallel_elapsed(costs, workers):

@@ -16,10 +16,15 @@ class ExecResult:
     ``from_cache`` — True when the rows came from the cross-request result
     cache (the server charges the flat cache-hit cost instead of the
     per-statement dispatch overhead).
+    ``shard_phases`` — None for single-node executions.  A sharded backend
+    (:mod:`repro.sqldb.shard`) sets it to a tuple of sequential *phases*,
+    each a tuple of ``(station, rows_touched, from_cache)`` entries that ran
+    in parallel on distinct backends; the server charges each phase as the
+    ``max()`` over its entries rather than their sum.
     """
 
     __slots__ = ("columns", "rows", "rowcount", "rows_touched",
-                 "last_insert_id", "from_cache")
+                 "last_insert_id", "from_cache", "shard_phases")
 
     def __init__(self, columns=(), rows=(), rowcount=0, rows_touched=0,
                  last_insert_id=None, from_cache=False):
@@ -29,6 +34,7 @@ class ExecResult:
         self.rows_touched = rows_touched
         self.last_insert_id = last_insert_id
         self.from_cache = from_cache
+        self.shard_phases = None
 
     def __repr__(self):
         return (f"ExecResult(columns={self.columns!r}, "

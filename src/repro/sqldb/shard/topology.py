@@ -1,0 +1,117 @@
+"""Shard topologies: how tables partition across backend databases.
+
+A :class:`ShardTopology` names the number of shards and, per table, a
+:class:`PartitionSpec` — the partition column plus the placement function
+(hash or range).  Tables absent from the map are **broadcast**: every shard
+holds a full copy, so any single shard can serve reads of them and writes
+fan out to all shards.
+
+Placement is deterministic and engine-independent: integers hash by value
+(``value % shards``, preserving locality of dense keys), everything else by
+CRC-32 of its string form (never Python's salted ``hash``), and range
+partitioning bisects an ascending bounds list.  ``NULL`` partition keys all
+land on shard 0.
+"""
+
+import zlib
+from bisect import bisect_right
+
+HASH = "hash"
+RANGE = "range"
+
+
+class PartitionSpec:
+    """How one table's rows map to shards.
+
+    ``column`` — the partition key column.
+    ``method`` — ``"hash"`` or ``"range"``.
+    ``bounds`` — for range partitioning, an ascending sequence of split
+    points; a row goes to ``bisect_right(bounds, key)`` (so ``bounds=(10,)``
+    sends keys ``<= 10`` to shard 0 and the rest to shard 1).  Range specs
+    with fewer than ``shards - 1`` bounds leave trailing shards empty,
+    which is legal (resharding mid-growth looks exactly like this).
+    """
+
+    __slots__ = ("column", "method", "bounds")
+
+    def __init__(self, column, method=HASH, bounds=None):
+        if method not in (HASH, RANGE):
+            raise ValueError(f"unknown partition method {method!r}")
+        if method == RANGE and not bounds:
+            raise ValueError("range partitioning needs split bounds")
+        self.column = column
+        self.method = method
+        self.bounds = tuple(bounds) if bounds else None
+
+    def shard_of(self, value, shards):
+        """The shard index holding rows whose partition key is ``value``."""
+        if shards <= 1:
+            return 0
+        if value is None:
+            return 0
+        if self.method == HASH:
+            if isinstance(value, bool) or not isinstance(value, int):
+                return zlib.crc32(str(value).encode()) % shards
+            return value % shards
+        return min(bisect_right(self.bounds, value), shards - 1)
+
+    def placement_compatible(self, other):
+        """True when two specs co-locate equal key values (the condition
+        for distributing an equi-join on the partition columns)."""
+        return self.method == other.method and self.bounds == other.bounds
+
+    def describe(self):
+        if self.method == HASH:
+            return f"hash({self.column})"
+        return f"range({self.column}, bounds={list(self.bounds)})"
+
+    def __repr__(self):
+        return f"PartitionSpec({self.describe()})"
+
+
+class ShardTopology:
+    """The cluster layout: shard count plus per-table partition specs.
+
+    ``replicas`` read replicas hang off every shard's primary;
+    ``staleness_bound`` is the maximum number of committed write batches a
+    replica may lag behind its primary when serving a read (0 = replicas
+    always catch up fully before answering).
+    """
+
+    __slots__ = ("shards", "partitions", "replicas", "staleness_bound")
+
+    def __init__(self, shards, partitions=None, replicas=0,
+                 staleness_bound=0):
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        if replicas < 0:
+            raise ValueError("replicas must be >= 0")
+        if staleness_bound < 0:
+            raise ValueError("staleness_bound must be >= 0")
+        self.shards = shards
+        self.partitions = dict(partitions or {})
+        self.replicas = replicas
+        self.staleness_bound = staleness_bound
+
+    def spec_for(self, table_name):
+        """The table's PartitionSpec, or None when it is broadcast."""
+        return self.partitions.get(table_name)
+
+    def is_partitioned(self, table_name):
+        return table_name in self.partitions
+
+    def shard_of(self, table_name, value):
+        spec = self.partitions.get(table_name)
+        if spec is None:
+            raise KeyError(f"table {table_name!r} is broadcast, not "
+                           "partitioned")
+        return spec.shard_of(value, self.shards)
+
+    def describe(self):
+        parts = ", ".join(f"{name}: {spec.describe()}"
+                          for name, spec in sorted(self.partitions.items()))
+        return (f"{self.shards} shards, {self.replicas} replicas/shard"
+                + (f" [{parts}]" if parts else ""))
+
+    def __repr__(self):
+        return f"ShardTopology({self.describe()})"

@@ -1,0 +1,152 @@
+"""Per-shard stations in the concurrent replay.
+
+Hand-built traces pin the station arithmetic (one db worker per station so
+queueing is visible): sharded statements split into per-station parts that
+queue independently, a batch completes when its *last* part's round ends,
+two shards drain twice the load in one shard's time, and single-station
+sharded statements still merge with co-queued point lookups.  A full
+record-and-replay over itracker compares the sharded facade's recorded
+traces against single node end-to-end.
+"""
+
+import pytest
+
+from repro.net.clock import CostModel
+from repro.net.concurrent import (PageTrace, StatementTrace, TraceBatch,
+                                  record_page_trace, simulate_concurrent)
+from repro.sqldb.shard import ShardedDatabase
+
+
+def _page(events, url="synthetic"):
+    trace = PageTrace()
+    trace.url = url
+    trace.events = list(events)
+    for event in events:
+        trace.statements += len(event.statements)
+    return trace
+
+
+def _read(cost, shard_costs=None, **kwargs):
+    return StatementTrace("SELECT 1", cost, True, shard_costs=shard_costs,
+                          **kwargs)
+
+
+class TestStationSplit:
+    def test_scatter_batch_completes_at_slowest_station(self):
+        # One statement served by two shards: 1 ms on shard 0, 3 ms on
+        # shard 1.  The batch's db time is the slowest part (3 ms), not
+        # the sum.
+        model = CostModel(db_workers=1)
+        trace = _page([TraceBatch(0, "sync", 0.0, 0.5,
+                                  [_read(3.0, {0: 1.0, 1: 3.0})])])
+        result = simulate_concurrent([trace], 1, cost_model=model)
+        (page,) = result.pages
+        assert page.phases["db"] == pytest.approx(3.0)
+        assert result.rounds == 2  # one round at each station
+
+    def test_two_shards_drain_double_load_in_single_shard_time(self):
+        # Two users, each a 2 ms single-shard read — on DIFFERENT shards.
+        # With one worker per station both rounds run concurrently.
+        model = CostModel(db_workers=1)
+        a = _page([TraceBatch(0, "sync", 0.0, 0.5, [_read(2.0, {0: 2.0})])])
+        b = _page([TraceBatch(0, "sync", 0.0, 0.5, [_read(2.0, {1: 2.0})])])
+        result = simulate_concurrent([a, b], 2, cost_model=model)
+        for page in result.pages:
+            assert page.response_ms == pytest.approx(2.5)
+            assert page.queue_ms == pytest.approx(0.0)
+        # The same load funnelled onto ONE shard serializes instead: both
+        # arrivals join one round of combined service 4 ms.
+        result = simulate_concurrent([a, a], 2, cost_model=model)
+        assert {round(p.response_ms, 3) for p in result.pages} == {4.5}
+
+    def test_legacy_traces_use_one_station(self):
+        # shard_costs=None statements land on the default station and
+        # contend exactly as before the sharding change.
+        model = CostModel(db_workers=1)
+        legacy = _page([TraceBatch(0, "sync", 0.0, 0.5, [_read(2.0)])])
+        result = simulate_concurrent([legacy], 3, cost_model=model)
+        assert result.rounds == 1
+        for page in result.pages:
+            assert page.response_ms == pytest.approx(6.5)
+
+    def test_single_station_sharded_statements_share_pk_probes(self):
+        # Two requests probe overlapping pk sets on the SAME shard: the
+        # round merges them into one multi-probe over the key union.
+        model = CostModel(db_workers=1)
+        trace = _page([TraceBatch(0, "sync", 0.0, 0.5, [
+            _read(model.per_query_overhead_ms + 2 * model.per_row_ms,
+                  {2: 0.2}, share_key=("pk", "t"), pk_keys=frozenset({1, 2}))
+        ])])
+        result = simulate_concurrent([trace], 2, cost_model=model)
+        assert result.merged_pk_groups == 1
+        assert result.pk_probes_saved == 2  # both keys shared
+
+    def test_cross_station_probes_do_not_merge(self):
+        # The same pk share key on DIFFERENT shards never merges: each
+        # station rounds up only its own queue.
+        model = CostModel(db_workers=1)
+        a = _page([TraceBatch(0, "sync", 0.0, 0.5, [
+            _read(0.2, {0: 0.2}, share_key=("pk", "t"),
+                  pk_keys=frozenset({1}))])])
+        b = _page([TraceBatch(0, "sync", 0.0, 0.5, [
+            _read(0.2, {1: 0.2}, share_key=("pk", "t"),
+                  pk_keys=frozenset({1}))])])
+        result = simulate_concurrent([a, b], 2, cost_model=model)
+        assert result.merged_pk_groups == 0
+
+
+class TestEndToEnd:
+    def test_sharded_trace_records_station_costs(self):
+        from repro.apps.itracker import pages, schema
+
+        model = CostModel()
+        db, dispatcher = pages.build_app(
+            projects=8, issues_per_project=10,
+            db=ShardedDatabase(schema.shard_topology(4)))
+        trace = record_page_trace(db, dispatcher,
+                                  "module-projects/list_issues.jsp",
+                                  model, params={"project": 3})
+        batches = [e for e in trace.events if isinstance(e, TraceBatch)]
+        assert batches
+        stations = set()
+        for batch in batches:
+            for stmt in batch.statements:
+                assert stmt.shard_costs is not None
+                assert stmt.solo_cost_ms == pytest.approx(
+                    sum(stmt.shard_costs.values()), abs=1e-9) or \
+                    len(stmt.shard_costs) > 1
+                stations.update(stmt.shard_costs)
+        assert len(stations) > 1  # the page's reads spread across shards
+
+    def test_sharded_replay_matches_single_node_html_and_dominates(self):
+        from repro.apps.itracker import pages, schema
+
+        model = CostModel()
+        single_db, single_disp = pages.build_app(projects=8,
+                                                 issues_per_project=10)
+        shard_db, shard_disp = pages.build_app(
+            projects=8, issues_per_project=10,
+            db=ShardedDatabase(schema.shard_topology(4)))
+        url = "module-projects/list_issues.jsp"
+        loads = [(url, {"project": p}) for p in range(1, 9)]
+        single = [record_page_trace(single_db, single_disp, u, model,
+                                    params=q) for u, q in loads]
+        sharded = [record_page_trace(shard_db, shard_disp, u, model,
+                                     params=q) for u, q in loads]
+        for a, b in zip(single, sharded):
+            assert a.html == b.html
+        r_single = simulate_concurrent(single, 32, cost_model=model)
+        r_sharded = simulate_concurrent(sharded, 32, cost_model=model)
+        assert (r_sharded.mean_response_ms
+                <= r_single.mean_response_ms * 1.05)
+
+    def test_sharded_replay_is_deterministic(self):
+        model = CostModel(db_workers=2)
+        trace = _page([TraceBatch(0, "sync", 0.0, 0.5,
+                                  [_read(1.0, {0: 0.4, 1: 0.6}),
+                                   _read(0.5, {1: 0.5})])])
+        first = simulate_concurrent([trace], 8, cost_model=model)
+        second = simulate_concurrent([trace], 8, cost_model=model)
+        assert ([p.response_ms for p in first.pages]
+                == [p.response_ms for p in second.pages])
+        assert first.makespan_ms == second.makespan_ms

@@ -1,0 +1,217 @@
+"""Unit tests for the sharding subsystem: routing classification, write
+fan-out, insert splitting, the scatter merge, and the facade's cost
+surface (``shard_phases``)."""
+
+import pytest
+
+from repro.sqldb.errors import SqlError
+from repro.sqldb.parser import parse
+from repro.sqldb.shard import (COORD_STATION, KIND_BROADCAST_READ,
+                               KIND_GATHER, KIND_SCATTER, KIND_SINGLE,
+                               PartitionSpec, Router, ShardTopology,
+                               ShardedDatabase)
+
+TOPO = ShardTopology(4, {"t": PartitionSpec("grp"),
+                         "child": PartitionSpec("grp"),
+                         "other": PartitionSpec("grp", "range", (1, 2, 3))})
+
+
+def decide(sql, params=()):
+    return Router(TOPO).decide(parse(sql), params, sql=sql)
+
+
+# ---------------------------------------------------------------------------
+# Routing classification
+# ---------------------------------------------------------------------------
+
+def test_partition_key_equality_is_single_shard():
+    d = decide("SELECT id FROM t WHERE grp = ?", (6,))
+    assert d.kind == KIND_SINGLE
+    assert list(d.shards) == [6 % 4]
+
+
+def test_in_list_spanning_one_shard_is_single():
+    d = decide("SELECT id FROM t WHERE grp IN (1, 5)")  # both hash to 1
+    assert d.kind == KIND_SINGLE
+    assert list(d.shards) == [1]
+
+
+def test_in_list_spanning_two_shards_scatters_to_subset():
+    d = decide("SELECT id FROM t WHERE grp IN (1, 2)")
+    assert d.kind == KIND_SCATTER
+    assert sorted(d.shards) == [1, 2]
+
+
+def test_unrestricted_read_scatters_everywhere():
+    d = decide("SELECT id FROM t ORDER BY id")
+    assert d.kind == KIND_SCATTER
+    assert list(d.shards) == [0, 1, 2, 3]
+
+
+def test_aggregate_without_key_gathers():
+    d = decide("SELECT COUNT(*) FROM t")
+    assert d.kind == KIND_GATHER
+
+
+def test_aggregate_with_key_stays_single_shard():
+    d = decide("SELECT COUNT(*) FROM t WHERE grp = 2")
+    assert d.kind == KIND_SINGLE
+    assert list(d.shards) == [2]
+
+
+def test_broadcast_table_read_pins_to_one_shard():
+    d = decide("SELECT id FROM lk WHERE id = 3")
+    assert d.kind == KIND_BROADCAST_READ
+    assert len(list(d.shards)) == 1
+
+
+def test_broadcast_pin_varies_with_params_but_is_deterministic():
+    router = Router(TOPO)
+    stmt = parse("SELECT id FROM lk WHERE id = ?")
+    sql = "SELECT id FROM lk WHERE id = ?"
+    pins = {router.broadcast_read_shard(sql, stmt, (k,)) for k in range(32)}
+    assert len(pins) > 1  # spreads across the fleet
+    assert (router.broadcast_read_shard(sql, stmt, (3,))
+            == router.broadcast_read_shard(sql, stmt, (3,)))
+
+
+def test_contradictory_keys_route_to_one_empty_shard():
+    d = decide("SELECT id FROM t WHERE grp = 1 AND grp = 2")
+    assert d.kind == KIND_SINGLE
+    assert "empty shard set" in d.detail
+
+
+def test_non_co_partitioned_join_gathers():
+    # t is hash-partitioned, other is range-partitioned: an INNER join on
+    # the partition columns cannot be served shard-locally.
+    d = decide("SELECT t.id FROM t JOIN other o ON t.grp = o.grp")
+    assert d.kind == KIND_GATHER
+
+
+def test_co_partitioned_join_scatters():
+    d = decide("SELECT t.id FROM t JOIN child c ON t.grp = c.grp")
+    assert d.kind == KIND_SCATTER
+
+
+def test_left_join_of_two_partitioned_tables_gathers():
+    d = decide("SELECT t.id FROM t LEFT JOIN child c ON t.grp = c.grp")
+    assert d.kind == KIND_GATHER
+
+
+def test_computed_limit_gathers():
+    d = decide("SELECT id FROM t ORDER BY id LIMIT 1 + 2")
+    assert d.kind == KIND_GATHER
+
+
+# ---------------------------------------------------------------------------
+# The facade: writes, phases, errors
+# ---------------------------------------------------------------------------
+
+def make_db(**kwargs):
+    db = ShardedDatabase(ShardTopology(4, {"t": PartitionSpec("grp")}),
+                         **kwargs)
+    db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, grp INT, val INT)")
+    db.execute("CREATE TABLE lk (id INTEGER PRIMARY KEY, label TEXT)")
+    return db
+
+
+def test_multi_row_insert_splits_by_partition_key():
+    db = make_db()
+    db.execute("INSERT INTO t (id, grp, val) VALUES "
+               "(1, 0, 10), (2, 1, 20), (3, 4, 30)")
+    assert db.primary(0).query("SELECT id FROM t") == [{"id": 1},
+                                                       {"id": 3}]
+    assert db.primary(1).query("SELECT id FROM t") == [{"id": 2}]
+    assert db.table_size("t") == 3
+
+
+def test_partition_key_update_moving_shards_is_rejected():
+    db = make_db()
+    db.execute("INSERT INTO t (id, grp, val) VALUES (1, 0, 10)")
+    with pytest.raises(SqlError):
+        db.execute("UPDATE t SET grp = 1 WHERE id = 1")
+    # Same-shard rewrites of the key are fine (0 and 4 both hash to 0)
+    # when the WHERE pins the statement to that one shard.
+    db.execute("UPDATE t SET grp = 4 WHERE grp = 0")
+    assert db.execute("SELECT grp FROM t WHERE grp = 4").rows == [(4,)]
+
+
+def test_single_shard_read_has_one_phase_one_station():
+    db = make_db()
+    db.execute("INSERT INTO t (id, grp, val) VALUES (1, 2, 10)")
+    result = db.execute("SELECT id FROM t WHERE grp = 2")
+    assert result.shard_phases == (((2, result.rows_touched, False),),)
+
+
+def test_scatter_read_has_one_phase_with_every_target():
+    db = make_db()
+    for i in range(8):
+        db.execute("INSERT INTO t (id, grp, val) VALUES (?, ?, 0)",
+                   (i, i % 4))
+    result = db.execute("SELECT id FROM t ORDER BY id")
+    (phase,) = result.shard_phases
+    assert sorted(station for station, _r, _c in phase) == [0, 1, 2, 3]
+    assert sum(rows for _s, rows, _c in phase) == result.rows_touched
+
+
+def test_gather_read_charges_sync_then_coordinator():
+    db = make_db()
+    for i in range(8):
+        db.execute("INSERT INTO t (id, grp, val) VALUES (?, ?, 1)",
+                   (i, i % 4))
+    result = db.execute("SELECT SUM(val) FROM t")
+    assert result.rows == [(8,)]
+    sync_phase, coord_phase = result.shard_phases
+    assert sorted(s for s, _r, _c in sync_phase) == [0, 1, 2, 3]
+    assert [s for s, _r, _c in coord_phase] == [COORD_STATION]
+
+
+def test_gather_reuses_coordinator_copy_until_a_write():
+    db = make_db()
+    db.execute("INSERT INTO t (id, grp, val) VALUES (1, 2, 10)")
+    first = db.execute("SELECT SUM(val) FROM t")
+    assert len(first.shard_phases) == 2  # sync + coordinator
+    second = db.execute("SELECT COUNT(*) FROM t")
+    assert len(second.shard_phases) == 1  # warm coordinator copy
+    db.execute("INSERT INTO t (id, grp, val) VALUES (2, 3, 5)")
+    third = db.execute("SELECT SUM(val) FROM t")
+    assert len(third.shard_phases) == 2  # resynced
+    assert third.rows == [(15,)]
+
+
+def test_rollback_discards_all_shards():
+    db = make_db()
+    db.execute("BEGIN")
+    db.execute("INSERT INTO t (id, grp, val) VALUES (1, 0, 1)")
+    db.execute("INSERT INTO t (id, grp, val) VALUES (2, 1, 2)")
+    db.execute("ROLLBACK")
+    assert db.table_size("t") == 0
+
+
+def test_facade_opts_out_of_batch_planning():
+    assert ShardedDatabase.supports_batch_plan is False
+
+
+def test_result_cache_toggle_fans_out():
+    db = make_db()
+    db.result_cache.enabled = False
+    assert all(not backend.result_cache.enabled
+               for backend in db.all_databases())
+    db.result_cache.enabled = True
+    # The coordinator runs cacheless by construction (size 0); every
+    # primary and replica re-enables.
+    assert all(backend.result_cache.enabled
+               for backend in db.all_databases()
+               if backend.result_cache.limit > 0)
+
+
+def test_engine_setter_fans_out():
+    db = make_db()
+    db.engine = "row"
+    assert all(backend.engine == "row" for backend in db.all_databases())
+
+
+def test_explain_analyze_is_rejected():
+    db = make_db()
+    with pytest.raises(SqlError):
+        db.explain("SELECT id FROM t", analyze=True)
