@@ -1,16 +1,17 @@
-"""Wall-clock lane smoke: the batch engine agrees with the row engine
-and is not slower where it matters.
+"""Wall-clock lane smoke: the chunked engines agree with the row
+engine and are not slower where it matters.
 
 Runs the :mod:`repro.bench.experiments.wallclock` experiment in smoke
 mode (small synthetic table, few repeats) and asserts
 
 - every synthetic and app query returns byte-identical rows and
-  identical ``rows_touched`` under both engines (the experiment records
-  the comparison), and
-- the batch engine is no slower than the row engine on the scan/filter
-  microbench — the loosest form of the >=2x headline so the assertion
-  stays robust on noisy CI runners; ``tools/bench_wallclock.py`` (and
-  the committed ``BENCH_wallclock.json``) carries the real numbers.
+  identical ``rows_touched`` under all three engines (the experiment
+  records the comparison), and
+- the batch engine is no slower than the row engine — and the columnar
+  engine no slower than batch — on the scan/filter microbench: the
+  loosest forms of the >=2x and >=1.5x headlines so the assertions stay
+  robust on noisy CI runners; ``tools/bench_wallclock.py`` (and the
+  committed ``BENCH_wallclock.json``) carries the real numbers.
 """
 
 import pytest
@@ -37,3 +38,9 @@ def test_batch_not_slower_on_scan_filter(result):
     scan = result["synthetic"]["scan_filter"]
     assert scan["batch_ms"] <= scan["row_ms"], (
         f"batch {scan['batch_ms']}ms vs row {scan['row_ms']}ms")
+
+
+def test_columnar_not_slower_than_batch_on_scan_filter(result):
+    scan = result["synthetic"]["scan_filter"]
+    assert scan["columnar_ms"] <= scan["batch_ms"], (
+        f"columnar {scan['columnar_ms']}ms vs batch {scan['batch_ms']}ms")

@@ -1,30 +1,34 @@
-"""Wall-clock lane: real execution time, row engine vs. batch engine.
+"""Wall-clock lane: real execution time across the physical engines.
 
 Unlike every other experiment in this package, which measures the
 simulated ``rows_touched`` currency, this one measures *actual* Python
-wall time.  The same statements are executed under both physical engines
-(``Database(engine="row")`` — interpreted row-at-a-time pull — and
+wall time.  The same statements are executed under all three physical
+engines (``Database(engine="row")`` — interpreted row-at-a-time pull —
 ``engine="batch"`` — chunked pull through plan-compiled expression
-closures) and the per-query best-of-N times are compared.  Both engines
-must return byte-identical rows and identical ``rows_touched``; the
-benchmark verifies that on every query (``match``), so a speedup can
-never come from computing something different.
+closures — and ``engine="columnar"`` — column-array chunks with
+selection vectors and fused predicates) and the per-query best-of-N
+times are compared.  All engines must return byte-identical rows and
+identical ``rows_touched``; the benchmark verifies that on every query
+(``match``), so a speedup can never come from computing something
+different.
 
 Two lanes:
 
 * **synthetic** — a seeded two-table microbenchmark (scan+filter, a
   filtered join, projection arithmetic) sized to make interpreter
   dispatch the dominant cost.  This is where the headline >=2x
-  scan/filter speedup is asserted.
+  scan/filter speedup over the row engine — and the columnar engine's
+  >=1.5x over batch — is asserted.
 * **apps** — the itracker/openmrs report pages and the TPC-C range
   reports (``REPORT_QUERIES`` + ``RANGE_REPORT_QUERIES``), i.e. the
   statements the rest of the harness actually runs.  These are small
   per-execution, so each timing sample runs the query ``inner`` times.
 
 ``tools/bench_wallclock.py`` wraps this as a CLI and writes
-``BENCH_wallclock.json`` at the repo root — the start of the per-PR
-wall-clock trajectory; ``benchmarks/test_wallclock.py`` smoke-asserts
-engine agreement and the CI job gates on the scan/filter microbench.
+``BENCH_wallclock.json`` at the repo root — the per-PR wall-clock
+trajectory; ``benchmarks/test_wallclock.py`` smoke-asserts engine
+agreement and the CI job gates on the scan/filter microbench for both
+chunked engines.
 
 The result cache is disabled throughout (``ResultCache(0)``): a cache
 hit would time the cache, not the engine.
@@ -112,7 +116,7 @@ def _time_query(db, sql, params, outer, inner):
     """Best-of-``outer`` average time of ``inner`` executions, seconds.
 
     The first (untimed) execution warms the plan cache, so the samples
-    measure execution alone — plan build cost is identical for both
+    measure execution alone — plan build cost is identical for all
     engines and not what this lane tracks.
     """
     result = db.execute(sql, params)
@@ -125,23 +129,32 @@ def _time_query(db, sql, params, outer, inner):
     return best, result
 
 
-def _compare(name, row_timing, batch_timing):
+def _compare(name, row_timing, batch_timing, columnar_timing):
     row_seconds, row_result = row_timing
     batch_seconds, batch_result = batch_timing
+    columnar_seconds, columnar_result = columnar_timing
+    identical = all(
+        other.rows == row_result.rows
+        and other.rows_touched == row_result.rows_touched
+        for other in (batch_result, columnar_result))
     return {
         "row_ms": round(row_seconds * 1000, 4),
         "batch_ms": round(batch_seconds * 1000, 4),
+        "columnar_ms": round(columnar_seconds * 1000, 4),
         "speedup": round(row_seconds / batch_seconds, 3)
         if batch_seconds else None,
+        "columnar_speedup": round(row_seconds / columnar_seconds, 3)
+        if columnar_seconds else None,
+        "columnar_vs_batch": round(batch_seconds / columnar_seconds, 3)
+        if columnar_seconds else None,
         "rows": len(batch_result.rows),
         "rows_touched": batch_result.rows_touched,
-        "match": (row_result.rows == batch_result.rows
-                  and row_result.rows_touched == batch_result.rows_touched),
+        "match": identical,
     }
 
 
 def run(smoke=False):
-    """Time every query under both engines; returns a JSON-able dict."""
+    """Time every query under the three engines; returns a JSON-able dict."""
     n_rows = SMOKE_SYNTHETIC_ROWS if smoke else SYNTHETIC_ROWS
     outer = 3 if smoke else 5
     inner = 5 if smoke else 20
@@ -149,36 +162,42 @@ def run(smoke=False):
     synthetic = {}
     row_db = _build_synthetic("row", n_rows)
     batch_db = _build_synthetic("batch", n_rows)
+    columnar_db = _build_synthetic("columnar", n_rows)
     for name, sql, params in SYNTHETIC_QUERIES:
         # One execution per sample: the synthetic table is big enough
         # that a single run is far above timer resolution.
         synthetic[name] = _compare(
             name,
             _time_query(row_db, sql, params, outer, 1),
-            _time_query(batch_db, sql, params, outer, 1))
+            _time_query(batch_db, sql, params, outer, 1),
+            _time_query(columnar_db, sql, params, outer, 1))
 
     apps = {}
     for app_name, build, queries in APPS:
         db = build()
         db.result_cache = ResultCache(0)
         per_query = {}
-        total_row = total_batch = 0.0
+        totals = {"row": 0.0, "batch": 0.0, "columnar": 0.0}
         for query_name, sql, params in queries:
-            db.engine = "row"
-            row_timing = _time_query(db, sql, params, outer, inner)
-            db.engine = "batch"
-            batch_timing = _time_query(db, sql, params, outer, inner)
+            timings = {}
+            for engine in ("row", "batch", "columnar"):
+                db.engine = engine
+                timings[engine] = _time_query(db, sql, params, outer, inner)
+                totals[engine] += timings[engine][0]
             per_query[query_name] = _compare(
-                query_name, row_timing, batch_timing)
-            total_row += row_timing[0]
-            total_batch += batch_timing[0]
+                query_name, timings["row"], timings["batch"],
+                timings["columnar"])
         apps[app_name] = {
             "queries": per_query,
             "totals": {
-                "row_ms": round(total_row * 1000, 4),
-                "batch_ms": round(total_batch * 1000, 4),
-                "speedup": round(total_row / total_batch, 3)
-                if total_batch else None,
+                "row_ms": round(totals["row"] * 1000, 4),
+                "batch_ms": round(totals["batch"] * 1000, 4),
+                "columnar_ms": round(totals["columnar"] * 1000, 4),
+                "speedup": round(totals["row"] / totals["batch"], 3)
+                if totals["batch"] else None,
+                "columnar_vs_batch": round(
+                    totals["batch"] / totals["columnar"], 3)
+                if totals["columnar"] else None,
             },
         }
 
@@ -199,16 +218,22 @@ def format_result(result):
     rows = []
     for name, numbers in result["synthetic"].items():
         rows.append((f"synthetic:{name}", numbers["row_ms"],
-                     numbers["batch_ms"], f"{numbers['speedup']}x",
+                     numbers["batch_ms"], numbers["columnar_ms"],
+                     f"{numbers['speedup']}x",
+                     f"{numbers['columnar_vs_batch']}x",
                      "ok" if numbers["match"] else "MISMATCH"))
     for app, per_app in result["apps"].items():
         for query_name, numbers in per_app["queries"].items():
             rows.append((f"{app}:{query_name}", numbers["row_ms"],
-                         numbers["batch_ms"], f"{numbers['speedup']}x",
+                         numbers["batch_ms"], numbers["columnar_ms"],
+                         f"{numbers['speedup']}x",
+                         f"{numbers['columnar_vs_batch']}x",
                          "ok" if numbers["match"] else "MISMATCH"))
         totals = per_app["totals"]
         rows.append((f"{app}:TOTAL", totals["row_ms"], totals["batch_ms"],
-                     f"{totals['speedup']}x", ""))
+                     totals["columnar_ms"], f"{totals['speedup']}x",
+                     f"{totals['columnar_vs_batch']}x", ""))
     return format_table(
-        ("query", "row ms", "batch ms", "speedup", "results"), rows,
-        title="Wall-clock execution time — row vs. batch engine")
+        ("query", "row ms", "batch ms", "col ms", "batch/row",
+         "col/batch", "results"), rows,
+        title="Wall-clock execution time — row vs. batch vs. columnar")

@@ -1,0 +1,258 @@
+"""Columnar chunk layout: parallel column arrays + selection vectors.
+
+The columnar engine (``Database(engine="columnar")``) exchanges
+:class:`ColumnChunk` objects between physical operators instead of the
+batch engine's chunks of wide row lists.  A chunk holds one entry per
+flat joined-row position:
+
+- a plain Python list of values (one per chunk row),
+- a :class:`DictColumn` — dictionary-encoded strings, comparing codes
+  instead of characters, or
+- ``None`` — an all-NULL lane, standing in for the ``_pad`` NULLs the
+  row layouts materialize for table slots a scan has not filled yet.
+
+``sel`` is the optional **selection vector**: ``None`` means every chunk
+row is live; otherwise an ascending list of live row indices.  Filters
+never copy column data — they yield the same columns with a narrowed
+``sel`` — so a chunk's arrays are immutable once yielded and may be
+shared by any number of downstream chunks.
+
+:class:`ColumnStore` is the per-table cached columnar snapshot that
+sequential scans slice chunks from (see ``Table.column_store``).  TEXT
+and DATE columns whose distinct count stays at or below half the row
+count are dictionary-encoded at snapshot time; per-column distinct
+counts are kept as stats either way.
+
+Everything here is layout only — expression evaluation over these
+chunks lives in :mod:`repro.sqldb.plan.compile`, the operators in
+:mod:`repro.sqldb.plan.physical`.
+"""
+
+from repro.sqldb.types import DATE, TEXT, canonical_type
+
+__all__ = ["ColumnChunk", "ColumnStore", "DictColumn", "DictMeta"]
+
+# Code used for NULL in a DictColumn's code array (real codes are >= 0).
+NULL_CODE = -1
+
+
+class DictMeta:
+    """The shared dictionary behind one or more :class:`DictColumn`
+    slices: the distinct values in first-appearance order, the reverse
+    map, and a per-pattern LIKE match cache (pattern -> list of bools,
+    one per code) so LIKE over an encoded column matches each distinct
+    value once instead of each row."""
+
+    __slots__ = ("values", "code_of", "like_cache")
+
+    def __init__(self, values, code_of):
+        self.values = values
+        self.code_of = code_of
+        self.like_cache = {}
+
+
+class DictColumn:
+    """A dictionary-encoded string column (or a slice of one).
+
+    ``codes[i]`` is an index into ``meta.values``, or :data:`NULL_CODE`
+    for NULL.  Slicing shares ``meta``; ``__getitem__`` with an int
+    decodes, so generic per-element code can treat plain lists and
+    DictColumns uniformly.
+    """
+
+    __slots__ = ("codes", "meta")
+
+    def __init__(self, codes, meta):
+        self.codes = codes
+        self.meta = meta
+
+    def __len__(self):
+        return len(self.codes)
+
+    def __getitem__(self, item):
+        if type(item) is slice:
+            return DictColumn(self.codes[item], self.meta)
+        code = self.codes[item]
+        return None if code < 0 else self.meta.values[code]
+
+    def decode(self):
+        """The column as a plain list of values (NULLs as None)."""
+        values = self.meta.values
+        return [None if code < 0 else values[code] for code in self.codes]
+
+    def like_matches(self, pattern, regex):
+        """Per-code match table for ``value LIKE pattern`` — computed once
+        per (dictionary, pattern) and cached on the shared meta."""
+        matches = self.meta.like_cache.get(pattern)
+        if matches is None:
+            matches = [regex.match(value) is not None
+                       for value in self.meta.values]
+            self.meta.like_cache[pattern] = matches
+        return matches
+
+
+def _encode_dict(values):
+    """Dictionary-encode ``values`` when profitable.
+
+    Returns ``(column, n_distinct)`` — the column is a
+    :class:`DictColumn` when every non-NULL value is a string and the
+    distinct count is at most half the row count, else the input list
+    unchanged.  ``n_distinct`` counts distinct non-NULL values either
+    way (the snapshot's per-column stat).
+    """
+    code_of = {}
+    codes = []
+    append = codes.append
+    get = code_of.get
+    for value in values:
+        if value is None:
+            append(NULL_CODE)
+            continue
+        code = get(value)
+        if code is None:
+            if value.__class__ is not str:
+                # Mixed/non-string payload (possible only off the typed
+                # storage path): keep the plain list.
+                return values, len(set(v for v in values if v is not None))
+            code = len(code_of)
+            code_of[value] = code
+        append(code)
+    n_distinct = len(code_of)
+    if n_distinct == 0 or n_distinct * 2 > len(values):
+        return values, n_distinct
+    dict_values = [None] * n_distinct
+    for value, code in code_of.items():
+        dict_values[code] = value
+    return DictColumn(codes, DictMeta(dict_values, code_of)), n_distinct
+
+
+class ColumnStore:
+    """A cached columnar snapshot of one table, in ``row_id`` scan order.
+
+    ``columns[j]`` is the j-th schema column as a plain list or
+    :class:`DictColumn`; ``distinct`` maps column name to its distinct
+    non-NULL count at snapshot time.  ``rows_ref`` pins the exact
+    ``table.rows`` dict the snapshot was built from: validity is
+    ``rows_ref is table.rows and mutations == table's counter``, which
+    survives the read-view manager swapping ``table.rows`` wholesale
+    (identity changes) and catches every in-place mutation (the counter
+    changes) — and holding the reference means a dead dict's id can
+    never be recycled into a false match.
+    """
+
+    __slots__ = ("columns", "length", "distinct", "rows_ref", "mutations")
+
+    def __init__(self, columns, length, distinct, rows_ref, mutations):
+        self.columns = columns
+        self.length = length
+        self.distinct = distinct
+        self.rows_ref = rows_ref
+        self.mutations = mutations
+
+    @classmethod
+    def build(cls, table):
+        rows = [row for _, row in sorted(table.rows.items())]
+        schema_columns = table.schema.columns
+        n = len(rows)
+        columns = []
+        distinct = {}
+        transposed = list(zip(*rows)) if rows else [
+            () for _ in schema_columns]
+        for j, col in enumerate(schema_columns):
+            values = list(transposed[j])
+            if n and canonical_type(col.type_name) in (TEXT, DATE):
+                column, n_distinct = _encode_dict(values)
+            else:
+                column = values
+                n_distinct = len(set(
+                    v for v in values if v is not None))
+            columns.append(column)
+            distinct[col.name] = n_distinct
+        return cls(columns, n, distinct, table.rows,
+                   table._mutation_count)
+
+
+class ColumnChunk:
+    """One batch of rows in columnar form (see module docstring)."""
+
+    __slots__ = ("columns", "length", "sel")
+
+    def __init__(self, columns, length, sel=None):
+        self.columns = columns
+        self.length = length
+        self.sel = sel
+
+    @classmethod
+    def from_rows(cls, rows, width):
+        """Transpose wide rows (the batch/row engines' exchange format)
+        into a fully-live chunk — the shim the default ``iter_cchunks``
+        and the prefetched shared-scan path go through."""
+        if not rows:
+            return cls([[] for _ in range(width)], 0, None)
+        return cls([list(lane) for lane in zip(*rows)], len(rows), None)
+
+    def live_indices(self):
+        """The live row indices, ascending (a range when all live)."""
+        sel = self.sel
+        return range(self.length) if sel is None else sel
+
+    def n_live(self):
+        sel = self.sel
+        return self.length if sel is None else len(sel)
+
+    def row(self, i):
+        """Row ``i`` as a flat wide list (decoding dict lanes)."""
+        return [None if col is None else col[i] for col in self.columns]
+
+    def to_rows(self):
+        """Live rows as wide lists — the boundary shim back to the
+        row-shaped world (result operators' fallbacks, ExecResult)."""
+        sel = self.sel
+        length = self.length
+        lanes = []
+        for col in self.columns:
+            if col is None:
+                lanes.append([None] * (length if sel is None
+                                       else len(sel)))
+                continue
+            if type(col) is DictColumn:
+                col = col.decode()
+            if sel is not None:
+                col = [col[i] for i in sel]
+            lanes.append(col)
+        if not lanes:
+            return []
+        return [list(row) for row in zip(*lanes)]
+
+    def gather(self, pos):
+        """Column ``pos`` at the live indices, decoded to plain values."""
+        return self.gather_at(pos, self.live_indices())
+
+    def gather_at(self, pos, sel):
+        """Column ``pos`` at the given indices, decoded to plain values."""
+        col = self.columns[pos]
+        if col is None:
+            return [None] * len(sel)
+        if type(col) is DictColumn:
+            values = col.meta.values
+            codes = col.codes
+            return [None if codes[i] < 0 else values[codes[i]] for i in sel]
+        return [col[i] for i in sel]
+
+    def take(self, picks, skip_range=None):
+        """A new fully-live chunk holding the rows at ``picks`` (indices
+        into this chunk, duplicates allowed — the hash-join fan-out).
+        Dictionary lanes stay encoded.  ``skip_range=(lo, hi)`` leaves
+        the lanes in ``[lo, hi)`` as all-NULL placeholders for a caller
+        about to overwrite them (the join's right-side region)."""
+        lo, hi = skip_range if skip_range is not None else (0, 0)
+        out = []
+        for pos, col in enumerate(self.columns):
+            if col is None or lo <= pos < hi:
+                out.append(None)
+            elif type(col) is DictColumn:
+                codes = col.codes
+                out.append(DictColumn([codes[i] for i in picks], col.meta))
+            else:
+                out.append([col[i] for i in picks])
+        return ColumnChunk(out, len(picks), None)

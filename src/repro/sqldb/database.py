@@ -30,22 +30,27 @@ class Database:
     entirely (differential baselines, re-execution-counting tests).
 
     ``engine`` selects the physical execution engine: ``"batch"`` (the
-    default) pulls chunks of rows through plan-compiled expression
-    closures; ``"row"`` is the legacy interpreted row-at-a-time pull,
-    kept selectable for differential testing and the wall-clock benchmark
-    lane.  Results and ``rows_touched`` are identical under both — only
-    real wall-clock time differs.  The attribute may be flipped between
-    statements; cached plans carry both paths.
+    default) pulls chunks of wide rows through plan-compiled expression
+    closures; ``"columnar"`` exchanges :class:`ColumnChunk` column arrays
+    with selection vectors and fused predicate/projection loops (see
+    :mod:`repro.sqldb.columnar`); ``"row"`` is the legacy interpreted
+    row-at-a-time pull, kept selectable for differential testing and the
+    wall-clock benchmark lane.  Results and ``rows_touched`` are
+    identical under all three — only real wall-clock time differs.  The
+    attribute may be flipped between statements; cached plans carry every
+    path, and compiled closures are bound per-call to the active engine's
+    chunk layout.
     """
 
-    ENGINES = ("batch", "row")
+    ENGINES = ("batch", "columnar", "row")
 
     def __init__(self, name="main", optimizer_options=None,
                  result_cache_size=DEFAULT_RESULT_CACHE_LIMIT,
                  engine="batch"):
         if engine not in self.ENGINES:
             raise ValueError(
-                f"unknown engine {engine!r}; expected one of {self.ENGINES}")
+                f"unknown engine {engine!r}; expected one of "
+                "'batch', 'columnar', 'row'")
         self.engine = engine
         self.name = name
         self.catalog = Catalog()

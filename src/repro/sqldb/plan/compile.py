@@ -27,9 +27,36 @@ Compiled closures live exactly as long as the physical plan that owns them:
 the executor's plan cache is invalidated by DDL and stats epochs, which is
 also when column positions could shift, so a cached closure can never read
 a stale layout.
+
+**Columnar compilation** (:func:`compile_filter`, :func:`compile_project`,
+:func:`compile_aggregate_item_columnar`) lowers the same ASTs one level
+further for the columnar engine: instead of a per-row closure, a predicate
+becomes a function over a whole :class:`repro.sqldb.columnar.ColumnChunk`
+that returns the selection vector of rows evaluating to SQL TRUE.
+Internally every predicate node is ``node(chunk, sel, params) -> (t, u)``
+— the ascending index lists where the node is TRUE and UNKNOWN (FALSE is
+the remainder) — so AND/OR combine Kleene-exactly and preserve the row
+engine's short-circuit scope: AND evaluates its right operand only over
+the left's TRUE∪UNKNOWN rows, OR only over the left's non-TRUE rows.
+Comparison leaves against a row-independent operand (literal or
+parameter) compile to generated fused loops (memoized per operator ×
+type-family) that bake in the same comparability lattice and the same
+``a < c``-derived comparison expressions as the row closures, so NaN and
+mixed-type behaviour are bit-identical.  Dictionary-encoded columns get
+code-level equality/IN and a per-dictionary-value LIKE match table.
+Shapes with no fused form fall back to the row closure applied to
+materialized rows of the chunk — never a behaviour change.
+
+One documented divergence: fused evaluation runs column-at-a-time, so
+when *several* rows of one chunk would raise (mixed-type data smuggled
+past the typed storage layer), the row that wins the race — and thus the
+error message — can differ from the row engine's strictly row-at-a-time
+order.  Whether an error is raised at all, and the result when none is,
+are identical.
 """
 
 from repro.sqldb import ast_nodes as A
+from repro.sqldb.columnar import DictColumn
 from repro.sqldb.errors import SqlError, SqlTypeError
 from repro.sqldb.expressions import (
     RowContext,
@@ -42,7 +69,8 @@ from repro.sqldb.expressions import (
 from repro.sqldb.plan.planner import _AGGREGATE_NAMES
 from repro.sqldb.types import is_comparable
 
-__all__ = ["compile_expr"]
+__all__ = ["compile_expr", "compile_filter", "compile_project",
+           "compile_aggregate_item", "compile_aggregate_item_columnar"]
 
 
 def compile_expr(expr, positions, ambiguous=frozenset()):
@@ -402,33 +430,38 @@ def _const_type_check(constant):
     return lambda v: type(v) is expected
 
 
+def _arith_value(op, left, right):
+    """One arithmetic application — the single home for NULL propagation,
+    numeric type checking and divide-by-zero, shared by the row closures
+    and the columnar element-wise loops."""
+    if left is None or right is None:
+        return None
+    if (isinstance(left, bool) or isinstance(right, bool)
+            or not isinstance(left, (int, float))
+            or not isinstance(right, (int, float))):
+        raise SqlTypeError(
+            f"arithmetic requires numbers, got {left!r} {op} {right!r}")
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            return None  # SQL semantics: division by zero yields NULL
+        result = left / right
+        if isinstance(left, int) and isinstance(right, int):
+            return int(result) if result == int(result) else result
+        return result
+    if right == 0:
+        return None
+    return left % right
+
+
 def _arith(op, lf, rf):
     def fn(values, params):
-        left = lf(values, params)
-        right = rf(values, params)
-        if left is None or right is None:
-            return None
-        if (isinstance(left, bool) or isinstance(right, bool)
-                or not isinstance(left, (int, float))
-                or not isinstance(right, (int, float))):
-            raise SqlTypeError(
-                f"arithmetic requires numbers, got {left!r} {op} {right!r}")
-        if op == "+":
-            return left + right
-        if op == "-":
-            return left - right
-        if op == "*":
-            return left * right
-        if op == "/":
-            if right == 0:
-                return None  # SQL semantics: division by zero yields NULL
-            result = left / right
-            if isinstance(left, int) and isinstance(right, int):
-                return int(result) if result == int(result) else result
-            return result
-        if right == 0:
-            return None
-        return left % right
+        return _arith_value(op, lf(values, params), rf(values, params))
 
     return fn
 
@@ -614,3 +647,723 @@ def _contains_aggregate(expr):
     if isinstance(expr, A.UnaryOp):
         return _contains_aggregate(expr.operand)
     return False
+
+
+# ---------------------------------------------------------------------------
+# Columnar compilation: fused loops over ColumnChunk arrays
+# ---------------------------------------------------------------------------
+#
+# Predicate nodes follow the protocol ``node(chunk, sel, params) -> (t, u)``
+# where ``sel`` is an ascending iterable of candidate row indices and
+# ``t``/``u`` are the ascending index lists where the node evaluates to
+# TRUE and UNKNOWN; FALSE is implicit (see the module docstring).
+
+
+def compile_filter(expr, positions, ambiguous=frozenset()):
+    """Compile a WHERE predicate to ``fn(chunk, params) -> sel`` — the
+    selection vector (ascending live indices) of chunk rows where the
+    predicate is strictly TRUE.  Never raises at compile time; shapes
+    without a fused form evaluate the row closure over materialized rows.
+    """
+    try:
+        node, is_bool = _compile_pred(expr, positions, ambiguous)
+    except Exception:  # defensive: compilation must never change behaviour
+        node, is_bool = None, False
+    if node is not None and is_bool:
+
+        def filter_fn(chunk, params):
+            sel = chunk.sel
+            if sel is None:
+                sel = range(chunk.length)
+            return node(chunk, sel, params)[0]
+
+        return filter_fn
+    # Top-level fallback is *strict* (`is True`), exactly like FilterOp's
+    # row path: a non-boolean predicate value keeps nothing and raises
+    # nothing (unlike the truthy classification AND/OR operands use).
+    rowfn = compile_expr(expr, positions, ambiguous)
+
+    def strict_filter_fn(chunk, params):
+        sel = chunk.sel
+        if sel is None:
+            sel = range(chunk.length)
+        row = chunk.row
+        return [i for i in sel if rowfn(row(i), params) is True]
+
+    return strict_filter_fn
+
+
+def _row_independent(expr):
+    """True when ``expr`` resolves without a row: a literal or parameter.
+    Such operands are evaluated once per chunk and baked into the loop."""
+    return isinstance(expr, (A.Literal, A.Param))
+
+
+def _compile_pred(expr, positions, ambiguous):
+    """Compile one predicate node; returns ``(node, is_bool)``.
+
+    ``node`` is None when the shape has no fused form at this level
+    (callers fall back); ``is_bool`` marks nodes that classify rows by
+    the strict three-valued result (always True for fused nodes).
+    """
+    kind = type(expr)
+    if kind is A.BinaryOp:
+        op = expr.op
+        if op == "AND" or op == "OR":
+            left = _pred_operand(expr.left, positions, ambiguous)
+            right = _pred_operand(expr.right, positions, ambiguous)
+            combine = _and_node if op == "AND" else _or_node
+            return combine(left, right), True
+        if op in _CMP_EXPRS:
+            node = _cmp_node(expr, op, positions, ambiguous)
+            return node, node is not None
+        return None, False
+    if kind is A.UnaryOp and expr.op == "NOT":
+        child = _pred_operand(expr.operand, positions, ambiguous)
+        return _not_node(child), True
+    if kind is A.IsNull and isinstance(expr.expr, A.ColumnRef):
+        pos, raiser = _column_position(expr.expr, positions, ambiguous)
+        if raiser is not None:
+            return None, False
+        return _isnull_node(pos, expr.negated), True
+    if kind is A.InList:
+        node = _in_node(expr, positions, ambiguous)
+        return node, node is not None
+    if kind is A.Between:
+        node = _between_node(expr, positions, ambiguous)
+        return node, node is not None
+    if kind is A.Like:
+        node = _like_node(expr, positions, ambiguous)
+        return node, node is not None
+    return None, False
+
+
+def _pred_operand(expr, positions, ambiguous):
+    """A fused node for an AND/OR/NOT operand, falling back to the row
+    closure with the interpreter's *truthy* classification (numbers count
+    by ``!= 0``, non-numeric non-bools raise — exactly ``_truthy``)."""
+    node, _ = _compile_pred(expr, positions, ambiguous)
+    if node is not None:
+        return node
+    rowfn = compile_expr(expr, positions, ambiguous)
+    if _is_bool(rowfn):
+
+        def bool_fallback(chunk, sel, params):
+            t, u = [], []
+            row = chunk.row
+            for i in sel:
+                value = rowfn(row(i), params)
+                if value is True:
+                    t.append(i)
+                elif value is None:
+                    u.append(i)
+            return t, u
+
+        return bool_fallback
+
+    def truthy_fallback(chunk, sel, params):
+        t, u = [], []
+        row = chunk.row
+        for i in sel:
+            value = rowfn(row(i), params)
+            if value is None:
+                u.append(i)
+            elif _truthy(value):
+                t.append(i)
+        return t, u
+
+    return truthy_fallback
+
+
+def _merge(a, b):
+    """Merge two ascending, disjoint index lists."""
+    if not a:
+        return b if type(b) is list else list(b)
+    if not b:
+        return a if type(a) is list else list(a)
+    out = []
+    append = out.append
+    ia = ib = 0
+    na, nb = len(a), len(b)
+    while ia < na and ib < nb:
+        va, vb = a[ia], b[ib]
+        if va < vb:
+            append(va)
+            ia += 1
+        else:
+            append(vb)
+            ib += 1
+    out.extend(a[ia:])
+    out.extend(b[ib:])
+    return out
+
+
+def _and_node(lnode, rnode):
+    """Kleene AND with the row engine's short-circuit scope: the right
+    operand is evaluated only where the left is TRUE or UNKNOWN."""
+
+    def node(chunk, sel, params):
+        lt, lu = lnode(chunk, sel, params)
+        cand = _merge(lt, lu)
+        rt, ru = rnode(chunk, cand, params)
+        if not lu:
+            return rt, ru
+        lu_set = set(lu)
+        rt_set = set(rt)
+        ru_set = set(ru)
+        t = [i for i in rt if i not in lu_set]
+        u = [i for i in cand
+             if i in ru_set or (i in rt_set and i in lu_set)]
+        return t, u
+
+    return node
+
+
+def _or_node(lnode, rnode):
+    """Kleene OR: the right operand is evaluated only where the left is
+    not TRUE."""
+
+    def node(chunk, sel, params):
+        lt, lu = lnode(chunk, sel, params)
+        if lt:
+            lt_set = set(lt)
+            cand = [i for i in sel if i not in lt_set]
+        else:
+            cand = sel
+        rt, ru = rnode(chunk, cand, params)
+        t = _merge(lt, rt)
+        if not lu and not ru:
+            return t, []
+        lu_set = set(lu)
+        rt_set = set(rt)
+        ru_set = set(ru)
+        u = [i for i in cand
+             if i not in rt_set and (i in lu_set or i in ru_set)]
+        return t, u
+
+    return node
+
+
+def _not_node(child):
+    def node(chunk, sel, params):
+        ct, cu = child(chunk, sel, params)
+        if not ct and not cu:
+            return sel if type(sel) is list else list(sel), []
+        ct_set = set(ct)
+        cu_set = set(cu)
+        t = [i for i in sel if i not in ct_set and i not in cu_set]
+        return t, cu
+
+    return node
+
+
+def _isnull_node(pos, negated):
+    def node(chunk, sel, params):
+        col = chunk.columns[pos]
+        if col is None:  # all-NULL lane
+            if negated:
+                return [], []
+            return sel if type(sel) is list else list(sel), []
+        if type(col) is DictColumn:
+            codes = col.codes
+            nulls = [i for i in sel if codes[i] < 0]
+        else:
+            nulls = [i for i in sel if col[i] is None]
+        if not negated:
+            return nulls, []
+        null_set = set(nulls)
+        return [i for i in sel if i not in null_set], []
+
+    return node
+
+
+# Comparison expressions over (a, c), derived — like _CMP_OPS — from the
+# interpreter's `a < b` / `a > b` probes so NaN behaviour is identical.
+_CMP_EXPRS = {
+    "=": "not (a < c or a > c)",
+    "<>": "a < c or a > c",
+    "<": "a < c",
+    ">": "a > c",
+    "<=": "not (a > c)",
+    ">=": "not (a < c)",
+}
+
+# Flip table for constant-on-the-left comparisons: `5 < v` == `v > 5`.
+_FLIP = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "=", "<>": "<>"}
+
+# Per type-family row-value checks matching is_comparable(a, constant)
+# for a known non-NULL constant.
+_KERNEL_CHECKS = {
+    "num": ("a.__class__ is int or a.__class__ is float"
+            " or (isinstance(a, (int, float))"
+            " and not isinstance(a, bool))"),
+    "bool": "a.__class__ is bool",
+    "exact": "type(a) is cls",
+}
+
+_CMP_KERNELS = {}
+
+
+def _cmp_kernel(op, kind):
+    """The generated fused comparison loop for one (operator, type-family)
+    pair — built once per process, shared by every plan."""
+    fn = _CMP_KERNELS.get((op, kind))
+    if fn is None:
+        src = (
+            "def kernel(col, sel, c, cls, fail):\n"
+            "    t = []\n"
+            "    u = []\n"
+            "    ta = t.append\n"
+            "    ua = u.append\n"
+            "    for i in sel:\n"
+            "        a = col[i]\n"
+            "        if a is None:\n"
+            "            ua(i)\n"
+            f"        elif {_KERNEL_CHECKS[kind]}:\n"
+            f"            if {_CMP_EXPRS[op]}:\n"
+            "                ta(i)\n"
+            "        else:\n"
+            "            fail(a)\n"
+            "    return t, u\n")
+        namespace = {}
+        exec(src, namespace)  # noqa: S102 - trusted, templated source
+        fn = namespace["kernel"]
+        _CMP_KERNELS[(op, kind)] = fn
+    return fn
+
+
+def _cmp_fail(constant, const_is_right):
+    """The incomparable-value error, with operands in source order."""
+
+    def fail(a):
+        left, right = (a, constant) if const_is_right else (constant, a)
+        raise SqlTypeError(f"cannot compare {left!r} with {right!r}")
+
+    return fail
+
+
+def _dict_eq(col, sel, constant, op):
+    """Equality over a dictionary-encoded column: compare codes, never
+    strings.  A constant outside the dictionary matches nothing (``=``)
+    or every non-NULL row (``<>``)."""
+    code = col.meta.code_of.get(constant, -2)
+    codes = col.codes
+    t, u = [], []
+    ta = t.append
+    ua = u.append
+    if op == "=":
+        for i in sel:
+            cd = codes[i]
+            if cd == code:
+                ta(i)
+            elif cd < 0:
+                ua(i)
+    else:  # <>
+        for i in sel:
+            cd = codes[i]
+            if cd < 0:
+                ua(i)
+            elif cd != code:
+                ta(i)
+    return t, u
+
+
+def _cmp_node(expr, op, positions, ambiguous):
+    """A fused comparison node for column-vs-row-independent shapes, or
+    None (column-vs-column and arbitrary expressions keep the row path)."""
+    left, right = expr.left, expr.right
+    if isinstance(left, A.ColumnRef) and _row_independent(right):
+        col_expr, const_expr, const_is_right, kop = left, right, True, op
+    elif isinstance(right, A.ColumnRef) and _row_independent(left):
+        col_expr, const_expr = right, left
+        const_is_right, kop = False, _FLIP[op]
+    else:
+        return None
+    pos, raiser = _column_position(col_expr, positions, ambiguous)
+    if raiser is not None:
+        return None  # row fallback raises the same unknown-column error
+    cfn = _compile(const_expr, positions, ambiguous)[0]
+
+    def node(chunk, sel, params):
+        if not sel:
+            return [], []  # nothing evaluated, nothing raised
+        c = cfn(None, params)
+        col = chunk.columns[pos]
+        if c is None or col is None:
+            return [], list(sel)
+        if (type(col) is DictColumn and c.__class__ is str
+                and (kop == "=" or kop == "<>")):
+            return _dict_eq(col, sel, c, kop)
+        if c.__class__ is bool:
+            kind, cls = "bool", None
+        elif isinstance(c, (int, float)):
+            kind, cls = "num", None
+        else:
+            kind, cls = "exact", type(c)
+        kernel = _cmp_kernel(kop, kind)
+        return kernel(col, sel, c, cls, _cmp_fail(c, const_is_right))
+
+    return node
+
+
+def _between_node(expr, positions, ambiguous):
+    if not (isinstance(expr.expr, A.ColumnRef)
+            and _row_independent(expr.low)
+            and _row_independent(expr.high)):
+        return None
+    pos, raiser = _column_position(expr.expr, positions, ambiguous)
+    if raiser is not None:
+        return None
+    lf = _compile(expr.low, positions, ambiguous)[0]
+    hf = _compile(expr.high, positions, ambiguous)[0]
+    negated = expr.negated
+
+    def node(chunk, sel, params):
+        if not sel:
+            return [], []
+        low = lf(None, params)
+        high = hf(None, params)
+        col = chunk.columns[pos]
+        if low is None or high is None or col is None:
+            return [], list(sel)
+        ok_low = _const_type_check(low)
+        ok_high = _const_type_check(high)
+        t, u = [], []
+        ta = t.append
+        ua = u.append
+        for i in sel:
+            a = col[i]
+            if a is None:
+                ua(i)
+            elif not ok_low(a):
+                raise SqlTypeError(f"cannot compare {a!r} with {low!r}")
+            elif a < low:
+                pass  # below the range; the high bound is never compared
+            elif not ok_high(a):
+                raise SqlTypeError(f"cannot compare {a!r} with {high!r}")
+            elif not (a > high):
+                ta(i)
+        if negated:
+            t_set = set(t)
+            u_set = set(u)
+            t = [i for i in sel if i not in t_set and i not in u_set]
+        return t, u
+
+    return node
+
+
+def _like_node(expr, positions, ambiguous):
+    if not (isinstance(expr.expr, A.ColumnRef)
+            and _row_independent(expr.pattern)):
+        return None
+    pos, raiser = _column_position(expr.expr, positions, ambiguous)
+    if raiser is not None:
+        return None
+    pf = _compile(expr.pattern, positions, ambiguous)[0]
+    negated = expr.negated
+    regex_cache = {}
+
+    def node(chunk, sel, params):
+        if not sel:
+            return [], []
+        pattern = pf(None, params)
+        col = chunk.columns[pos]
+        if pattern is None:
+            return [], list(sel)
+        if not isinstance(pattern, str):
+            u = []
+            for i in sel:
+                if col is None or col[i] is None:
+                    u.append(i)
+                else:
+                    raise SqlTypeError("LIKE requires text operands")
+            return [], u
+        if col is None:
+            return [], list(sel)
+        regex = regex_cache.get(pattern)
+        if regex is None:
+            regex = like_to_regex(pattern)
+            if len(regex_cache) < 64:
+                regex_cache[pattern] = regex
+        t, u = [], []
+        ta = t.append
+        ua = u.append
+        if type(col) is DictColumn:
+            matches = col.like_matches(pattern, regex)
+            codes = col.codes
+            for i in sel:
+                cd = codes[i]
+                if cd < 0:
+                    ua(i)
+                elif matches[cd] is not negated:
+                    ta(i)
+            return t, u
+        match = regex.match
+        for i in sel:
+            a = col[i]
+            if a is None:
+                ua(i)
+            elif isinstance(a, str):
+                if (match(a) is not None) is not negated:
+                    ta(i)
+            else:
+                raise SqlTypeError("LIKE requires text operands")
+        return t, u
+
+    return node
+
+
+def _in_node(expr, positions, ambiguous):
+    if not (isinstance(expr.expr, A.ColumnRef)
+            and all(_row_independent(item) for item in expr.items)):
+        return None
+    pos, raiser = _column_position(expr.expr, positions, ambiguous)
+    if raiser is not None:
+        return None
+    item_fns = [_compile(item, positions, ambiguous)[0]
+                for item in expr.items]
+    negated = expr.negated
+
+    def node(chunk, sel, params):
+        col = chunk.columns[pos]
+        t, u = [], []
+        ta = t.append
+        ua = u.append
+        if col is None:
+            return [], list(sel)
+        # Item expressions resolve lazily at the first non-NULL value —
+        # the interpreter never evaluates the list for NULL values, so a
+        # bad item (missing parameter) must not raise on all-NULL input.
+        resolved = False
+        saw_null = typed = code_set = None
+        if type(col) is DictColumn:
+            codes = col.codes
+            for i in sel:
+                cd = codes[i]
+                if cd < 0:
+                    ua(i)
+                    continue
+                if not resolved:
+                    resolved = True
+                    items = [fn(None, params) for fn in item_fns]
+                    saw_null = any(v is None for v in items)
+                    code_of = col.meta.code_of
+                    code_set = {
+                        code_of[v] for v in items
+                        if v is not None and v.__class__ is str
+                        and v in code_of}
+                if cd in code_set:
+                    if not negated:
+                        ta(i)
+                elif saw_null:
+                    ua(i)
+                elif negated:
+                    ta(i)
+            return t, u
+        for i in sel:
+            a = col[i]
+            if a is None:
+                ua(i)
+                continue
+            if not resolved:
+                resolved = True
+                items = [fn(None, params) for fn in item_fns]
+                saw_null = any(v is None for v in items)
+                typed = [
+                    (v,
+                     not isinstance(v, bool) and isinstance(v, (int, float)),
+                     v.__class__ is bool)
+                    for v in items if v is not None]
+            a_bool = a.__class__ is bool
+            a_num = not a_bool and isinstance(a, (int, float))
+            a_cls = a.__class__
+            hit = False
+            for v, v_num, v_bool in typed:
+                if a_bool or v_bool:
+                    if not (a_bool and v_bool):
+                        continue
+                elif not (a_num and v_num) and type(v) is not a_cls:
+                    continue  # incomparable item: skipped, never an error
+                if not (a < v or a > v):
+                    hit = True
+                    break
+            if hit:
+                if not negated:
+                    ta(i)
+            elif saw_null:
+                ua(i)
+            elif negated:
+                ta(i)
+        return t, u
+
+    return node
+
+
+# -- vectorized projection / aggregation ------------------------------------
+
+
+def _concat_value(left, right):
+    if left is None or right is None:
+        return None
+    if not isinstance(left, str) or not isinstance(right, str):
+        raise SqlTypeError("'||' requires text operands")
+    return left + right
+
+
+def _neg_value(value):
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SqlTypeError(f"cannot negate {value!r}")
+    return -value
+
+
+def _compile_vec(expr, positions, ambiguous):
+    """Compile an expression to ``fn(chunk, sel, params) -> (scalar, v)``
+    — ``v`` a single broadcast value when ``scalar`` is true, else a list
+    aligned with ``sel``.  Returns None for shapes without a vector form
+    (function calls, comparisons, stars): callers fall back to rows.
+    """
+    kind = type(expr)
+    if kind is A.Literal:
+        value = expr.value
+        return lambda chunk, sel, params: (True, value)
+    if kind is A.Param:
+        pfn = _compile(expr, positions, ambiguous)[0]
+        return lambda chunk, sel, params: (True, pfn(None, params))
+    if kind is A.ColumnRef:
+        pos, raiser = _column_position(expr, positions, ambiguous)
+        if raiser is not None:
+            return None
+        return lambda chunk, sel, params: (False, chunk.gather_at(pos, sel))
+    if kind is A.BinaryOp and expr.op in ("+", "-", "*", "/", "%", "||"):
+        lv = _compile_vec(expr.left, positions, ambiguous)
+        rv = _compile_vec(expr.right, positions, ambiguous)
+        if lv is None or rv is None:
+            return None
+        if expr.op == "||":
+            pair = _concat_value
+        else:
+            op = expr.op
+            pair = (lambda left, right, op=op:
+                    _arith_value(op, left, right))
+
+        def binary_vec(chunk, sel, params):
+            lscalar, lval = lv(chunk, sel, params)
+            rscalar, rval = rv(chunk, sel, params)
+            if lscalar and rscalar:
+                return True, pair(lval, rval)
+            if lscalar:
+                return False, [pair(lval, b) for b in rval]
+            if rscalar:
+                return False, [pair(a, rval) for a in lval]
+            return False, [pair(a, b) for a, b in zip(lval, rval)]
+
+        return binary_vec
+    if kind is A.UnaryOp and expr.op == "-":
+        iv = _compile_vec(expr.operand, positions, ambiguous)
+        if iv is None:
+            return None
+
+        def neg_vec(chunk, sel, params):
+            scalar, value = iv(chunk, sel, params)
+            if scalar:
+                return True, _neg_value(value)
+            return False, [_neg_value(v) for v in value]
+
+        return neg_vec
+    return None
+
+
+def compile_project(items, expansions, positions, ambiguous):
+    """Compile a select list to ``fn(chunk, params) -> list of tuples``
+    (the chunk's live output rows), or None when any item lacks a vector
+    form.  ``expansions`` is ProjectOp's star-expansion table: expanded
+    positions become straight column gathers."""
+    makers = []  # ("pos", flat position) | ("vec", vector closure)
+    for item, expansion in zip(items, expansions):
+        if expansion is not None:
+            makers.extend(("pos", pos) for pos, _ in expansion)
+            continue
+        vec = _compile_vec(item.expr, positions, ambiguous)
+        if vec is None:
+            return None
+        makers.append(("vec", vec))
+
+    def project_fn(chunk, params):
+        sel = chunk.live_indices()
+        n = chunk.length if chunk.sel is None else len(chunk.sel)
+        if n == 0:
+            return []
+        lanes = []
+        for mk, payload in makers:
+            if mk == "pos":
+                lanes.append(chunk.gather_at(payload, sel))
+            else:
+                scalar, value = payload(chunk, sel, params)
+                lanes.append([value] * n if scalar else value)
+        if len(lanes) == 1:
+            return [(v,) for v in lanes[0]]
+        return list(zip(*lanes))
+
+    return project_fn
+
+
+def compile_aggregate_item_columnar(expr, positions, ambiguous):
+    """Compiled ``fn(chunks, params)`` for one select item of a
+    no-GROUP-BY aggregate query over columnar chunks, or None when the
+    shape needs the row path (composite aggregate arithmetic, grouped
+    queries — handled by the caller)."""
+    if isinstance(expr, A.FuncCall) and expr.name in _AGGREGATE_NAMES:
+        name = expr.name
+        if name == "COUNT" and expr.args and isinstance(expr.args[0], A.Star):
+            return lambda chunks, params: sum(
+                chunk.n_live() for chunk in chunks)
+        if not expr.args:
+            return None  # interpreter raises "requires an argument"
+        vec = _compile_vec(expr.args[0], positions, ambiguous)
+        if vec is None:
+            return None
+        distinct = expr.distinct
+
+        def agg_fn(chunks, params):
+            collected = []
+            extend = collected.extend
+            for chunk in chunks:
+                n = chunk.n_live()
+                if n == 0:
+                    continue
+                scalar, value = vec(chunk, chunk.live_indices(), params)
+                if scalar:
+                    if value is not None:
+                        extend([value] * n)
+                else:
+                    extend(v for v in value if v is not None)
+            if distinct:
+                collected = list(dict.fromkeys(collected))
+            if name == "COUNT":
+                return len(collected)
+            if not collected:
+                return None
+            if name == "SUM":
+                return sum(collected)
+            if name == "AVG":
+                return sum(collected) / len(collected)
+            if name == "MIN":
+                return min(collected)
+            return max(collected)  # MAX
+        return agg_fn
+    if _contains_aggregate(expr):
+        return None
+    vec = _compile_vec(expr, positions, ambiguous)
+    if vec is None:
+        return None
+
+    def first_row_fn(chunks, params):
+        for chunk in chunks:
+            for i in chunk.live_indices():
+                scalar, value = vec(chunk, (i,), params)
+                return value if scalar else value[0]
+        return None
+
+    return first_row_fn

@@ -51,13 +51,17 @@ from operator import itemgetter
 from time import perf_counter
 
 from repro.sqldb import ast_nodes as A
+from repro.sqldb.columnar import ColumnChunk
 from repro.sqldb.errors import SqlError, SqlTypeError
 from repro.sqldb.expressions import evaluate, RowContext
 from repro.sqldb.indexes import OrderedIndex, wrap_key
 from repro.sqldb.plan import logical as L
 from repro.sqldb.plan.access import (pk_lookup_keys, range_scan_ids,
                                      resolve_index_lookup)
-from repro.sqldb.plan.compile import compile_aggregate_item, compile_expr
+from repro.sqldb.plan.compile import (compile_aggregate_item,
+                                      compile_aggregate_item_columnar,
+                                      compile_expr, compile_filter,
+                                      compile_project)
 from repro.sqldb.plan.planner import _AGGREGATE_NAMES
 from repro.sqldb.result import ExecResult
 
@@ -71,8 +75,9 @@ class PlanRun:
     """Mutable state for one execution of a physical plan."""
 
     __slots__ = ("db", "params", "sctx", "ctx", "rows_touched",
-                 "source_rows", "out_columns", "out_rows", "has_aggregates",
-                 "prefetched_base_rows", "engine", "batches")
+                 "_source_rows", "source_chunks", "out_columns", "out_rows",
+                 "has_aggregates", "prefetched_base_rows", "engine",
+                 "batches")
 
     def __init__(self, db, params, sctx, prefetched_base_rows=None):
         self.db = db
@@ -80,7 +85,8 @@ class PlanRun:
         self.sctx = sctx
         self.ctx = sctx.fresh_context()
         self.rows_touched = 0
-        self.source_rows = None   # materialized rows entering projection
+        self._source_rows = None  # materialized rows entering projection
+        self.source_chunks = None  # ColumnChunks (columnar engine only)
         self.out_columns = None
         self.out_rows = None
         self.has_aggregates = False
@@ -90,6 +96,28 @@ class PlanRun:
         self.prefetched_base_rows = prefetched_base_rows
         self.engine = getattr(db, "engine", "batch")
         self.batches = 0  # chunks that flowed through the batch operators
+
+    @property
+    def source_rows(self):
+        """The materialized source relation as wide rows.
+
+        Under the columnar engine the source lands as ``source_chunks``;
+        result operators that stayed row-shaped (Sort, grouped
+        aggregation, interpreted fallbacks) transpose it here lazily —
+        fully columnar pipelines never pay for the rows.
+        """
+        rows = self._source_rows
+        if rows is None and self.source_chunks is not None:
+            rows = []
+            extend = rows.extend
+            for chunk in self.source_chunks:
+                extend(chunk.to_rows())
+            self._source_rows = rows
+        return rows
+
+    @source_rows.setter
+    def source_rows(self, rows):
+        self._source_rows = rows
 
 
 def _pad(row, offset, total_width):
@@ -119,12 +147,24 @@ def _chunked(run, rows):
 # ---------------------------------------------------------------------------
 
 class RowSource:
-    """Base class for row sources: the row-at-a-time compat shim."""
+    """Base class for row sources: the row-at-a-time compat shim and the
+    columnar transpose shim."""
 
     def iter_rows(self, run):
         """Row-at-a-time view over the batch protocol."""
         for chunk in self.iter_batches(run):
             yield from chunk
+
+    def iter_cchunks(self, run):
+        """Columnar view over the batch protocol (transpose shim).
+
+        Operators without a native columnar path — the nested-loop joins,
+        whose per-pair work is row-shaped anyway — inherit this, so the
+        columnar engine is total over every plan shape.
+        """
+        total = run.sctx.total_width
+        for chunk in self.iter_batches(run):
+            yield ColumnChunk.from_rows(chunk, total)
 
 
 class _BaseTableScan(RowSource):
@@ -145,6 +185,48 @@ class _BaseTableScan(RowSource):
     """
 
     uses_prefetch = True
+    # Sequential scans slice chunks straight off the table's cached
+    # ColumnStore (zero transpose per query); index access paths produce
+    # dynamic row sets, so they transpose their pairs per execution.
+    columnar_store_scan = False
+
+    def iter_cchunks(self, run):
+        if self.uses_prefetch and run.prefetched_base_rows is not None:
+            rows = run.prefetched_base_rows
+            total = run.sctx.total_width
+            for start in range(0, len(rows), CHUNK_SIZE):
+                run.batches += 1
+                yield ColumnChunk.from_rows(
+                    rows[start:start + CHUNK_SIZE], total)
+            return
+        table = run.db.tables_get(self.table_name)
+        total = run.sctx.total_width
+        offset = self.offset
+        width = len(table.schema.columns)
+        if self.columnar_store_scan:
+            store = table.column_store()
+            length = store.length
+            for start in range(0, length, CHUNK_SIZE):
+                stop = min(start + CHUNK_SIZE, length)
+                run.rows_touched += stop - start
+                run.batches += 1
+                if offset == 0 and width == total:
+                    columns = [col[start:stop] for col in store.columns]
+                else:
+                    columns = [None] * total
+                    columns[offset:offset + width] = [
+                        col[start:stop] for col in store.columns]
+                yield ColumnChunk(columns, stop - start, None)
+            return
+        pairs = list(self._pairs(run, table))
+        for start in range(0, len(pairs), CHUNK_SIZE):
+            part = pairs[start:start + CHUNK_SIZE]
+            run.rows_touched += len(part)
+            run.batches += 1
+            lanes = list(zip(*[row for _, row in part]))
+            columns = [None] * total
+            columns[offset:offset + width] = [list(lane) for lane in lanes]
+            yield ColumnChunk(columns, len(part), None)
 
     def iter_rows_interp(self, run):
         if self.uses_prefetch and run.prefetched_base_rows is not None:
@@ -194,6 +276,8 @@ class SeqScanOp(_BaseTableScan):
     ``offset`` is the table's slot in the flat joined-row layout — 0 unless
     join reordering made a non-first FROM table the base of the chain.
     """
+
+    columnar_store_scan = True
 
     def __init__(self, table_name, offset=0):
         self.table_name = table_name
@@ -295,6 +379,20 @@ class FilterOp(RowSource):
         self.predicate = predicate
         self._compiled = compile_expr(predicate, sctx.context.positions,
                                       sctx.context.ambiguous)
+        self._columnar = compile_filter(predicate, sctx.context.positions,
+                                        sctx.context.ambiguous)
+
+    def iter_cchunks(self, run):
+        """Columnar filtering flips selection-vector bits: the output
+        chunk shares the input's column arrays, narrowed to the indices
+        where the fused predicate is TRUE — no row materializes."""
+        predicate = self._columnar
+        params = run.params
+        for chunk in self.child.iter_cchunks(run):
+            sel = predicate(chunk, params)
+            if sel:
+                run.batches += 1
+                yield ColumnChunk(chunk.columns, chunk.length, sel)
 
     def iter_rows_interp(self, run):
         predicate = self.predicate
@@ -368,6 +466,41 @@ class HashJoinOp(RowSource):
         yield from _hash_join_rows(
             run, right_table, self.child.iter_rows_interp(run), self.kind,
             self.left_pos, self.right_ordinal, offset, width)
+
+    def iter_cchunks(self, run):
+        """Columnar probe: gather the probe keys, then assemble the output
+        chunk column-wise — ``take`` replicates the left lanes for the
+        match fan-out (dictionary lanes stay encoded) and the right
+        table's lanes are transposed from the matched build rows."""
+        right_table = run.db.tables_get(self.table_name)
+        offset = run.sctx.offsets[self.join_index]
+        width = run.sctx.widths[self.join_index]
+        left_pos = self.left_pos
+        kind = self.kind
+        buckets = _build_join_buckets(run, right_table, self.right_ordinal)
+        for chunk in self.child.iter_cchunks(run):
+            picks = []
+            right_rows = []
+            pick = picks.append
+            emit = right_rows.append
+            keys = chunk.gather(left_pos)
+            for i, key in zip(chunk.live_indices(), keys):
+                matches = buckets.get(key, ()) if key is not None else ()
+                if matches:
+                    for row in matches:
+                        pick(i)
+                        emit(row)
+                elif kind == "LEFT":
+                    pick(i)
+                    emit(None)
+            if not picks:
+                continue
+            out = chunk.take(picks, skip_range=(offset, offset + width))
+            out.columns[offset:offset + width] = [
+                [None if row is None else row[j] for row in right_rows]
+                for j in range(width)]
+            run.batches += 1
+            yield out
 
     def iter_batches(self, run):
         right_table = run.db.tables_get(self.table_name)
@@ -606,12 +739,27 @@ class ProjectOp:
                 elif len(column_positions) == 1:
                     only = column_positions[0]
                     self._getter = lambda values: (values[only],)
+        # The columnar engine's fused projection: per-output-column
+        # gathers / vectorized expression loops, zipped into tuples.
+        # None when an item has no vector form — then the chunks
+        # materialize rows and the batch path below takes over.
+        self._columnar = compile_project(items, self.expansions,
+                                         positions, ambiguous)
 
     def apply(self, run):
         run.out_columns = self.out_columns
         params = run.params
+        if (run.engine == "columnar" and run.source_chunks is not None
+                and self._columnar is not None):
+            project = self._columnar
+            out_rows = []
+            extend = out_rows.extend
+            for chunk in run.source_chunks:
+                extend(project(chunk, params))
+            run.out_rows = out_rows
+            return
         rows = run.source_rows
-        if run.engine == "batch":
+        if run.engine != "row":
             if self._getter is not None:
                 getter = self._getter
                 run.out_rows = [getter(values) for values in rows]
@@ -670,13 +818,28 @@ class AggregateOp:
         self._item_fns = [compile_aggregate_item(item.expr, positions,
                                                  ambiguous)
                           for item in items]
+        # Chunk-at-a-time aggregate closures for the columnar engine's
+        # fused no-GROUP-BY path (None entries force row materialization).
+        self._citem_fns = [compile_aggregate_item_columnar(
+            item.expr, positions, ambiguous) for item in items]
 
     def apply(self, run):
         run.has_aggregates = True
         ctx = run.ctx
         params = run.params
+        if (run.engine == "columnar" and run.source_chunks is not None
+                and not self.group_by and self.having is None
+                and all(fn is not None for fn in self._citem_fns)):
+            # Fused path: aggregates consume chunks directly — the wide
+            # rows are never built.  A single implicit group, so one
+            # output row even over empty input (matching groups[()]).
+            chunks = run.source_chunks
+            run.out_columns = self.out_columns
+            run.out_rows = [tuple(fn(chunks, params)
+                                  for fn in self._citem_fns)]
+            return
         rows = run.source_rows
-        batch = run.engine == "batch"
+        batch = run.engine != "row"
         # Partition rows into groups by the GROUP BY key (a single group
         # covering everything when there is no GROUP BY).
         groups = {}
@@ -760,7 +923,7 @@ class SortOp:
         ctx = run.ctx
         params = run.params
         source_rows = run.source_rows
-        compiled = self._compiled if run.engine == "batch" else None
+        compiled = self._compiled if run.engine != "row" else None
         keyed = []
         alias_positions = {
             name: i for i, name in enumerate(run.out_columns)}
@@ -904,6 +1067,12 @@ class PhysicalPlan:
         cutoff = self._resolve_limit_hint(run.params)
         if cutoff is not None:
             return list(islice(source.iter_rows_interp(run), cutoff))
+        if run.engine == "columnar":
+            # Chunks are kept columnar; result operators that can consume
+            # them do so directly, and ``run.source_rows`` materializes
+            # wide rows lazily for the ones that cannot.
+            run.source_chunks = list(source.iter_cchunks(run))
+            return None
         if run.engine == "batch":
             rows = []
             for chunk in source.iter_batches(run):
@@ -997,18 +1166,32 @@ class PhysicalPlan:
 
 
 class _AnalyzeRecord:
-    """One operator's EXPLAIN ANALYZE measurements."""
+    """One operator's EXPLAIN ANALYZE measurements.
 
-    __slots__ = ("label", "rows", "seconds")
+    ``rows`` counts produced (live) rows under every engine.  The chunked
+    engines additionally report ``chunks`` (batches yielded) and — when
+    selection vectors are in play — ``sel``, the live fraction of chunk
+    capacity, so EXPLAIN ANALYZE shows how dense the surviving selection
+    is after each operator.
+    """
+
+    __slots__ = ("label", "rows", "seconds", "chunks", "capacity")
 
     def __init__(self, label):
         self.label = label
         self.rows = 0
         self.seconds = 0.0
+        self.chunks = 0
+        self.capacity = 0
 
     def render(self):
-        return (f"{self.label} [rows={self.rows}, "
-                f"time={self.seconds * 1000:.3f}ms]")
+        parts = [f"rows={self.rows}"]
+        if self.chunks:
+            parts.append(f"chunks={self.chunks}")
+        if self.capacity:
+            parts.append(f"sel={100.0 * self.rows / self.capacity:.1f}%")
+        parts.append(f"time={self.seconds * 1000:.3f}ms")
+        return f"{self.label} [{', '.join(parts)}]"
 
 
 class _TimedSource:
@@ -1031,6 +1214,23 @@ class _TimedSource:
                 return
             record.seconds += perf_counter() - t0
             record.rows += len(chunk)
+            record.chunks += 1
+            yield chunk
+
+    def iter_cchunks(self, run):
+        record = self.record
+        gen = self.op.iter_cchunks(run)
+        while True:
+            t0 = perf_counter()
+            try:
+                chunk = next(gen)
+            except StopIteration:
+                record.seconds += perf_counter() - t0
+                return
+            record.seconds += perf_counter() - t0
+            record.rows += chunk.n_live()
+            record.chunks += 1
+            record.capacity += chunk.length
             yield chunk
 
     def iter_rows_interp(self, run):

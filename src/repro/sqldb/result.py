@@ -29,7 +29,12 @@ class ExecResult:
     def __init__(self, columns=(), rows=(), rowcount=0, rows_touched=0,
                  last_insert_id=None, from_cache=False):
         self.columns = list(columns)
-        self.rows = [tuple(r) for r in rows]
+        # The engines' projection operators already emit tuples (the
+        # columnar engine's fused projection zips straight into them);
+        # re-wrapping every row would be a second full copy of the result,
+        # so only rows arriving in other shapes (lists from interpreted
+        # fallbacks, external callers) pay for the conversion.
+        self.rows = [r if type(r) is tuple else tuple(r) for r in rows]
         self.rowcount = rowcount
         self.rows_touched = rows_touched
         self.last_insert_id = last_insert_id

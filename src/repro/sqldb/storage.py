@@ -5,6 +5,7 @@ table maintains the primary-key index and any secondary indexes, and exposes
 undo hooks used by :mod:`repro.sqldb.transactions` for rollback.
 """
 
+from repro.sqldb.columnar import ColumnStore
 from repro.sqldb.errors import ConstraintError
 from repro.sqldb.indexes import HashIndex, OrderedIndex
 from repro.sqldb.types import coerce_value
@@ -26,6 +27,14 @@ class Table:
         # cross-request result cache keys cached rows on a snapshot of
         # these versions (see repro.sqldb.result_cache).
         self.write_version = 0
+        # Physical mutation counter: bumped on *every* row change the
+        # instant it happens — including uncommitted transactional writes
+        # and their rollbacks — unlike write_version, which only moves at
+        # COMMIT.  The columnar engine's cached snapshot keys on it (plus
+        # the identity of self.rows, which the read-view manager swaps
+        # wholesale without touching either counter).
+        self._mutation_count = 0
+        self._column_store = None
 
     def bump_write_version(self):
         """Mark the table's committed contents as changed.
@@ -108,6 +117,7 @@ class Table:
                     f"{self.schema.name!r}")
         row_id = self._next_row_id
         self._next_row_id += 1
+        self._mutation_count += 1
         self.rows[row_id] = row
         if pk is not None:
             self._pk_index[row[pk.ordinal]] = row_id
@@ -129,7 +139,9 @@ class Table:
 
     def _remove_row(self, row_id):
         """Unlink one row from storage and every index (no undo entry, no
-        version bump — shared by delete_row and the rollback path)."""
+        committed-version bump — shared by delete_row and the rollback
+        path; the physical mutation counter always moves)."""
+        self._mutation_count += 1
         row = self.rows.pop(row_id)
         pk = self.schema.primary_key
         if pk is not None:
@@ -162,6 +174,7 @@ class Table:
                     f"{self.schema.name!r}")
         for index in self.indexes.values():
             index.delete(row_id, old_row)
+        self._mutation_count += 1
         self.rows[row_id] = new_row
         if pk is not None:
             old_key = old_row[pk.ordinal]
@@ -184,6 +197,7 @@ class Table:
             self.schema.stats.note_mutation(len(self.rows))
 
     def undo_delete(self, row_id, row):
+        self._mutation_count += 1
         self.rows[row_id] = row
         pk = self.schema.primary_key
         if pk is not None:
@@ -193,6 +207,7 @@ class Table:
         self.schema.stats.note_mutation(len(self.rows))
 
     def undo_update(self, row_id, old_row):
+        self._mutation_count += 1
         current = self.rows.get(row_id)
         if current is not None:
             for index in self.indexes.values():
@@ -219,6 +234,18 @@ class Table:
     def scan(self):
         """Iterate over (row_id, row) in insertion order."""
         return iter(sorted(self.rows.items()))
+
+    def column_store(self):
+        """The cached columnar snapshot of the current contents, in scan
+        order (see :class:`repro.sqldb.columnar.ColumnStore`).  Rebuilt
+        lazily whenever the physical mutation counter moved or the rows
+        dict itself was swapped (per-request read views)."""
+        store = self._column_store
+        if (store is None or store.rows_ref is not self.rows
+                or store.mutations != self._mutation_count):
+            store = ColumnStore.build(self)
+            self._column_store = store
+        return store
 
     def __len__(self):
         return len(self.rows)

@@ -1,0 +1,202 @@
+"""Unit tests for the columnar chunk layout itself.
+
+The engine-parity suites (test_vectorized, test_join_oracle) pin the
+columnar engine's *results*; these tests pin the layout internals —
+dictionary-encoding decisions, ColumnStore snapshot caching and
+invalidation, selection-vector plumbing, and the per-dictionary LIKE
+match cache.
+"""
+
+from repro.sqldb import Database
+from repro.sqldb.columnar import (ColumnChunk, DictColumn, NULL_CODE,
+                                  _encode_dict)
+
+
+def _db(engine="columnar", n=100):
+    db = Database(result_cache_size=0, engine=engine)
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT, v INT)")
+    for i in range(n):
+        db.execute("INSERT INTO t VALUES (?, ?, ?)",
+                   (i, None if i % 10 == 9 else f"label{i % 4}", i * 3))
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Dictionary encoding
+# ---------------------------------------------------------------------------
+
+
+def test_encode_dict_threshold():
+    # 4 distinct over 100 rows: encoded.
+    col, n_distinct = _encode_dict([f"x{i % 4}" for i in range(100)])
+    assert isinstance(col, DictColumn)
+    assert n_distinct == 4
+    assert len(col.meta.values) == 4
+    # All-distinct values: encoding would not pay; plain list kept.
+    values = [f"x{i}" for i in range(100)]
+    col, n_distinct = _encode_dict(values)
+    assert col is values
+    assert n_distinct == 100
+    # NULLs encode as NULL_CODE and don't count as distinct.
+    col, n_distinct = _encode_dict(["a", None, "a", None])
+    assert isinstance(col, DictColumn)
+    assert n_distinct == 1
+    assert col.codes == [0, NULL_CODE, 0, NULL_CODE]
+    assert col.decode() == ["a", None, "a", None]
+    # All-NULL column stays a plain list (nothing to encode).
+    values = [None, None, None]
+    col, n_distinct = _encode_dict(values)
+    assert col is values and n_distinct == 0
+
+
+def test_dict_column_slice_shares_meta():
+    col, _ = _encode_dict(["a", "b", "a", "b", "a", "b"])
+    part = col[1:4]
+    assert isinstance(part, DictColumn)
+    assert part.meta is col.meta
+    assert part.decode() == ["b", "a", "b"]
+    assert part[0] == "b"
+    assert len(part) == 3
+
+
+def test_dict_like_cache_is_per_dictionary():
+    import re
+    col, _ = _encode_dict(["apple", "banana", "apple", "avocado",
+                           "banana", "apple"])
+    regex = re.compile("a.*")
+    first = col.like_matches("a%", regex)
+    assert first == [True, False, True]  # one flag per distinct value
+    # Second call returns the cached table, no recompute.
+    assert col.like_matches("a%", regex) is first
+    # Slices share the cache through the shared meta.
+    assert col[2:5].like_matches("a%", regex) is first
+
+
+def test_column_store_encodes_text_not_int():
+    db = _db(n=100)
+    store = db.tables["t"].column_store()
+    id_col, name_col, v_col = store.columns
+    assert isinstance(name_col, DictColumn)
+    assert not isinstance(id_col, DictColumn)
+    assert not isinstance(v_col, DictColumn)
+    assert store.distinct["name"] == 4
+    assert store.distinct["id"] == 100
+    assert store.length == 100
+
+
+# ---------------------------------------------------------------------------
+# ColumnStore snapshot caching
+# ---------------------------------------------------------------------------
+
+
+def test_column_store_cached_until_mutation():
+    db = _db()
+    table = db.tables["t"]
+    first = table.column_store()
+    assert table.column_store() is first  # stable across reads
+    db.execute("SELECT COUNT(*) FROM t WHERE name = 'label1'")
+    assert table.column_store() is first  # queries don't invalidate
+    db.execute("UPDATE t SET v = 0 WHERE id = 5")
+    second = table.column_store()
+    assert second is not first
+    db.execute("DELETE FROM t WHERE id = 6")
+    assert table.column_store() is not second
+
+
+def test_column_store_invalidated_by_rollback():
+    db = _db()
+    table = db.tables["t"]
+    db.execute("BEGIN")
+    db.execute("DELETE FROM t WHERE id < 50")
+    mid = table.column_store()
+    assert mid.length == 50
+    db.execute("ROLLBACK")
+    after = table.column_store()
+    assert after is not mid
+    assert after.length == 100
+    assert db.execute("SELECT COUNT(*) FROM t").scalar() == 100
+
+
+# ---------------------------------------------------------------------------
+# ColumnChunk plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_chunk_selection_vector_round_trip():
+    chunk = ColumnChunk([[1, 2, 3, 4], ["a", "b", "c", "d"]], 4, sel=[1, 3])
+    assert chunk.n_live() == 2
+    assert list(chunk.live_indices()) == [1, 3]
+    assert chunk.to_rows() == [[2, "b"], [4, "d"]]
+    assert chunk.gather(0) == [2, 4]
+    full = ColumnChunk([[1, 2], ["x", "y"]], 2)
+    assert full.sel is None
+    assert list(full.live_indices()) == [0, 1]
+    assert full.to_rows() == [[1, "x"], [2, "y"]]
+
+
+def test_chunk_take_keeps_dictionaries_encoded():
+    col, _ = _encode_dict(["a", "b", "a", "b"])
+    chunk = ColumnChunk([[10, 20, 30, 40], col], 4)
+    out = chunk.take([0, 2, 2])  # duplicates allowed (join fan-out)
+    assert out.length == 3 and out.sel is None
+    assert out.columns[0] == [10, 30, 30]
+    taken = out.columns[1]
+    assert isinstance(taken, DictColumn) and taken.meta is col.meta
+    assert taken.decode() == ["a", "a", "a"]
+    # skip_range lanes become all-NULL placeholders.
+    skipped = chunk.take([1], skip_range=(1, 2))
+    assert skipped.columns[1] is None
+    assert skipped.row(0) == [20, None]
+
+
+def test_from_rows_transpose_shim():
+    chunk = ColumnChunk.from_rows([[1, "a"], [2, "b"]], 2)
+    assert chunk.length == 2 and chunk.sel is None
+    assert chunk.columns == [[1, 2], ["a", "b"]]
+    empty = ColumnChunk.from_rows([], 3)
+    assert empty.length == 0
+    assert empty.columns == [[], [], []]
+    assert empty.to_rows() == []
+
+
+# ---------------------------------------------------------------------------
+# Engine-level behaviors that hang off the layout
+# ---------------------------------------------------------------------------
+
+
+def test_dictionary_predicates_agree_with_row_engine():
+    queries = (
+        ("SELECT id FROM t WHERE name = 'label2'", ()),
+        ("SELECT id FROM t WHERE name <> 'label0'", ()),
+        ("SELECT id FROM t WHERE name LIKE 'label%'", ()),
+        ("SELECT id FROM t WHERE name LIKE '%2'", ()),
+        ("SELECT id FROM t WHERE name IN ('label1', 'label3', 'zzz')", ()),
+        ("SELECT id FROM t WHERE name IS NULL", ()),
+        ("SELECT name, COUNT(*) FROM t GROUP BY name ORDER BY name", ()),
+    )
+    columnar, row = _db("columnar"), _db("row")
+    for sql, params in queries:
+        a = columnar.execute(sql, params)
+        b = row.execute(sql, params)
+        assert a.rows == b.rows, sql
+        assert a.rows_touched == b.rows_touched, sql
+
+
+def test_read_view_swap_invalidates_snapshot():
+    """The per-request read-view manager swaps ``table.rows`` wholesale
+    without bumping counters; snapshot validity is keyed on the rows
+    dict's identity, so a snapshot of the old dict must not serve the
+    swapped-in contents."""
+    db = _db()
+    table = db.tables["t"]
+    baseline = table.column_store()
+    old_rows = table.rows
+    table.rows = dict(list(old_rows.items())[:10])  # simulate _swap_in
+    try:
+        swapped = table.column_store()
+        assert swapped is not baseline
+        assert swapped.length == 10
+    finally:
+        table.rows = old_rows
+    restored = table.column_store()
+    assert restored.length == 100

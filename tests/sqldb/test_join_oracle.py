@@ -237,14 +237,16 @@ def reference_tables(tables):
 
 
 def assert_engines_agree(tables, sql, params=(), options=None):
-    """Execute under both physical engines and require *exact* agreement:
-    identical rows in identical order and identical ``rows_touched``.
-    Returns the batch execution so callers don't run it twice."""
+    """Execute under all three physical engines and require *exact*
+    agreement: identical rows in identical order and identical
+    ``rows_touched``.  Returns the batch execution so callers don't run
+    it twice."""
     batch = build_db(tables, options, engine="batch").execute(sql, params)
-    row = build_db(tables, options, engine="row").execute(sql, params)
-    assert batch.rows == row.rows
-    assert batch.columns == row.columns
-    assert batch.rows_touched == row.rows_touched
+    for engine in ("columnar", "row"):
+        other = build_db(tables, options, engine=engine).execute(sql, params)
+        assert other.rows == batch.rows, engine
+        assert other.columns == batch.columns, engine
+        assert other.rows_touched == batch.rows_touched, engine
     return batch
 
 

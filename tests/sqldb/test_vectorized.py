@@ -1,19 +1,23 @@
-"""Chunk-boundary and engine-parity tests for the vectorized batch engine.
+"""Chunk-boundary and engine-parity tests for the chunked engines.
 
-The batch engine pulls chunks of ``CHUNK_SIZE`` rows through
-plan-compiled expression closures; the row engine is the interpreted
-row-at-a-time shim kept for differential testing.  These tests pin the
-edges the chunking can get wrong — empty inputs, result sizes straddling
-the chunk boundary, LIMIT cutting mid-chunk, NULL-heavy data through the
-compiled three-valued logic — plus the observability surface
-(``engine_stats``, the explain Engine trailer, EXPLAIN ANALYZE) and the
-zero-copy scan's no-mutation contract.
+The batch engine pulls chunks of ``CHUNK_SIZE`` wide rows through
+plan-compiled expression closures; the columnar engine exchanges
+``ColumnChunk`` column arrays with selection vectors and fused
+predicates; the row engine is the interpreted row-at-a-time shim kept
+for differential testing.  These tests pin the edges the chunking can
+get wrong — empty inputs, result sizes straddling the chunk boundary,
+LIMIT cutting mid-chunk, NULL-heavy data through the compiled
+three-valued logic — plus the observability surface (``engine_stats``,
+the explain Engine trailer, EXPLAIN ANALYZE) and the zero-copy scan's
+no-mutation contract.
 """
 
 import pytest
 
 from repro.sqldb import Database
 from repro.sqldb.plan.physical import CHUNK_SIZE
+
+ENGINES = ("batch", "columnar", "row")
 
 
 def _seed(db, n_rows):
@@ -26,20 +30,27 @@ def _seed(db, n_rows):
 
 
 def _pair(n_rows):
-    """The same seeded table under both engines (result cache off)."""
-    batch = _seed(Database(result_cache_size=0, engine="batch"), n_rows)
-    row = _seed(Database(result_cache_size=0, engine="row"), n_rows)
-    return batch, row
+    """The same seeded table under every engine (result cache off), in
+    ``ENGINES`` order: ``(batch, columnar, row)``."""
+    return tuple(_seed(Database(result_cache_size=0, engine=e), n_rows)
+                 for e in ENGINES)
 
 
-def _agree(batch_db, row_db, sql, params=()):
-    """Execute under both engines; exact row and accounting agreement."""
-    batch = batch_db.execute(sql, params)
-    row = row_db.execute(sql, params)
-    assert batch.rows == row.rows
-    assert batch.columns == row.columns
-    assert batch.rows_touched == row.rows_touched
-    return batch
+def _agree(*args):
+    """``_agree(db, db, ..., sql[, params])`` — execute under every given
+    engine; exact row, column and accounting agreement."""
+    if isinstance(args[-1], tuple):
+        *dbs, sql, params = args
+    else:
+        *dbs, sql = args
+        params = ()
+    results = [db.execute(sql, params) for db in dbs]
+    first = results[0]
+    for db, other in zip(dbs[1:], results[1:]):
+        assert other.rows == first.rows, db.engine
+        assert other.columns == first.columns, db.engine
+        assert other.rows_touched == first.rows_touched, db.engine
+    return first
 
 
 # ---------------------------------------------------------------------------
@@ -48,77 +59,69 @@ def _agree(batch_db, row_db, sql, params=()):
 
 
 def test_empty_table():
-    batch_db, row_db = _pair(0)
-    assert _agree(batch_db, row_db, "SELECT id, v FROM t").rows == []
-    assert _agree(batch_db, row_db,
-                  "SELECT id FROM t WHERE v > ?", (5,)).rows == []
-    assert _agree(batch_db, row_db,
-                  "SELECT COUNT(*) FROM t").rows == [(0,)]
-    assert _agree(batch_db, row_db,
-                  "SELECT s, COUNT(v) FROM t GROUP BY s").rows == []
+    dbs = _pair(0)
+    assert _agree(*dbs, "SELECT id, v FROM t").rows == []
+    assert _agree(*dbs, "SELECT id FROM t WHERE v > ?", (5,)).rows == []
+    assert _agree(*dbs, "SELECT COUNT(*) FROM t").rows == [(0,)]
+    assert _agree(*dbs, "SELECT s, COUNT(v) FROM t GROUP BY s").rows == []
 
 
 def test_empty_join_sides():
-    batch_db, row_db = _pair(0)
-    for db in (batch_db, row_db):
+    dbs = _pair(0)
+    for db in dbs:
         db.execute("CREATE TABLE u (id INT PRIMARY KEY, w INT)")
         db.execute("INSERT INTO u (id, w) VALUES (1, 10)")
-    result = _agree(batch_db, row_db,
-                    "SELECT t.id, u.w FROM t JOIN u ON t.v = u.id")
+    result = _agree(*dbs, "SELECT t.id, u.w FROM t JOIN u ON t.v = u.id")
     assert result.rows == []
-    result = _agree(batch_db, row_db,
-                    "SELECT u.id, t.v FROM u LEFT JOIN t ON t.v = u.id")
+    result = _agree(*dbs, "SELECT u.id, t.v FROM u LEFT JOIN t ON t.v = u.id")
     assert result.rows == [(1, None)]
 
 
 @pytest.mark.parametrize("size", [1, CHUNK_SIZE - 1, CHUNK_SIZE,
                                   CHUNK_SIZE + 1])
 def test_result_sizes_straddling_chunk_boundary(size):
-    batch_db, row_db = _pair(CHUNK_SIZE + 1)
-    result = _agree(batch_db, row_db,
+    batch_db, columnar_db, row_db = _pair(CHUNK_SIZE + 1)
+    result = _agree(batch_db, columnar_db, row_db,
                     "SELECT id, v FROM t WHERE id < ?", (size,))
     assert len(result.rows) == size
     assert result.rows_touched == CHUNK_SIZE + 1
-    # A multi-chunk scan really flowed through the batch operators.
+    # A multi-chunk scan really flowed through the chunked operators.
     assert batch_db.executor.batches_executed > 0
+    assert columnar_db.executor.batches_executed > 0
     assert row_db.executor.batches_executed == 0
 
 
 def test_limit_cuts_mid_chunk():
     n = CHUNK_SIZE + 400
-    batch_db, row_db = _pair(n)
+    dbs = _pair(n)
     for limit in (1, 700, CHUNK_SIZE, CHUNK_SIZE + 100):
-        result = _agree(batch_db, row_db,
-                        f"SELECT id FROM t LIMIT {limit}")
+        result = _agree(*dbs, f"SELECT id FROM t LIMIT {limit}")
         assert len(result.rows) == limit
     # LIMIT above a sort still returns exact-order-identical prefixes.
-    result = _agree(batch_db, row_db,
-                    "SELECT id, v FROM t ORDER BY v DESC, id LIMIT 10")
+    result = _agree(*dbs, "SELECT id, v FROM t ORDER BY v DESC, id LIMIT 10")
     assert len(result.rows) == 10
 
 
-def test_limit_hint_stops_early_in_both_engines():
+def test_limit_hint_stops_early_in_all_engines():
     """With an ordered index the sort is elided and the limit hint stops
     the scan after limit+offset rows — the one early-exit in the engine,
-    which must charge identical ``rows_touched`` under both engines."""
+    which must charge identical ``rows_touched`` under every engine."""
     n = CHUNK_SIZE + 400
-    batch_db, row_db = _pair(n)
-    for db in (batch_db, row_db):
+    dbs = _pair(n)
+    for db in dbs:
         db.execute("CREATE INDEX idx_t_v ON t (v) USING ORDERED")
     for limit in (1, 700, CHUNK_SIZE + 100):
-        result = _agree(batch_db, row_db,
-                        f"SELECT id, v FROM t ORDER BY v LIMIT {limit}")
+        result = _agree(*dbs, f"SELECT id, v FROM t ORDER BY v LIMIT {limit}")
         assert len(result.rows) == limit
         # Early exit: far fewer rows touched than the full table.
         assert result.rows_touched <= limit + 1
-    result = _agree(batch_db, row_db,
-                    "SELECT id, v FROM t ORDER BY v LIMIT 50 OFFSET 25")
+    result = _agree(*dbs, "SELECT id, v FROM t ORDER BY v LIMIT 50 OFFSET 25")
     assert len(result.rows) == 50
     assert result.rows_touched <= 76
 
 
 def test_null_heavy_columns():
-    batch_db, row_db = _pair(600)
+    dbs = _pair(600)
     for sql, params in (
             ("SELECT id FROM t WHERE v > ?", (40,)),
             ("SELECT id FROM t WHERE v IS NULL", ()),
@@ -132,21 +135,18 @@ def test_null_heavy_columns():
             ("SELECT DISTINCT v FROM t ORDER BY v", ()),
             ("SELECT id FROM t WHERE v = ? OR v IS NULL", (7,)),
     ):
-        _agree(batch_db, row_db, sql, params)
+        _agree(*dbs, sql, params)
 
 
 def test_all_null_column():
-    batch_db = Database(result_cache_size=0, engine="batch")
-    row_db = Database(result_cache_size=0, engine="row")
-    for db in (batch_db, row_db):
+    dbs = tuple(Database(result_cache_size=0, engine=e) for e in ENGINES)
+    for db in dbs:
         db.execute("CREATE TABLE n (id INT PRIMARY KEY, v INT)")
         for i in range(50):
             db.execute("INSERT INTO n (id, v) VALUES (?, NULL)", (i,))
-    assert _agree(batch_db, row_db,
-                  "SELECT COUNT(v), SUM(v), AVG(v) FROM n").rows == \
+    assert _agree(*dbs, "SELECT COUNT(v), SUM(v), AVG(v) FROM n").rows == \
         [(0, None, None)]
-    assert _agree(batch_db, row_db,
-                  "SELECT id FROM n WHERE v = v").rows == []
+    assert _agree(*dbs, "SELECT id FROM n WHERE v = v").rows == []
 
 
 # ---------------------------------------------------------------------------
@@ -154,11 +154,12 @@ def test_all_null_column():
 # ---------------------------------------------------------------------------
 
 
-def test_zero_copy_scan_does_not_leak_mutable_storage_rows():
-    """Single-table full-width scans hand storage rows straight to the
+@pytest.mark.parametrize("engine", ["batch", "columnar"])
+def test_zero_copy_scan_does_not_leak_mutable_storage_rows(engine):
+    """Single-table full-width scans hand storage data straight to the
     operators (no ``_pad`` copy); results must still be immutable
     snapshots — a later UPDATE may not rewrite previously returned rows."""
-    db = _seed(Database(result_cache_size=0, engine="batch"), 100)
+    db = _seed(Database(result_cache_size=0, engine=engine), 100)
     before = db.execute("SELECT id, v, s FROM t WHERE id < 10")
     snapshot = [tuple(r) for r in before.rows]
     db.execute("UPDATE t SET v = 999, s = 'mut' WHERE id < 10")
@@ -168,12 +169,12 @@ def test_zero_copy_scan_does_not_leak_mutable_storage_rows():
 
 
 def test_engines_agree_after_interleaved_writes():
-    batch_db, row_db = _pair(300)
-    for db in (batch_db, row_db):
+    dbs = _pair(300)
+    for db in dbs:
         db.execute("UPDATE t SET v = v + 1 WHERE v > 50")
         db.execute("DELETE FROM t WHERE id % 7 = 0")
-    _agree(batch_db, row_db, "SELECT id, v, s FROM t WHERE v >= ?", (40,))
-    _agree(batch_db, row_db, "SELECT COUNT(*) FROM t")
+    _agree(*dbs, "SELECT id, v, s FROM t WHERE v >= ?", (40,))
+    _agree(*dbs, "SELECT COUNT(*) FROM t")
 
 
 # ---------------------------------------------------------------------------
@@ -182,17 +183,44 @@ def test_engines_agree_after_interleaved_writes():
 
 
 def test_engine_validation():
-    with pytest.raises(ValueError):
-        Database(engine="columnar")
+    with pytest.raises(ValueError) as err:
+        Database(engine="vectorised")
+    # The error names every accepted engine.
+    for name in ENGINES:
+        assert f"'{name}'" in str(err.value)
+    for engine in ENGINES:
+        assert Database(engine=engine).engine == engine
+
+
+def test_engine_flip_rebinds_chunk_layout():
+    """Flipping ``db.engine`` mid-session re-routes the *cached* plan's
+    compiled closures to the new engine's chunk layout: a write between
+    flips must be visible under every engine, and results must stay
+    identical through columnar -> row -> columnar round trips."""
+    db = _seed(Database(result_cache_size=0, engine="columnar"), 300)
+    sql = "SELECT id, v, s FROM t WHERE v > ? ORDER BY id"
+    first = db.execute(sql, (40,)).rows
+    db.engine = "row"
+    assert db.execute(sql, (40,)).rows == first
+    # Mutate while the row engine is active: the columnar snapshot built
+    # for the first execution is now stale.
+    db.execute("UPDATE t SET v = 1 WHERE id % 2 = 0")
+    after_write = db.execute(sql, (40,)).rows
+    assert after_write != first
+    db.engine = "columnar"
+    assert db.execute(sql, (40,)).rows == after_write
+    db.engine = "batch"
+    assert db.execute(sql, (40,)).rows == after_write
 
 
 def test_engine_stats_counts_batches():
-    batch_db, row_db = _pair(CHUNK_SIZE + 1)
-    batch_db.execute("SELECT id FROM t WHERE v > 10")
-    row_db.execute("SELECT id FROM t WHERE v > 10")
-    stats = batch_db.engine_stats()
-    assert stats["engine"] == "batch"
-    assert stats["batches_executed"] > 0
+    batch_db, columnar_db, row_db = _pair(CHUNK_SIZE + 1)
+    for db in (batch_db, columnar_db, row_db):
+        db.execute("SELECT id FROM t WHERE v > 10")
+    for db in (batch_db, columnar_db):
+        stats = db.engine_stats()
+        assert stats["engine"] == db.engine
+        assert stats["batches_executed"] > 0
     assert row_db.engine_stats() == {
         "engine": "row",
         "batches_executed": 0,
@@ -222,6 +250,9 @@ def test_explain_engine_trailer():
     db.engine = "row"
     assert "Engine [name='row'" in db.explain(
         "SELECT id FROM t WHERE v > ?", params=(1,))
+    db.engine = "columnar"
+    assert "Engine [name='columnar'" in db.explain(
+        "SELECT id FROM t WHERE v > ?", params=(1,))
 
 
 def test_explain_analyze_shape():
@@ -234,14 +265,41 @@ def test_explain_analyze_shape():
     assert "rows_touched=500" in lines[0]
     assert "total_ms=" in lines[0]
     body = "\n".join(lines[1:])
-    assert "SeqScan(t) [rows=500, time=" in body
+    assert "SeqScan(t) [rows=500, chunks=1, time=" in body
     assert "Filter [rows=" in body
     assert "Aggregate [rows=" in body
+    # Batch chunks carry no selection vectors: no density annotation.
+    assert "sel=" not in body
     # Deeper operators are indented further than their consumers.
     scan_line = next(l for l in lines if "SeqScan(t)" in l)
     filter_line = next(l for l in lines if "Filter [" in l)
     assert (len(scan_line) - len(scan_line.lstrip())
             > len(filter_line) - len(filter_line.lstrip()))
+
+
+def test_explain_analyze_columnar_chunks_and_density():
+    """Pins the columnar EXPLAIN ANALYZE annotation format: every chunked
+    source operator reports ``chunks=``; operators that narrow selection
+    vectors report ``sel=`` as live rows over chunk capacity."""
+    db = _seed(Database(result_cache_size=0, engine="columnar"),
+               2 * CHUNK_SIZE)
+    out = db.explain("SELECT id FROM t WHERE s = 's1'",
+                     params=(), analyze=True)
+    lines = out.splitlines()
+    assert lines[0].startswith("EXPLAIN ANALYZE [engine=columnar, rows=")
+    scan_line = next(l for l in lines if "SeqScan(t)" in l)
+    filter_line = next(l for l in lines if "Filter [" in l)
+    assert f"SeqScan(t) [rows={2 * CHUNK_SIZE}, chunks=2, sel=100.0%, " \
+        f"time=" in scan_line
+    # s cycles through 5 labels: the filter keeps exactly 1/5 of rows.
+    assert "chunks=2" in filter_line
+    assert "sel=20.0%" in filter_line
+    # Row engine output is unchanged: no chunk annotations at all.
+    db.engine = "row"
+    row_out = db.explain("SELECT id FROM t WHERE s = 's1'",
+                         params=(), analyze=True)
+    assert "chunks=" not in row_out
+    assert "sel=" not in row_out
 
 
 def test_explain_analyze_is_side_effect_light():
@@ -255,9 +313,10 @@ def test_explain_analyze_is_side_effect_light():
 
 
 def test_explain_analyze_rows_match_execution():
-    batch_db, row_db = _pair(800)
+    dbs = _pair(800)
+    batch_db = dbs[0]
     sql = "SELECT id, v FROM t WHERE v > ? ORDER BY v LIMIT 20"
-    executed = _agree(batch_db, row_db, sql, (30,))
+    executed = _agree(*dbs, sql, (30,))
     out = batch_db.explain(sql, params=(30,), analyze=True)
     assert f"rows={len(executed.rows)}" in out.splitlines()[0]
     assert f"rows_touched={executed.rows_touched}" in out.splitlines()[0]

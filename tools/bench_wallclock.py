@@ -2,8 +2,9 @@
 """Run the wall-clock engine benchmark and write ``BENCH_wallclock.json``.
 
 Times the synthetic scan/filter/join microbench and the three apps'
-report pages under both physical engines (row-at-a-time interpreter vs.
-chunked compiled-expression batch engine) via
+report pages under the three physical engines (row-at-a-time
+interpreter, chunked compiled-expression batch engine, columnar chunks
+with fused predicates) via
 ``repro.bench.experiments.wallclock``, prints the comparison table and
 writes the raw numbers as JSON — by default to ``BENCH_wallclock.json``
 at the repo root, the file that tracks the wall-clock trajectory per PR.
@@ -14,9 +15,10 @@ Usage::
     python tools/bench_wallclock.py --smoke    # small/fast (CI)
     python tools/bench_wallclock.py --check    # exit 1 on regression
 
-``--check`` fails if any query's results diverge between engines, or if
+``--check`` fails if any query's results diverge between engines, if
 the batch engine is slower than the row engine on the scan/filter
-microbench — the regression gate the CI wallclock job runs.
+microbench, or if the columnar engine is slower than the batch engine
+there — the regression gate the CI wallclock job runs.
 """
 
 import argparse
@@ -32,15 +34,16 @@ from repro.bench.experiments import wallclock  # noqa: E402
 
 def main(argv=None):
     parser = argparse.ArgumentParser(
-        description="Time the row vs. batch engine on synthetic and app "
-        "workloads")
+        description="Time the row, batch and columnar engines on "
+        "synthetic and app workloads")
     parser.add_argument(
         "--smoke", action="store_true",
         help="smaller synthetic table and fewer repeats (CI-sized)")
     parser.add_argument(
         "--check", action="store_true",
-        help="exit non-zero if engines disagree or batch is slower than "
-        "row on the scan/filter microbench")
+        help="exit non-zero if engines disagree, batch is slower than "
+        "row, or columnar is slower than batch on the scan/filter "
+        "microbench")
     parser.add_argument(
         "--out", default=os.path.join(REPO_ROOT, "BENCH_wallclock.json"),
         help="output JSON path (default: BENCH_wallclock.json at the "
@@ -69,11 +72,17 @@ def main(argv=None):
             failures.append(
                 "scan_filter: batch engine slower than row engine "
                 f"(speedup {scan_filter['speedup']})")
+        vs_batch = scan_filter["columnar_vs_batch"]
+        if vs_batch is None or vs_batch < 1.0:
+            failures.append(
+                "scan_filter: columnar engine slower than batch engine "
+                f"(columnar_vs_batch {vs_batch})")
         if failures:
             for failure in failures:
                 print(f"CHECK FAILED: {failure}", file=sys.stderr)
             return 1
-        print("check passed: engines agree, batch >= row on scan_filter")
+        print("check passed: engines agree, batch >= row and "
+              "columnar >= batch on scan_filter")
     return 0
 
 
