@@ -23,17 +23,42 @@ and DATE columns whose distinct count stays at or below half the row
 count are dictionary-encoded at snapshot time; per-column distinct
 counts are kept as stats either way.
 
+The snapshot also carries **zone maps**: for every column, one
+``(lo, hi, nulls, count)`` tuple per :data:`CHUNK_SIZE` slice of the
+table, computed in the same build pass.  ``lo``/``hi`` are the chunk's
+non-NULL min/max — ``None`` when the slice holds no usable range (all
+NULL, or mixed value types whose ordering SQL would reject), in which
+case only the null count is trustworthy.  Sequential scans consult them
+through compiled predicate prune trees
+(:func:`repro.sqldb.plan.compile.compile_prune`) to skip whole chunks,
+and the cost model reads the per-column aggregate ``ranges``/``nulls``
+(plus ``distinct``) as its snapshot statistics source.
+
 Everything here is layout only — expression evaluation over these
 chunks lives in :mod:`repro.sqldb.plan.compile`, the operators in
 :mod:`repro.sqldb.plan.physical`.
 """
 
+from collections import OrderedDict
+
 from repro.sqldb.types import DATE, TEXT, canonical_type
 
-__all__ = ["ColumnChunk", "ColumnStore", "DictColumn", "DictMeta"]
+__all__ = ["CHUNK_SIZE", "ColumnChunk", "ColumnStore", "DictColumn",
+           "DictMeta"]
+
+# Rows per chunk in the chunked engines (re-exported by
+# ``repro.sqldb.plan.physical``).  Zone maps are built at this
+# granularity so scan slices and zone entries align one-to-one.
+CHUNK_SIZE = 1024
 
 # Code used for NULL in a DictColumn's code array (real codes are >= 0).
 NULL_CODE = -1
+
+# Per-dictionary LIKE match-table cache cap (mirrors the parser's
+# bounded statement cache): patterns are per-query literals, so a
+# handful stay hot; an unbounded cache would grow with every distinct
+# pattern ever run against a long-lived dictionary.
+LIKE_CACHE_LIMIT = 64
 
 
 class DictMeta:
@@ -41,14 +66,29 @@ class DictMeta:
     slices: the distinct values in first-appearance order, the reverse
     map, and a per-pattern LIKE match cache (pattern -> list of bools,
     one per code) so LIKE over an encoded column matches each distinct
-    value once instead of each row."""
+    value once instead of each row.  The cache is an LRU capped at
+    :data:`LIKE_CACHE_LIMIT` patterns, with hit/miss counters
+    (see :meth:`like_cache_stats`)."""
 
-    __slots__ = ("values", "code_of", "like_cache")
+    __slots__ = ("values", "code_of", "like_cache", "like_hits",
+                 "like_misses")
 
     def __init__(self, values, code_of):
         self.values = values
         self.code_of = code_of
-        self.like_cache = {}
+        self.like_cache = OrderedDict()
+        self.like_hits = 0
+        self.like_misses = 0
+
+    def like_cache_stats(self):
+        """Cache counters for tests and observability (mirrors the
+        parser's ``parse_cache_stats``)."""
+        return {
+            "size": len(self.like_cache),
+            "limit": LIKE_CACHE_LIMIT,
+            "hits": self.like_hits,
+            "misses": self.like_misses,
+        }
 
 
 class DictColumn:
@@ -83,11 +123,19 @@ class DictColumn:
     def like_matches(self, pattern, regex):
         """Per-code match table for ``value LIKE pattern`` — computed once
         per (dictionary, pattern) and cached on the shared meta."""
-        matches = self.meta.like_cache.get(pattern)
+        meta = self.meta
+        cache = meta.like_cache
+        matches = cache.get(pattern)
         if matches is None:
+            meta.like_misses += 1
             matches = [regex.match(value) is not None
-                       for value in self.meta.values]
-            self.meta.like_cache[pattern] = matches
+                       for value in meta.values]
+            cache[pattern] = matches
+            if len(cache) > LIKE_CACHE_LIMIT:
+                cache.popitem(last=False)
+        else:
+            meta.like_hits += 1
+            cache.move_to_end(pattern)
         return matches
 
 
@@ -126,26 +174,65 @@ def _encode_dict(values):
     return DictColumn(codes, DictMeta(dict_values, code_of)), n_distinct
 
 
+def _column_zones(values, n):
+    """Per-chunk ``(lo, hi, nulls, count)`` zone tuples for one column.
+
+    ``lo``/``hi`` stay ``None`` when a chunk has no orderable range:
+    every value NULL, or a mix of value types whose comparison SQL
+    semantics would reject (e.g. a bool hiding in a numeric column) —
+    zone pruning must never turn a would-be runtime type error into a
+    silently skipped chunk, so such chunks advertise no range at all.
+    """
+    zones = []
+    for start in range(0, n, CHUNK_SIZE):
+        stop = min(start + CHUNK_SIZE, n)
+        nonnull = [v for v in values[start:stop] if v is not None]
+        count = stop - start
+        nulls = count - len(nonnull)
+        lo = hi = None
+        if nonnull:
+            kinds = set(map(type, nonnull))
+            if kinds <= {int, float} or len(kinds) == 1:
+                try:
+                    lo = min(nonnull)
+                    hi = max(nonnull)
+                except TypeError:
+                    lo = hi = None
+        zones.append((lo, hi, nulls, count))
+    return zones
+
+
 class ColumnStore:
     """A cached columnar snapshot of one table, in ``row_id`` scan order.
 
     ``columns[j]`` is the j-th schema column as a plain list or
     :class:`DictColumn`; ``distinct`` maps column name to its distinct
-    non-NULL count at snapshot time.  ``rows_ref`` pins the exact
+    non-NULL count at snapshot time.  ``zones`` maps column name to the
+    per-chunk zone-map list (see :func:`_column_zones`), ``ranges`` to
+    the whole-column ``(lo, hi)`` aggregate (``None`` bounds when any
+    chunk lacks a range), and ``nulls`` to the total NULL count — the
+    planner's snapshot statistics.  ``rows_ref`` pins the exact
     ``table.rows`` dict the snapshot was built from: validity is
     ``rows_ref is table.rows and mutations == table's counter``, which
     survives the read-view manager swapping ``table.rows`` wholesale
     (identity changes) and catches every in-place mutation (the counter
     changes) — and holding the reference means a dead dict's id can
-    never be recycled into a false match.
+    never be recycled into a false match.  Zone maps therefore share
+    the snapshot's lifetime exactly: any write or read-view swap that
+    invalidates the snapshot discards its zone maps with it.
     """
 
-    __slots__ = ("columns", "length", "distinct", "rows_ref", "mutations")
+    __slots__ = ("columns", "length", "distinct", "zones", "ranges",
+                 "nulls", "rows_ref", "mutations")
 
-    def __init__(self, columns, length, distinct, rows_ref, mutations):
+    def __init__(self, columns, length, distinct, zones, ranges, nulls,
+                 rows_ref, mutations):
         self.columns = columns
         self.length = length
         self.distinct = distinct
+        self.zones = zones
+        self.ranges = ranges
+        self.nulls = nulls
         self.rows_ref = rows_ref
         self.mutations = mutations
 
@@ -156,10 +243,14 @@ class ColumnStore:
         n = len(rows)
         columns = []
         distinct = {}
+        zones = {}
+        ranges = {}
+        nulls = {}
         transposed = list(zip(*rows)) if rows else [
             () for _ in schema_columns]
         for j, col in enumerate(schema_columns):
             values = list(transposed[j])
+            col_zones = _column_zones(values, n)
             if n and canonical_type(col.type_name) in (TEXT, DATE):
                 column, n_distinct = _encode_dict(values)
             else:
@@ -168,8 +259,23 @@ class ColumnStore:
                     v for v in values if v is not None))
             columns.append(column)
             distinct[col.name] = n_distinct
-        return cls(columns, n, distinct, table.rows,
-                   table._mutation_count)
+            zones[col.name] = col_zones
+            nulls[col.name] = sum(z[2] for z in col_zones)
+            lo = hi = None
+            try:
+                for z_lo, z_hi, z_nulls, z_count in col_zones:
+                    if z_lo is None:
+                        if z_nulls == z_count:
+                            continue  # all-NULL chunk: no range to add
+                        lo = hi = None  # unorderable chunk: no column range
+                        break
+                    lo = z_lo if lo is None or z_lo < lo else lo
+                    hi = z_hi if hi is None or z_hi > hi else hi
+            except TypeError:
+                lo = hi = None
+            ranges[col.name] = (lo, hi)
+        return cls(columns, n, distinct, zones, ranges, nulls,
+                   table.rows, table._mutation_count)
 
 
 class ColumnChunk:

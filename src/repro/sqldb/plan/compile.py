@@ -70,7 +70,8 @@ from repro.sqldb.plan.planner import _AGGREGATE_NAMES
 from repro.sqldb.types import is_comparable
 
 __all__ = ["compile_expr", "compile_filter", "compile_project",
-           "compile_aggregate_item", "compile_aggregate_item_columnar"]
+           "compile_aggregate_item", "compile_aggregate_item_columnar",
+           "compile_grouped_item_columnar", "compile_prune", "compile_vec"]
 
 
 def compile_expr(expr, positions, ambiguous=frozenset()):
@@ -1275,6 +1276,16 @@ def _compile_vec(expr, positions, ambiguous):
     return None
 
 
+def compile_vec(expr, positions, ambiguous=frozenset()):
+    """Public wrapper over the vectorized expression compiler:
+    ``fn(chunk, sel, params) -> (scalar, value)`` or None when the shape
+    has no vector form.  Never raises (callers fall back to rows)."""
+    try:
+        return _compile_vec(expr, positions, ambiguous)
+    except Exception:  # defensive: compilation must never change behaviour
+        return None
+
+
 def compile_project(items, expansions, positions, ambiguous):
     """Compile a select list to ``fn(chunk, params) -> list of tuples``
     (the chunk's live output rows), or None when any item lacks a vector
@@ -1367,3 +1378,399 @@ def compile_aggregate_item_columnar(expr, positions, ambiguous):
         return None
 
     return first_row_fn
+
+
+def compile_grouped_item_columnar(expr, positions, ambiguous):
+    """Compiled ``(make, update, final)`` triple for one select item of a
+    GROUP BY aggregate query over columnar chunks, or None when the shape
+    needs the row-materializing path (composite aggregate arithmetic,
+    shapes without a vector form).
+
+    The caller keeps one accumulator list per item, one slot per group:
+    ``make()`` builds a fresh group state, ``update(acc, gidxs, chunk,
+    live, params)`` folds a chunk's live rows in (``gidxs`` maps each
+    live row to its group slot), ``final(state)`` emits the value.
+    Accumulation order is scan order — the same order the row engine's
+    per-group row lists preserve — so float SUM/AVG results and
+    first-of-equals MIN/MAX ties are bit-identical.
+    """
+    if isinstance(expr, A.FuncCall) and expr.name in _AGGREGATE_NAMES:
+        name = expr.name
+        if name == "COUNT" and expr.args and isinstance(expr.args[0], A.Star):
+
+            def update_count_star(acc, gidxs, chunk, live, params):
+                for g in gidxs:
+                    acc[g] += 1
+
+            return (lambda: 0), update_count_star, (lambda state: state)
+        if not expr.args:
+            return None  # interpreter raises "requires an argument"
+        vec = _compile_vec(expr.args[0], positions, ambiguous)
+        if vec is None:
+            return None
+        if expr.distinct:
+            # Collect per group, dedupe at emit — exactly the row path.
+            def update_collect(acc, gidxs, chunk, live, params):
+                scalar, value = vec(chunk, live, params)
+                if scalar:
+                    if value is not None:
+                        for g in gidxs:
+                            acc[g].append(value)
+                else:
+                    for g, v in zip(gidxs, value):
+                        if v is not None:
+                            acc[g].append(v)
+
+            def final_distinct(state):
+                collected = list(dict.fromkeys(state))
+                if name == "COUNT":
+                    return len(collected)
+                if not collected:
+                    return None
+                if name == "SUM":
+                    return sum(collected)
+                if name == "AVG":
+                    return sum(collected) / len(collected)
+                if name == "MIN":
+                    return min(collected)
+                return max(collected)  # MAX
+
+            return (lambda: []), update_collect, final_distinct
+        if name == "COUNT":
+
+            def update_count(acc, gidxs, chunk, live, params):
+                scalar, value = vec(chunk, live, params)
+                if scalar:
+                    if value is not None:
+                        for g in gidxs:
+                            acc[g] += 1
+                else:
+                    for g, v in zip(gidxs, value):
+                        if v is not None:
+                            acc[g] += 1
+
+            return (lambda: 0), update_count, (lambda state: state)
+        if name in ("SUM", "AVG"):
+            # state = [non-NULL count, running total]; the total starts
+            # at 0 so the first `0 + value` raises exactly like sum().
+            def update_sum(acc, gidxs, chunk, live, params):
+                scalar, value = vec(chunk, live, params)
+                if scalar:
+                    if value is not None:
+                        for g in gidxs:
+                            st = acc[g]
+                            st[0] += 1
+                            st[1] = st[1] + value
+                else:
+                    for g, v in zip(gidxs, value):
+                        if v is not None:
+                            st = acc[g]
+                            st[0] += 1
+                            st[1] = st[1] + v
+
+            if name == "SUM":
+                final_sum = lambda state: state[1] if state[0] else None
+            else:
+                final_sum = (lambda state:
+                             state[1] / state[0] if state[0] else None)
+            return (lambda: [0, 0]), update_sum, final_sum
+        pick_min = name == "MIN"
+
+        def update_extremum(acc, gidxs, chunk, live, params):
+            scalar, value = vec(chunk, live, params)
+            if scalar:
+                if value is None:
+                    return
+                for g in gidxs:
+                    st = acc[g]
+                    m = st[0]
+                    if m is None or (value < m if pick_min else value > m):
+                        st[0] = value
+            else:
+                for g, v in zip(gidxs, value):
+                    if v is None:
+                        continue
+                    st = acc[g]
+                    m = st[0]
+                    if m is None or (v < m if pick_min else v > m):
+                        st[0] = v
+
+        return (lambda: [None]), update_extremum, (lambda state: state[0])
+    if _contains_aggregate(expr):
+        return None  # composite shapes keep the row-materializing path
+    vec = _compile_vec(expr, positions, ambiguous)
+    if vec is None:
+        return None
+
+    # Plain expression: constant within a group — evaluated against the
+    # group's first row, like the row path's ``group_rows[0]``.
+    def update_first(acc, gidxs, chunk, live, params):
+        for i, g in zip(live, gidxs):
+            if acc[g] is None:
+                scalar, value = vec(chunk, (i,), params)
+                acc[g] = (value if scalar else value[0],)
+
+    def final_first(state):
+        return state[0] if state is not None else None
+
+    return (lambda: None), update_first, final_first
+
+
+# ---------------------------------------------------------------------------
+# Zone-map pruning: predicate trees over per-chunk (lo, hi, nulls, count)
+# ---------------------------------------------------------------------------
+#
+# Prune nodes follow the protocol ``node(zone_of, params) ->
+# (may_true, may_unknown, may_raise)`` — conservative upper bounds on
+# whether *any* row of the chunk could evaluate TRUE / UNKNOWN / raise.
+# ``zone_of(pos)`` returns the chunk's ``(lo, hi, nulls, count)`` for a
+# flat column position, or None when no zone is known for it.  A chunk
+# may be skipped only when it can neither produce a TRUE row nor raise:
+# pruning must never suppress an error the full scan would surface.
+
+_ALWAYS = (True, True, True)
+_NEVER = (False, False, False)
+
+
+def compile_prune(expr, positions, ambiguous=frozenset()):
+    """Compile a WHERE predicate to ``fn(zone_of, params) -> must_scan``,
+    or None when no conjunct is zone-prunable (the scan then skips the
+    per-chunk call entirely).  ``must_scan`` is False only when the zone
+    maps prove no chunk row can be TRUE and none can raise."""
+    try:
+        node, useful = _prune_node(expr, positions, ambiguous)
+    except Exception:  # defensive: pruning is an optimization only
+        return None
+    if not useful:
+        return None
+
+    def prune_fn(zone_of, params):
+        may_true, _, may_raise = node(zone_of, params)
+        return may_true or may_raise
+
+    return prune_fn
+
+
+def _prune_node(expr, positions, ambiguous):
+    """Compile one prune node; returns ``(node, useful)`` — ``useful``
+    is False when the subtree can never rule a chunk out (callers drop
+    the whole prune function rather than evaluate a no-op per chunk)."""
+    kind = type(expr)
+    if kind is A.BinaryOp:
+        op = expr.op
+        if op == "AND":
+            lnode, luse = _prune_node(expr.left, positions, ambiguous)
+            rnode, ruse = _prune_node(expr.right, positions, ambiguous)
+
+            def and_node(zone_of, params):
+                lt, lu, lr = lnode(zone_of, params)
+                if lr:
+                    return _ALWAYS
+                if not lt and not lu:
+                    # Every row FALSE on the left: the row engine never
+                    # evaluates the right operand (its errors included).
+                    return _NEVER
+                rt, ru, rr = rnode(zone_of, params)
+                return (lt and rt, lu or ru, rr)
+
+            # One prunable conjunct suffices: AND may_true needs both.
+            return and_node, luse or ruse
+        if op == "OR":
+            lnode, luse = _prune_node(expr.left, positions, ambiguous)
+            rnode, ruse = _prune_node(expr.right, positions, ambiguous)
+
+            def or_node(zone_of, params):
+                lt, lu, lr = lnode(zone_of, params)
+                if lr:
+                    return _ALWAYS
+                rt, ru, rr = rnode(zone_of, params)
+                return (lt or rt, lu or ru, rr)
+
+            # OR needs both branches prunable to ever rule a chunk out.
+            return or_node, luse and ruse
+        if op in _CMP_EXPRS:
+            node = _prune_cmp(expr, op, positions, ambiguous)
+            if node is not None:
+                return node, True
+        return (lambda zone_of, params: _ALWAYS), False
+    if kind is A.UnaryOp and expr.op == "NOT":
+        cnode, _ = _prune_node(expr.operand, positions, ambiguous)
+
+        def not_node(zone_of, params):
+            ct, cu, cr = cnode(zone_of, params)
+            if cr:
+                return _ALWAYS
+            # may_false is not tracked, so NOT may always be TRUE; it
+            # still launders "cannot raise" through for enclosing ANDs.
+            return (True, cu, False)
+
+        return not_node, False
+    if kind is A.IsNull and isinstance(expr.expr, A.ColumnRef):
+        pos, raiser = _column_position(expr.expr, positions, ambiguous)
+        if raiser is not None:
+            return (lambda zone_of, params: _ALWAYS), False
+        negated = expr.negated
+
+        def isnull_node(zone_of, params):
+            zone = zone_of(pos)
+            if zone is None:
+                return _ALWAYS
+            _, _, nulls, count = zone
+            if count == 0:
+                return _NEVER
+            if negated:
+                return (nulls < count, False, False)
+            return (nulls > 0, False, False)
+
+        return isnull_node, True
+    if kind is A.Between:
+        node = _prune_between(expr, positions, ambiguous)
+        if node is not None:
+            return node, True
+    if kind is A.InList:
+        node = _prune_in(expr, positions, ambiguous)
+        if node is not None:
+            return node, True
+    return (lambda zone_of, params: _ALWAYS), False
+
+
+def _prune_cmp(expr, op, positions, ambiguous):
+    """A prune node for column-vs-row-independent comparisons (the same
+    shapes `_cmp_node` fuses), or None."""
+    left, right = expr.left, expr.right
+    if isinstance(left, A.ColumnRef) and _row_independent(right):
+        col_expr, const_expr, kop = left, right, op
+    elif isinstance(right, A.ColumnRef) and _row_independent(left):
+        col_expr, const_expr, kop = right, left, _FLIP[op]
+    else:
+        return None
+    pos, raiser = _column_position(col_expr, positions, ambiguous)
+    if raiser is not None:
+        return None
+    cfn = _compile(const_expr, positions, ambiguous)[0]
+
+    def node(zone_of, params):
+        zone = zone_of(pos)
+        if zone is None:
+            return _ALWAYS
+        lo, hi, nulls, count = zone
+        if count == 0:
+            return _NEVER
+        c = cfn(None, params)
+        if c is None or nulls == count:
+            return (False, True, False)  # UNKNOWN on every evaluated row
+        if lo is None:
+            return _ALWAYS  # chunk has values but no orderable range
+        type_ok = _const_type_check(c)
+        if not (type_ok(lo) and type_ok(hi)):
+            # Some chunk value is incomparable with the constant — the
+            # fused kernel would raise; the chunk must be scanned.
+            return (True, nulls > 0, True)
+        try:
+            if kop == "=":
+                may_true = not (c < lo or c > hi)
+            elif kop == "<":
+                may_true = lo < c
+            elif kop == "<=":
+                may_true = not (lo > c)
+            elif kop == ">":
+                may_true = hi > c
+            elif kop == ">=":
+                may_true = not (hi < c)
+            else:  # <> — only an all-equal chunk (lo == hi == c) fails
+                may_true = (lo < c or lo > c) or (hi < c or hi > c)
+        except TypeError:
+            return _ALWAYS
+        return (may_true, nulls > 0, False)
+
+    return node
+
+
+def _prune_between(expr, positions, ambiguous):
+    if expr.negated:
+        return None  # NOT BETWEEN: both bounds open-ended, not prunable
+    if not (isinstance(expr.expr, A.ColumnRef)
+            and _row_independent(expr.low)
+            and _row_independent(expr.high)):
+        return None
+    pos, raiser = _column_position(expr.expr, positions, ambiguous)
+    if raiser is not None:
+        return None
+    lf = _compile(expr.low, positions, ambiguous)[0]
+    hf = _compile(expr.high, positions, ambiguous)[0]
+
+    def node(zone_of, params):
+        zone = zone_of(pos)
+        if zone is None:
+            return _ALWAYS
+        lo, hi, nulls, count = zone
+        if count == 0:
+            return _NEVER
+        low = lf(None, params)
+        high = hf(None, params)
+        if low is None or high is None or nulls == count:
+            return (False, True, False)
+        if lo is None:
+            return _ALWAYS
+        ok_low = _const_type_check(low)
+        if not (ok_low(lo) and ok_low(hi)):
+            return (True, True, True)
+        try:
+            if hi < low:
+                # Every value below the range: the fused loop never
+                # touches the high bound, so it cannot raise either.
+                return (False, nulls > 0, False)
+            ok_high = _const_type_check(high)
+            if not (ok_high(lo) and ok_high(hi)):
+                return (True, nulls > 0, True)
+            may_true = not (lo > high)
+        except TypeError:
+            return _ALWAYS
+        return (may_true, nulls > 0, False)
+
+    return node
+
+
+def _prune_in(expr, positions, ambiguous):
+    if expr.negated:
+        return None  # NOT IN: matches almost everything, not prunable
+    if not (isinstance(expr.expr, A.ColumnRef)
+            and all(_row_independent(item) for item in expr.items)):
+        return None
+    pos, raiser = _column_position(expr.expr, positions, ambiguous)
+    if raiser is not None:
+        return None
+    item_fns = [_compile(item, positions, ambiguous)[0]
+                for item in expr.items]
+
+    def node(zone_of, params):
+        zone = zone_of(pos)
+        if zone is None:
+            return _ALWAYS
+        lo, hi, nulls, count = zone
+        if count == 0:
+            return _NEVER
+        if nulls == count:
+            # Items resolve lazily at the first non-NULL value; an
+            # all-NULL chunk never resolves them (nor their errors).
+            return (False, True, False)
+        if lo is None:
+            return _ALWAYS
+        # Item resolution may raise (missing parameter) — so would the
+        # scan; compile_prune's caller treats a raise as must-scan.
+        items = [fn(None, params) for fn in item_fns]
+        saw_null = False
+        may_true = False
+        for v in items:
+            if v is None:
+                saw_null = True
+                continue
+            try:
+                if not (v < lo or v > hi):
+                    may_true = True
+                    break
+            except TypeError:
+                continue  # incomparable item: IN skips it, never raises
+        return (may_true, nulls > 0 or saw_null, False)
+
+    return node

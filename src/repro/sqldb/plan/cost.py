@@ -5,12 +5,26 @@ execution time: **storage rows touched** (which the simulated server's
 :class:`repro.net.clock.CostModel` converts to database time).  Estimates
 come from live catalog statistics — :class:`repro.sqldb.catalog.TableStats`
 row counts maintained on every INSERT/DELETE/TRUNCATE, exact per-index
-distinct-key counts read from the indexes, and **key-order statistics**
+distinct-key counts read from the indexes, **key-order statistics**
 (the sorted key list of an ordered index, bisected for the position of
-literal range bounds) — plus standard textbook selectivity heuristics for
-predicate shapes the stats cannot resolve (notably parameter bounds, which
-are unknown at plan time by design: one cached plan serves every parameter
-value).
+literal range bounds), and **snapshot statistics** read from the table's
+cached columnar snapshot (:class:`repro.sqldb.columnar.ColumnStore`):
+exact per-column distinct counts for join fan-out and equality
+selectivity on unindexed columns, and whole-column min/max ranges
+interpolated uniformly for literal range bounds no ordered index covers.
+Standard textbook selectivity heuristics remain the last resort for
+predicate shapes no statistic can resolve (notably parameter bounds,
+which are unknown at plan time by design: one cached plan serves every
+parameter value).
+
+Snapshot statistics are built **at plan time** (``table.column_store()``
+builds on demand) whichever engine will execute the plan — if only the
+columnar engine consulted them, the three engines would pick different
+join orders and ``rows_touched`` would stop being engine-invariant.  The
+snapshot cache is invalidated by every table mutation, so a fresh plan
+always sees current-data statistics; a *cached* plan can hold estimates
+from an older snapshot until the stats epoch ticks — exactly the
+staleness contract row-count stats already have.
 
 Public API (documented formulas in ``docs/cost-model.md``):
 
@@ -78,9 +92,11 @@ def table_rows(db, table_name):
 def column_ndv(db, table_name, column):
     """Distinct-key estimate for one column.
 
-    Exact for the primary key (== row count) and for columns carrying a
-    single-column hash index (the bucket count *is* the NDV); a density
-    heuristic otherwise.
+    Exact for the primary key (== row count), for columns carrying a
+    single-column hash index (the bucket count *is* the NDV), and for
+    any column of a table with a valid columnar snapshot (per-column
+    distinct counts are recorded at snapshot build); the density
+    heuristic is the last resort.
     """
     schema = db.catalog.table(table_name)
     rows = schema.stats.row_count
@@ -91,10 +107,35 @@ def column_ndv(db, table_name, column):
     for index in table.indexes.values():
         if index.info.columns == (column,):
             return max(index.distinct_keys, 1)
+    store = _snapshot_stats(db, table_name)
+    if store is not None:
+        n_distinct = store.distinct.get(column)
+        if n_distinct is not None:
+            return max(n_distinct, 1)
     # Density heuristic: one key per _FALLBACK_ROWS_PER_KEY rows, but never
     # fewer keys than min(rows, 10) so equality stays selective on small
     # tables instead of degenerating to "matches everything".
     return max(rows // _FALLBACK_ROWS_PER_KEY, min(rows, 10), 1)
+
+
+def _snapshot_stats(db, table_name):
+    """The table's columnar snapshot as a statistics source, or None.
+
+    Builds the snapshot on demand (it is cached on the table until the
+    next mutation), under **every** engine: plans must not depend on
+    which engine executes them, or rows_touched would diverge across the
+    three-engine differential oracles.  The build cost is amortized by
+    the plan cache — planning only happens on a cache miss.
+    """
+    if table_name is None:
+        return None
+    try:
+        table = db.tables_get(table_name)
+        if table is None:
+            return None
+        return table.column_store()
+    except Exception:
+        return None  # stats are optional; planning must never fail here
 
 
 def probe_index_name(db, table_name, ordinal):
@@ -160,15 +201,63 @@ def selectivity(db, table_name, expr):
 def _order_stats_fraction(db, table_name, column, low, high, low_incl,
                           high_incl):
     """Range fraction from the column's key-order statistic (an ordered
-    index whose sorted key list is bisected for the bound positions), or
-    None when the table carries no such statistic for ``column``."""
+    index whose sorted key list is bisected for the bound positions),
+    falling back to uniform interpolation over the columnar snapshot's
+    whole-column min/max; None when neither statistic covers ``column``."""
     if table_name is None:
         return None
     schema = db.catalog.table(table_name)
     if not schema.has_column(column):
         return None
-    return schema.stats.range_fraction(column, low, high, low_incl,
-                                       high_incl)
+    fraction = schema.stats.range_fraction(column, low, high, low_incl,
+                                           high_incl)
+    if fraction is not None:
+        return fraction
+    return _snapshot_range_fraction(db, table_name, column, low, high)
+
+
+def _is_plain_number(value):
+    """Numeric and not a bool (bools order against ints in Python but are
+    a distinct SQL family — interpolating across them would be wrong)."""
+    return (value is not None and value.__class__ is not bool
+            and isinstance(value, (int, float)))
+
+
+def _snapshot_range_fraction(db, table_name, column, low, high):
+    """Uniform-interpolation range fraction from the snapshot's
+    whole-column ``(lo, hi)`` aggregate, numeric columns and bounds only
+    (bound inclusivity is below the resolution of a continuous
+    approximation and is ignored).  Scaled by the non-NULL fraction —
+    NULL rows satisfy no range predicate."""
+    for bound in (low, high):
+        if bound is not None and not _is_plain_number(bound):
+            return None
+    store = _snapshot_stats(db, table_name)
+    if store is None or store.length == 0:
+        return None
+    bounds = store.ranges.get(column)
+    if bounds is None:
+        return None
+    lo, hi = bounds
+    if not (_is_plain_number(lo) and _is_plain_number(hi)):
+        nulls = store.nulls.get(column)
+        if nulls is not None and nulls == store.length:
+            return 0.0  # all-NULL column: nothing satisfies a range
+        return None
+    nonnull = store.length - store.nulls.get(column, 0)
+    if nonnull <= 0:
+        return 0.0
+    if hi <= lo:
+        # Degenerate span (single distinct value): containment decides.
+        inside = ((low is None or low <= lo)
+                  and (high is None or high >= hi))
+        fraction = 1.0 if inside else 0.0
+    else:
+        lo_eff = lo if low is None else max(low, lo)
+        hi_eff = hi if high is None else min(high, hi)
+        fraction = (0.0 if hi_eff < lo_eff
+                    else (hi_eff - lo_eff) / (hi - lo))
+    return fraction * (nonnull / store.length)
 
 
 def _range_op_selectivity(db, table_name, expr):

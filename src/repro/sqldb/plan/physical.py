@@ -51,7 +51,7 @@ from operator import itemgetter
 from time import perf_counter
 
 from repro.sqldb import ast_nodes as A
-from repro.sqldb.columnar import ColumnChunk
+from repro.sqldb.columnar import CHUNK_SIZE, ColumnChunk, DictColumn
 from repro.sqldb.errors import SqlError, SqlTypeError
 from repro.sqldb.expressions import evaluate, RowContext
 from repro.sqldb.indexes import OrderedIndex, wrap_key
@@ -61,14 +61,18 @@ from repro.sqldb.plan.access import (pk_lookup_keys, range_scan_ids,
 from repro.sqldb.plan.compile import (compile_aggregate_item,
                                       compile_aggregate_item_columnar,
                                       compile_expr, compile_filter,
-                                      compile_project)
+                                      compile_grouped_item_columnar,
+                                      compile_project, compile_prune,
+                                      compile_vec)
 from repro.sqldb.plan.planner import _AGGREGATE_NAMES
 from repro.sqldb.result import ExecResult
 
-# Rows per chunk in the batch engine.  Large enough to amortize per-chunk
-# Python overhead, small enough that a chunk of joined rows stays cache-
-# friendly and LIMITed queries don't materialize far past their cutoff.
-CHUNK_SIZE = 1024
+# CHUNK_SIZE (rows per chunk in the chunked engines) lives in
+# repro.sqldb.columnar so zone maps are built at scan-slice granularity;
+# it is re-exported here for its historical home.  Large enough to
+# amortize per-chunk Python overhead, small enough that a chunk of
+# joined rows stays cache-friendly and LIMITed queries don't materialize
+# far past their cutoff.
 
 
 class PlanRun:
@@ -77,7 +81,7 @@ class PlanRun:
     __slots__ = ("db", "params", "sctx", "ctx", "rows_touched",
                  "_source_rows", "source_chunks", "out_columns", "out_rows",
                  "has_aggregates", "prefetched_base_rows", "engine",
-                 "batches")
+                 "batches", "chunks_skipped")
 
     def __init__(self, db, params, sctx, prefetched_base_rows=None):
         self.db = db
@@ -96,6 +100,7 @@ class PlanRun:
         self.prefetched_base_rows = prefetched_base_rows
         self.engine = getattr(db, "engine", "batch")
         self.batches = 0  # chunks that flowed through the batch operators
+        self.chunks_skipped = 0  # chunks zone maps proved irrelevant
 
     @property
     def source_rows(self):
@@ -189,6 +194,9 @@ class _BaseTableScan(RowSource):
     # ColumnStore (zero transpose per query); index access paths produce
     # dynamic row sets, so they transpose their pairs per execution.
     columnar_store_scan = False
+    # Compiled zone-map prune function (SeqScanOp under a Filter sets it
+    # via set_prune); None everywhere else.
+    _prune = None
 
     def iter_cchunks(self, run):
         if self.uses_prefetch and run.prefetched_base_rows is not None:
@@ -206,9 +214,33 @@ class _BaseTableScan(RowSource):
         if self.columnar_store_scan:
             store = table.column_store()
             length = store.length
-            for start in range(0, length, CHUNK_SIZE):
+            prune = self._prune
+            zone_lists = None
+            if prune is not None and length:
+                zone_lists = [store.zones[col.name]
+                              for col in table.schema.columns]
+            params = run.params
+            for ci, start in enumerate(range(0, length, CHUNK_SIZE)):
                 stop = min(start + CHUNK_SIZE, length)
+                # Skipped chunks are charged exactly as a scan would
+                # charge them: rows_touched is the storage-read cost
+                # model's currency and must stay engine-invariant —
+                # zone maps change wall-clock, never simulated cost.
                 run.rows_touched += stop - start
+                if zone_lists is not None:
+
+                    def zone_of(pos, ci=ci):
+                        if offset <= pos < offset + width:
+                            return zone_lists[pos - offset][ci]
+                        return None
+
+                    try:
+                        must_scan = prune(zone_of, params)
+                    except Exception:
+                        must_scan = True  # scan and surface the error
+                    if not must_scan:
+                        run.chunks_skipped += 1
+                        continue
                 run.batches += 1
                 if offset == 0 and width == total:
                     columns = [col[start:stop] for col in store.columns]
@@ -282,6 +314,13 @@ class SeqScanOp(_BaseTableScan):
     def __init__(self, table_name, offset=0):
         self.table_name = table_name
         self.offset = offset
+
+    def set_prune(self, predicate, sctx):
+        """Compile the Filter-above's predicate into a zone-map prune
+        function (see :func:`compile_prune`); the columnar store scan
+        consults it per chunk to skip chunks no row of which can pass."""
+        self._prune = compile_prune(predicate, sctx.context.positions,
+                                    sctx.context.ambiguous)
 
     def _pairs(self, run, table):
         return table.scan()
@@ -822,6 +861,34 @@ class AggregateOp:
         # fused no-GROUP-BY path (None entries force row materialization).
         self._citem_fns = [compile_aggregate_item_columnar(
             item.expr, positions, ambiguous) for item in items]
+        # Grouped columnar path: per-item (make, update, final) triples
+        # plus a key plan — ("pos", flat position) for plain column keys
+        # (dictionary lanes group by integer code), ("vec", closure) for
+        # computed keys.  None disables the path (row fallback).
+        self._cgrouped_items = None
+        self._ckey_plan = None
+        if group_by:
+            triples = [compile_grouped_item_columnar(
+                item.expr, positions, ambiguous) for item in items]
+            if all(t is not None for t in triples):
+                key_plan = []
+                for e in group_by:
+                    if isinstance(e, A.ColumnRef):
+                        if not (e.table is None and e.column in ambiguous):
+                            pos = positions.get((e.table, e.column))
+                            if pos is not None:
+                                key_plan.append(("pos", pos))
+                                continue
+                        key_plan = None  # row path raises the same error
+                        break
+                    vec = compile_vec(e, positions, ambiguous)
+                    if vec is None:
+                        key_plan = None
+                        break
+                    key_plan.append(("vec", vec))
+                if key_plan is not None:
+                    self._cgrouped_items = triples
+                    self._ckey_plan = key_plan
 
     def apply(self, run):
         run.has_aggregates = True
@@ -837,6 +904,16 @@ class AggregateOp:
             run.out_columns = self.out_columns
             run.out_rows = [tuple(fn(chunks, params)
                                   for fn in self._citem_fns)]
+            return
+        if (run.engine == "columnar" and run.source_chunks is not None
+                and self.group_by and self.having is None
+                and self._cgrouped_items is not None):
+            # Grouped fused path: group by gathered key lanes — integer
+            # dictionary codes directly for single dictionary-column
+            # keys — folding each chunk into per-group accumulator
+            # arrays.  No wide row is ever built.
+            run.out_columns = self.out_columns
+            run.out_rows = self._apply_grouped_columnar(run, params)
             return
         rows = run.source_rows
         batch = run.engine != "row"
@@ -889,6 +966,114 @@ class AggregateOp:
                 )
             out_rows.append(out)
         run.out_rows = out_rows
+
+    def _apply_grouped_columnar(self, run, params):
+        """Chunk-at-a-time grouped aggregation over columnar chunks.
+
+        Groups live in a master dict keyed **by value** (first-encounter
+        order, exactly the row engine's), with one accumulator list per
+        select item, one slot per group.  Single dictionary-column keys
+        take the code fast path: a per-dictionary ``code -> group``
+        translation array (plus a NULL slot) resolves each row with one
+        list index instead of a hash probe, decoding each distinct value
+        at most once.  The translation is keyed by the dictionary *meta*
+        (checked by identity) so chunks sharing a dictionary share it
+        while value-keyed grouping keeps differently-encoded chunks of
+        the same column correct.
+        """
+        triples = self._cgrouped_items
+        makes = [t[0] for t in triples]
+        updates = [t[1] for t in triples]
+        finals = [t[2] for t in triples]
+        key_plan = self._ckey_plan
+        single = len(key_plan) == 1
+        groups = {}  # key value (scalar when single) -> group index
+        accs = [[] for _ in triples]
+        n_groups = 0
+        trans_cache = {}  # id(meta) -> (meta, code -> gidx list, [null gidx])
+        for chunk in run.source_chunks:
+            n = chunk.n_live()
+            if n == 0:
+                continue
+            live = chunk.live_indices()
+            gidxs = []
+            ga = gidxs.append
+            if single:
+                kind, payload = key_plan[0]
+                col = chunk.columns[payload] if kind == "pos" else None
+                if kind == "pos" and type(col) is DictColumn:
+                    meta = col.meta
+                    cached = trans_cache.get(id(meta))
+                    if cached is None or cached[0] is not meta:
+                        cached = (meta, [-1] * len(meta.values), [-1])
+                        trans_cache[id(meta)] = cached
+                    _, code_map, null_slot = cached
+                    dict_values = meta.values
+                    codes = col.codes
+                    for i in live:
+                        cd = codes[i]
+                        if cd < 0:
+                            g = null_slot[0]
+                            if g < 0:
+                                g = groups.get(None, -1)
+                                if g < 0:
+                                    g = n_groups
+                                    groups[None] = g
+                                    n_groups += 1
+                                    for make, acc in zip(makes, accs):
+                                        acc.append(make())
+                                null_slot[0] = g
+                        else:
+                            g = code_map[cd]
+                            if g < 0:
+                                key = dict_values[cd]
+                                g = groups.get(key, -1)
+                                if g < 0:
+                                    g = n_groups
+                                    groups[key] = g
+                                    n_groups += 1
+                                    for make, acc in zip(makes, accs):
+                                        acc.append(make())
+                                code_map[cd] = g
+                        ga(g)
+                else:
+                    if kind == "pos":
+                        keys = ([None] * n if col is None
+                                else [col[i] for i in live])
+                    else:
+                        scalar, value = payload(chunk, live, params)
+                        keys = [value] * n if scalar else value
+                    for key in keys:
+                        g = groups.get(key, -1)
+                        if g < 0:
+                            g = n_groups
+                            groups[key] = g
+                            n_groups += 1
+                            for make, acc in zip(makes, accs):
+                                acc.append(make())
+                        ga(g)
+            else:
+                lanes = []
+                for kind, payload in key_plan:
+                    if kind == "pos":
+                        lanes.append(chunk.gather_at(payload, live))
+                    else:
+                        scalar, value = payload(chunk, live, params)
+                        lanes.append([value] * n if scalar else value)
+                for key in zip(*lanes):
+                    g = groups.get(key, -1)
+                    if g < 0:
+                        g = n_groups
+                        groups[key] = g
+                        n_groups += 1
+                        for make, acc in zip(makes, accs):
+                            acc.append(make())
+                    ga(g)
+            for update, acc in zip(updates, accs):
+                update(acc, gidxs, chunk, live, params)
+        return [tuple(final(acc[g])
+                      for final, acc in zip(finals, accs))
+                for g in range(n_groups)]
 
 
 class DistinctOp:
@@ -1092,7 +1277,8 @@ class PhysicalPlan:
             executor.batches_executed += run.batches
         return ExecResult(run.out_columns, run.out_rows,
                           rowcount=len(run.out_rows),
-                          rows_touched=run.rows_touched)
+                          rows_touched=run.rows_touched,
+                          chunks_skipped=run.chunks_skipped)
 
     def execute_analyze(self, db, params=()):
         """Run the plan with per-operator instrumentation.
@@ -1133,9 +1319,14 @@ class PhysicalPlan:
             result_records.append(record)
         total = perf_counter() - started
 
+        if source_records and run.chunks_skipped:
+            # Zone-map skips happen only in the base-table scan — the
+            # deepest operator of the source chain.
+            source_records[-1].skipped = run.chunks_skipped
         result = ExecResult(run.out_columns, run.out_rows,
                             rowcount=len(run.out_rows),
-                            rows_touched=run.rows_touched)
+                            rows_touched=run.rows_touched,
+                            chunks_skipped=run.chunks_skipped)
         lines = [
             f"EXPLAIN ANALYZE [engine={run.engine}, "
             f"rows={len(run.out_rows)}, "
@@ -1175,7 +1366,8 @@ class _AnalyzeRecord:
     is after each operator.
     """
 
-    __slots__ = ("label", "rows", "seconds", "chunks", "capacity")
+    __slots__ = ("label", "rows", "seconds", "chunks", "capacity",
+                 "skipped")
 
     def __init__(self, label):
         self.label = label
@@ -1183,11 +1375,14 @@ class _AnalyzeRecord:
         self.seconds = 0.0
         self.chunks = 0
         self.capacity = 0
+        self.skipped = 0  # chunks the scan's zone maps pruned
 
     def render(self):
         parts = [f"rows={self.rows}"]
         if self.chunks:
             parts.append(f"chunks={self.chunks}")
+        if self.skipped:
+            parts.append(f"chunks_skipped={self.skipped}")
         if self.capacity:
             parts.append(f"sel={100.0 * self.rows / self.capacity:.1f}%")
         parts.append(f"time={self.seconds * 1000:.3f}ms")
@@ -1323,8 +1518,13 @@ def _build_source(node, sctx):
     if isinstance(node, L.IndexRangeScan):
         return IndexRangeScanOp(node, sctx.offsets[node.table_index])
     if isinstance(node, L.Filter):
-        return FilterOp(_build_source(node.child, sctx), node.predicate,
-                        sctx)
+        child = _build_source(node.child, sctx)
+        if isinstance(child, SeqScanOp):
+            # Filter directly over a sequential scan: hand the predicate
+            # down so zone maps can skip chunks before the selection
+            # vector is ever built.
+            child.set_prune(node.predicate, sctx)
+        return FilterOp(child, node.predicate, sctx)
     if isinstance(node, L.Join):
         child = _build_source(node.child, sctx)
         if node.strategy == "index":

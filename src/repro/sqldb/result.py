@@ -11,7 +11,12 @@ class ExecResult:
     ``columns`` — output column names (empty for writes).
     ``rows`` — list of tuples (empty for writes).
     ``rowcount`` — rows returned for reads, rows affected for writes.
-    ``rows_touched`` — storage rows examined (cost-model input).
+    ``rows_touched`` — storage rows examined (cost-model input).  Chunks
+    the columnar engine skips via zone maps still charge their rows here
+    — skipping changes wall-clock, never the simulated cost — so the
+    figure stays engine-invariant.
+    ``chunks_skipped`` — columnar chunks zone maps proved irrelevant
+    (0 outside the columnar engine).
     ``last_insert_id`` — primary key of the last inserted row, if integral.
     ``from_cache`` — True when the rows came from the cross-request result
     cache (the server charges the flat cache-hit cost instead of the
@@ -24,10 +29,11 @@ class ExecResult:
     """
 
     __slots__ = ("columns", "rows", "rowcount", "rows_touched",
-                 "last_insert_id", "from_cache", "shard_phases")
+                 "last_insert_id", "from_cache", "shard_phases",
+                 "chunks_skipped")
 
     def __init__(self, columns=(), rows=(), rowcount=0, rows_touched=0,
-                 last_insert_id=None, from_cache=False):
+                 last_insert_id=None, from_cache=False, chunks_skipped=0):
         self.columns = list(columns)
         # The engines' projection operators already emit tuples (the
         # columnar engine's fused projection zips straight into them);
@@ -40,6 +46,7 @@ class ExecResult:
         self.last_insert_id = last_insert_id
         self.from_cache = from_cache
         self.shard_phases = None
+        self.chunks_skipped = chunks_skipped
 
     def __repr__(self):
         return (f"ExecResult(columns={self.columns!r}, "

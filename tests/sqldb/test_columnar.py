@@ -3,13 +3,22 @@
 The engine-parity suites (test_vectorized, test_join_oracle) pin the
 columnar engine's *results*; these tests pin the layout internals —
 dictionary-encoding decisions, ColumnStore snapshot caching and
-invalidation, selection-vector plumbing, and the per-dictionary LIKE
-match cache.
+invalidation, selection-vector plumbing, per-chunk zone maps (their
+construction, the scans that skip on them, and their invalidation
+under writes, rollbacks and read-view swaps), and the per-dictionary
+bounded LIKE match cache.
 """
 
+import re
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.sqldb import Database
-from repro.sqldb.columnar import (ColumnChunk, DictColumn, NULL_CODE,
-                                  _encode_dict)
+from repro.sqldb import columnar as columnar_mod
+from repro.sqldb.columnar import (ColumnChunk, DictColumn, LIKE_CACHE_LIMIT,
+                                  NULL_CODE, _column_zones, _encode_dict)
+from repro.sqldb.plan import physical as physical_mod
 
 
 def _db(engine="columnar", n=100):
@@ -180,6 +189,172 @@ def test_dictionary_predicates_agree_with_row_engine():
         b = row.execute(sql, params)
         assert a.rows == b.rows, sql
         assert a.rows_touched == b.rows_touched, sql
+
+
+# ---------------------------------------------------------------------------
+# Zone maps
+# ---------------------------------------------------------------------------
+
+
+def test_zone_maps_record_chunk_min_max_and_nulls():
+    db = _db(n=100)
+    store = db.tables["t"].column_store()
+    assert store.zones["id"] == [(0, 99, 0, 100)]
+    assert store.zones["v"] == [(0, 297, 0, 100)]
+    (lo, hi, nulls, count), = store.zones["name"]
+    assert (lo, hi) == ("label0", "label3")
+    assert nulls == 10 and count == 100
+    # The column-level aggregates the cost model reads.
+    assert store.ranges["id"] == (0, 99)
+    assert store.ranges["name"] == ("label0", "label3")
+    assert store.nulls["name"] == 10 and store.nulls["id"] == 0
+
+
+def test_zone_maps_withhold_unorderable_ranges():
+    # A bool hiding among ints would make the scan's comparison raise;
+    # the zone must advertise no range so pruning cannot skip the raise.
+    assert _column_zones([True, 3], 2) == [(None, None, 0, 2)]
+    assert _column_zones([1, "x"], 2) == [(None, None, 0, 2)]
+    # All-NULL chunks carry only a trustworthy null count.
+    assert _column_zones([None, None, None], 3) == [(None, None, 3, 3)]
+    # Homogeneous non-numeric types still get a range.
+    assert _column_zones(["b", None, "a"], 3) == [("a", "b", 1, 3)]
+
+
+def test_scan_skips_chunks_outside_range():
+    columnar, row = _db("columnar", n=2500), _db("row", n=2500)
+    sql = "SELECT id, v FROM t WHERE id < ?"
+    a, b = columnar.execute(sql, (1024,)), row.execute(sql, (1024,))
+    assert a.rows == b.rows and a.rowcount == 1024
+    # Chunks 2 and 3 (ids 1024..2499) are proven irrelevant and skipped —
+    # but still charge rows_touched: the cost currency is engine-invariant.
+    assert a.chunks_skipped == 2 and b.chunks_skipped == 0
+    assert a.rows_touched == b.rows_touched == 2500
+
+
+def test_zone_maps_invalidated_by_interleaved_writes():
+    db = _db(n=2500)
+    table = db.tables["t"]
+    first = table.column_store()
+    assert first.zones["id"][0][:2] == (0, 1023)
+    assert len(first.zones["id"]) == 3
+    # v is non-negative everywhere, so v < 0 skips all three chunks.
+    assert db.execute("SELECT id FROM t WHERE v < 0").chunks_skipped == 3
+    # An UPDATE moves one value below chunk 0's advertised minimum; a
+    # stale zone map would keep skipping the chunk and lose the row.
+    db.execute("UPDATE t SET v = -1 WHERE id = 0")
+    second = table.column_store()
+    assert second is not first
+    assert second.zones["v"][0][0] == -1
+    res = db.execute("SELECT id FROM t WHERE v < 0")
+    assert res.rows == [(0,)] and res.chunks_skipped == 2
+
+
+def test_zone_maps_invalidated_by_rollback():
+    db = _db(n=2500)
+    table = db.tables["t"]
+    db.execute("BEGIN")
+    db.execute("UPDATE t SET v = -7 WHERE id = 2400")
+    mid = table.column_store()
+    assert mid.zones["v"][2][0] == -7
+    db.execute("ROLLBACK")
+    after = table.column_store()
+    assert after is not mid
+    assert after.zones["v"][2][0] >= 0
+    # Post-rollback scans skip on the restored (non-negative) zones and
+    # still agree with the logical contents.
+    res = db.execute("SELECT COUNT(*) FROM t WHERE v < 0")
+    assert res.scalar() == 0
+
+
+def test_zone_maps_follow_read_view_swap():
+    db = _db(n=2500)
+    table = db.tables["t"]
+    baseline = table.column_store()
+    assert len(baseline.zones["id"]) == 3
+    old_rows = table.rows
+    table.rows = dict(list(old_rows.items())[:100])  # simulate _swap_in
+    try:
+        swapped = table.column_store()
+        assert swapped is not baseline
+        assert swapped.zones["id"] == [(0, 99, 0, 100)]
+    finally:
+        table.rows = old_rows
+    assert len(table.column_store().zones["id"]) == 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(st.one_of(st.none(), st.integers(-50, 50)),
+                    min_size=0, max_size=60),
+    low=st.integers(-60, 60),
+    span=st.integers(0, 60),
+    op=st.sampled_from(["<", "<=", ">", ">=", "=", "<>", "BETWEEN",
+                        "IS NULL", "IS NOT NULL", "IN"]),
+)
+def test_chunk_skipping_never_changes_results(values, low, span, op):
+    """Differential oracle: with tiny chunks (so zone pruning fires on
+    realistic data sizes), the columnar engine must return exactly the
+    batch engine's rows and rows_touched for every predicate shape the
+    prune compiler handles — skipping may only ever change wall-clock."""
+    old_chunk = columnar_mod.CHUNK_SIZE
+    columnar_mod.CHUNK_SIZE = physical_mod.CHUNK_SIZE = 8
+    try:
+        dbs = {}
+        for engine in ("batch", "columnar"):
+            db = Database(result_cache_size=0, engine=engine)
+            db.execute("CREATE TABLE o (id INT PRIMARY KEY, v INT)")
+            for i, v in enumerate(values):
+                db.execute("INSERT INTO o VALUES (?, ?)", (i, v))
+            dbs[engine] = db
+        high = low + span
+        if op == "BETWEEN":
+            sql = "SELECT id, v FROM o WHERE v BETWEEN ? AND ?"
+            params = (low, high)
+        elif op == "IS NULL":
+            sql, params = "SELECT id, v FROM o WHERE v IS NULL", ()
+        elif op == "IS NOT NULL":
+            sql, params = "SELECT id, v FROM o WHERE v IS NOT NULL", ()
+        elif op == "IN":
+            sql = f"SELECT id, v FROM o WHERE v IN ({low}, {high}, NULL)"
+            params = ()
+        else:
+            sql, params = f"SELECT id, v FROM o WHERE v {op} ?", (low,)
+        batch = dbs["batch"].execute(sql, params)
+        col = dbs["columnar"].execute(sql, params)
+        assert col.rows == batch.rows
+        assert col.rows_touched == batch.rows_touched
+        assert batch.chunks_skipped == 0
+    finally:
+        columnar_mod.CHUNK_SIZE = physical_mod.CHUNK_SIZE = old_chunk
+
+
+# ---------------------------------------------------------------------------
+# LIKE cache LRU cap
+# ---------------------------------------------------------------------------
+
+
+def test_like_cache_capped_lru_with_stats():
+    col, _ = _encode_dict(["alpha", "beta"] * 4)
+    meta = col.meta
+    regex = re.compile("a.*")
+    for i in range(LIKE_CACHE_LIMIT + 10):
+        col.like_matches(f"p{i}%", regex)
+    stats = meta.like_cache_stats()
+    assert stats["size"] == stats["limit"] == LIKE_CACHE_LIMIT
+    assert stats["misses"] == LIKE_CACHE_LIMIT + 10
+    assert stats["hits"] == 0
+    # The ten oldest patterns were evicted, the newest survive.
+    assert "p0%" not in meta.like_cache
+    assert f"p{LIKE_CACHE_LIMIT + 9}%" in meta.like_cache
+    # A hit refreshes recency: p10 (currently oldest) survives the next
+    # insertion and the new oldest entry (p11) is evicted instead.
+    col.like_matches("p10%", regex)
+    assert meta.like_cache_stats()["hits"] == 1
+    col.like_matches("fresh%", regex)
+    assert "p10%" in meta.like_cache
+    assert "p11%" not in meta.like_cache
+    assert meta.like_cache_stats()["size"] == LIKE_CACHE_LIMIT
 
 
 def test_read_view_swap_invalidates_snapshot():

@@ -44,11 +44,13 @@ def assert_plan(db, sql, expected, params=None):
 
 def test_partition_key_point_lookup_routes_to_one_shard(sharded_db):
     """Partition-key equality resolves at routing time — one shard runs
-    the unmodified statement."""
+    the unmodified statement.  Inside the owning shard every row shares
+    that grp value, and the snapshot distinct count (one value) prices the
+    filter at all four rows."""
     assert_plan(sharded_db, "SELECT id, grp, val FROM t WHERE grp = ?", """
 ShardRouting [kind='single', shard=3, key match on t.grp]
   Project
-    Filter [predicate=BinaryOp(op='=', left=ColumnRef(table=None, column='grp'), right=Param(index=0))] (~1 rows, ~4 touched)
+    Filter [predicate=BinaryOp(op='=', left=ColumnRef(table=None, column='grp'), right=Param(index=0))] (~4 rows, ~4 touched)
       Scan [table='t', alias='t'] (~4 rows, ~4 touched)
 """, params=(3,))
 
@@ -61,9 +63,9 @@ def test_co_partitioned_join_stays_single_shard(sharded_db):
         "ON t.grp = c.grp AND t.id = c.id WHERE t.grp = 2"), """
 ShardRouting [kind='single', shard=2, key match on child.grp, t.grp]
   Project
-    Filter [predicate=BinaryOp(op='=', left=ColumnRef(table='t', column='grp'), right=ColumnRef(table='c', column='grp'))] (~1 rows, ~5 touched)
-      Join [kind='INNER', table='child', strategy='index', index_name='<pk>'] (~1 rows, ~5 touched)
-        Filter [predicate=BinaryOp(op='=', left=ColumnRef(table='t', column='grp'), right=Literal(value=2))] (~1 rows, ~4 touched)
+    Filter [predicate=BinaryOp(op='=', left=ColumnRef(table='t', column='grp'), right=ColumnRef(table='c', column='grp'))] (~1 rows, ~8 touched)
+      Join [kind='INNER', table='child', strategy='index', index_name='<pk>'] (~1 rows, ~8 touched)
+        Filter [predicate=BinaryOp(op='=', left=ColumnRef(table='t', column='grp'), right=Literal(value=2))] (~4 rows, ~4 touched)
           Scan [table='t', alias='t'] (~4 rows, ~4 touched)
 """)
 
@@ -127,7 +129,7 @@ ShardLimit [pushdown: LIMIT 5 per shard]
   Limit
     Sort [order_by=[OrderItem(expr=ColumnRef(table=None, column='val'), descending=False), OrderItem(expr=ColumnRef(table=None, column='id'), descending=False)]]
       Project
-        Filter [predicate=BinaryOp(op='>', left=ColumnRef(table=None, column='val'), right=Literal(value=2))] (~2 rows, ~8 touched)
+        Filter [predicate=BinaryOp(op='>', left=ColumnRef(table=None, column='val'), right=Literal(value=2))] (~5 rows, ~8 touched)
           Scan [table='t', alias='t'] (~8 rows, ~8 touched)
 """)
 

@@ -302,6 +302,27 @@ def test_explain_analyze_columnar_chunks_and_density():
     assert "sel=" not in row_out
 
 
+def test_explain_analyze_columnar_reports_chunks_skipped():
+    """Pins the ``chunks_skipped=`` annotation: a chunk-order-correlated
+    range bound lets zone maps prove two of three chunks irrelevant, the
+    base scan reports them, and header ``rows_touched`` still charges
+    every storage row (the cost currency is engine-invariant).  The row
+    engine's output carries no chunk annotations at all."""
+    db = _seed(Database(result_cache_size=0, engine="columnar"),
+               3 * CHUNK_SIZE)
+    sql = "SELECT id FROM t WHERE id < ? AND v > ?"
+    out = db.explain(sql, params=(CHUNK_SIZE, 0), analyze=True)
+    assert f"rows_touched={3 * CHUNK_SIZE}" in out.splitlines()[0]
+    scan_line = next(l for l in out.splitlines() if "SeqScan(t)" in l)
+    assert (f"SeqScan(t) [rows={CHUNK_SIZE}, chunks=1, chunks_skipped=2, "
+            f"sel=100.0%, time=") in scan_line
+    db.engine = "row"
+    row_out = db.explain(sql, params=(CHUNK_SIZE, 0), analyze=True)
+    assert f"rows_touched={3 * CHUNK_SIZE}" in row_out.splitlines()[0]
+    assert "chunks_skipped=" not in row_out
+    assert "chunks=" not in row_out and "sel=" not in row_out
+
+
 def test_explain_analyze_is_side_effect_light():
     db = _seed(Database(engine="batch"), 50)
     statements = db.statements_executed

@@ -17,8 +17,11 @@ Usage::
 
 ``--check`` fails if any query's results diverge between engines, if
 the batch engine is slower than the row engine on the scan/filter
+microbench, if the columnar engine is slower than the batch engine
+there, if zone maps skipped no chunks on the range-bounded scan/filter
 microbench, or if the columnar engine is slower than the batch engine
-there — the regression gate the CI wallclock job runs.
+on the grouped-aggregate microbench — the regression gate the CI
+wallclock job runs.
 """
 
 import argparse
@@ -42,8 +45,8 @@ def main(argv=None):
     parser.add_argument(
         "--check", action="store_true",
         help="exit non-zero if engines disagree, batch is slower than "
-        "row, or columnar is slower than batch on the scan/filter "
-        "microbench")
+        "row, columnar is slower than batch on the scan/filter or "
+        "grouped-aggregate microbench, or zone maps skipped no chunks")
     parser.add_argument(
         "--out", default=os.path.join(REPO_ROOT, "BENCH_wallclock.json"),
         help="output JSON path (default: BENCH_wallclock.json at the "
@@ -77,12 +80,23 @@ def main(argv=None):
             failures.append(
                 "scan_filter: columnar engine slower than batch engine "
                 f"(columnar_vs_batch {vs_batch})")
+        if scan_filter["chunks_skipped"] <= 0:
+            failures.append(
+                "scan_filter: zone maps skipped no chunks on the "
+                "range-bounded microbench")
+        group_agg = result["synthetic"]["group_filter_agg"]
+        group_vs_batch = group_agg["columnar_vs_batch"]
+        if group_vs_batch is None or group_vs_batch < 1.0:
+            failures.append(
+                "group_filter_agg: columnar engine slower than batch "
+                f"engine (columnar_vs_batch {group_vs_batch})")
         if failures:
             for failure in failures:
                 print(f"CHECK FAILED: {failure}", file=sys.stderr)
             return 1
         print("check passed: engines agree, batch >= row and "
-              "columnar >= batch on scan_filter")
+              "columnar >= batch on scan_filter and group_filter_agg, "
+              "zone maps skipped chunks")
     return 0
 
 
